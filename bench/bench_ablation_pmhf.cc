@@ -1,0 +1,96 @@
+// Ablation study of bloomRF's design choices (DESIGN.md Sect. 7):
+//  1. word-local order (PMHF delta=7) vs near-planar hashing (delta=1,
+//     every level its own bit — no in-word ranges);
+//  2. exact layer on/off at equal total budget;
+//  3. replicated hash functions on the top layer;
+//  4. word permutation (degenerate-distribution defence) overhead.
+
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "core/bloomrf.h"
+#include "core/tuning_advisor.h"
+#include "util/timer.h"
+#include "workload/key_generator.h"
+#include "workload/query_generator.h"
+
+using namespace bloomrf;
+using namespace bloomrf::bench;
+
+namespace {
+
+struct Measurement {
+  double fpr;
+  double mops;
+};
+
+Measurement Measure(const BloomRFConfig& cfg, const Dataset& data,
+                    const QueryWorkload& workload) {
+  BloomRF filter(cfg);
+  for (uint64_t k : data.keys) filter.Insert(k);
+  uint64_t fp = 0, empties = 0;
+  Timer timer;
+  for (const RangeQuery& q : workload.range_queries) {
+    bool answer = filter.MayContainRange(q.lo, q.hi);
+    if (q.empty) {
+      ++empties;
+      if (answer) ++fp;
+    }
+  }
+  double seconds = timer.ElapsedSeconds();
+  return {empties ? static_cast<double>(fp) / empties : 0.0,
+          Mops(workload.range_queries.size(), seconds)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Scale scale = ParseScale(argc, argv, 500'000, 20'000);
+  Header("Ablation", "PMHF / exact layer / replicas / permutation", scale);
+  Dataset data = MakeDataset(scale.keys, Distribution::kUniform, 0xab1);
+  const double kBpk = 18.0;
+  QueryWorkload workload = MakeQueryWorkload(data, scale.queries, 1 << 14,
+                                             Distribution::kUniform, 0xab2);
+
+  std::printf("%-44s %10s %12s\n", "variant (range 2^14, 18 bits/key)",
+              "FPR", "Mprobe/s");
+
+  BloomRFConfig pmhf = BloomRFConfig::Basic(scale.keys, kBpk, 64, 7);
+  Measurement m = Measure(pmhf, data, workload);
+  std::printf("%-44s %10.4f %12.2f\n", "PMHF delta=7 (word-local order)",
+              m.fpr, m.mops);
+
+  BloomRFConfig planar = BloomRFConfig::Basic(scale.keys, kBpk, 64, 1);
+  m = Measure(planar, data, workload);
+  std::printf("%-44s %10.4f %12.2f\n",
+              "planar delta=1 (single-bit words)", m.fpr, m.mops);
+
+  AdvisorParams params;
+  params.n = scale.keys;
+  params.total_bits = static_cast<uint64_t>(kBpk * scale.keys);
+  params.max_range = 1 << 14;
+  BloomRFConfig advised = AdviseConfig(params).config;
+  m = Measure(advised, data, workload);
+  std::printf("%-44s %10.4f %12.2f\n",
+              advised.has_exact_layer ? "advisor (with exact layer)"
+                                      : "advisor (basic selected)",
+              m.fpr, m.mops);
+
+  BloomRFConfig replicated = BloomRFConfig::Basic(scale.keys, kBpk, 64, 7);
+  replicated.replicas.back() = 2;
+  m = Measure(replicated, data, workload);
+  std::printf("%-44s %10.4f %12.2f\n", "basic + replicated top layer (r=2)",
+              m.fpr, m.mops);
+
+  BloomRFConfig permuted = BloomRFConfig::Basic(scale.keys, kBpk, 64, 7);
+  permuted.permute_words = true;
+  m = Measure(permuted, data, workload);
+  std::printf("%-44s %10.4f %12.2f\n", "basic + word permutation", m.fpr,
+              m.mops);
+
+  std::printf("\nExpected: delta=7 beats delta=1 on FPR *and* speed (word "
+              "probes);\nexact layer helps at larger ranges; permutation is "
+              "~free on uniform data.\n");
+  return 0;
+}

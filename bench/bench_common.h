@@ -1,0 +1,65 @@
+// Shared harness utilities for the per-figure benchmark binaries.
+//
+// Every bench runs at laptop scale by default (so `for b in
+// build/bench/*; do $b; done` completes in minutes) and scales to the
+// paper's full setup via flags:
+//   --keys=N       dataset size (paper: 5e7 for the LSM experiments)
+//   --queries=N    query count (paper: 1e5)
+//   --full         paper-scale defaults
+// or the environment variable BLOOMRF_BENCH_FULL=1.
+
+#ifndef BLOOMRF_BENCH_BENCH_COMMON_H_
+#define BLOOMRF_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace bloomrf::bench {
+
+struct Scale {
+  uint64_t keys = 1'000'000;
+  uint64_t queries = 20'000;
+  bool full = false;
+};
+
+inline Scale ParseScale(int argc, char** argv, uint64_t default_keys = 1'000'000,
+                        uint64_t default_queries = 20'000) {
+  Scale scale;
+  scale.keys = default_keys;
+  scale.queries = default_queries;
+  const char* env = std::getenv("BLOOMRF_BENCH_FULL");
+  if (env != nullptr && env[0] == '1') scale.full = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--keys=", 7) == 0) {
+      scale.keys = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--queries=", 10) == 0) {
+      scale.queries = std::strtoull(argv[i] + 10, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      scale.full = true;
+    }
+  }
+  if (scale.full) {
+    scale.keys = 50'000'000;
+    scale.queries = 100'000;
+  }
+  return scale;
+}
+
+inline void Header(const char* figure, const char* title, const Scale& scale) {
+  std::printf("\n=== %s: %s ===\n", figure, title);
+  std::printf("(keys=%llu queries=%llu; --full for paper scale)\n",
+              static_cast<unsigned long long>(scale.keys),
+              static_cast<unsigned long long>(scale.queries));
+}
+
+/// Formats a rate as million ops per second.
+inline double Mops(uint64_t ops, double seconds) {
+  return seconds > 0 ? static_cast<double>(ops) / seconds / 1e6 : 0.0;
+}
+
+}  // namespace bloomrf::bench
+
+#endif  // BLOOMRF_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,75 @@
+// Figure 1: the positioning overview — which filter has the best FPR
+// per (bits/key, number-of-keys) cell for small/medium/large ranges,
+// normal data and query distribution, standalone. A flattened version
+// of Fig. 11.E averaged over key counts.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/standalone_bench_util.h"
+
+using namespace bloomrf;
+using namespace bloomrf::bench;
+
+int main(int argc, char** argv) {
+  Scale scale = ParseScale(argc, argv, 100'000, 3'000);
+  Header("Fig. 1", "best-FPR positioning map (normal data/queries)", scale);
+
+  struct RangeClass {
+    const char* name;
+    uint64_t size;
+  };
+  std::vector<RangeClass> classes = {
+      {"small(32)", 32}, {"medium(1e5)", 100'000},
+      {"large(1e9)", 1'000'000'000ULL}};
+  std::vector<uint64_t> key_counts = {1'000, 10'000, scale.keys};
+  std::vector<double> budgets = {8, 10, 12, 14, 16, 18, 20, 22};
+
+  for (const RangeClass& rc : classes) {
+    std::printf("\n[%s] winner per (keys x bits/key)\n%-10s", rc.name,
+                "keys\\bpk");
+    for (double bpk : budgets) std::printf("%10.0f", bpk);
+    std::printf("\n");
+    for (uint64_t n : key_counts) {
+      std::printf("%-10llu", static_cast<unsigned long long>(n));
+      Dataset data = MakeDataset(n, Distribution::kNormal, 0xf01 + n);
+      QueryWorkload workload = MakeQueryWorkload(
+          data, scale.queries, rc.size, Distribution::kNormal, 0x0f + rc.size);
+      for (double bpk : budgets) {
+        StandaloneContenders c = BuildContenders(data, bpk, rc.size);
+        auto probe_fpr = [&](auto&& fn) {
+          uint64_t fp = 0, empties = 0;
+          for (const RangeQuery& q : workload.range_queries) {
+            if (!q.empty) continue;
+            ++empties;
+            if (fn(q.lo, q.hi)) ++fp;
+          }
+          return empties ? static_cast<double>(fp) / empties : 0.0;
+        };
+        double ours = probe_fpr([&](uint64_t lo, uint64_t hi) {
+          return c.bloomrf->MayContainRange(lo, hi);
+        });
+        double rosetta = probe_fpr([&](uint64_t lo, uint64_t hi) {
+          return c.rosetta->MayContainRange(lo, hi);
+        });
+        double surf = probe_fpr([&](uint64_t lo, uint64_t hi) {
+          return c.surf->MayContainRange(lo, hi);
+        });
+        bool surf_fits =
+            static_cast<double>(c.surf->MemoryBits()) /
+                static_cast<double>(n) <=
+            bpk + 2.0;
+        const char* tag = "bRF";
+        if (rosetta < ours && (!surf_fits || rosetta <= surf)) tag = "Ros";
+        if (surf_fits && surf < ours && surf < rosetta) tag = "SuR";
+        std::printf("%10s", tag);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nShape check (paper Fig. 1): Rosetta band at small ranges/"
+              "high budgets,\nSuRF band at large ranges, bloomRF covering "
+              "the broad middle.\n");
+  return 0;
+}

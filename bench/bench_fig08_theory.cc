@@ -1,0 +1,53 @@
+// Figure 8: space/FPR comparison of bloomRF's model, Rosetta's
+// first-cut model and the theoretical lower bounds ([7], [20]) for
+// point queries (A) and range queries of size R = 16/32/64 (B), d=64.
+//
+// Purely analytic — regenerates the two panels as tables.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/fpr_model.h"
+
+using namespace bloomrf;
+
+int main(int argc, char** argv) {
+  bench::Scale scale = bench::ParseScale(argc, argv);
+  bench::Header("Fig. 8", "theoretical space/FPR comparison (d=64)", scale);
+  const uint64_t n = 1'000'000;
+
+  std::printf("\n(A) Point queries: bits/key to reach FPR eps\n");
+  std::printf("%-10s %-12s %-12s %-12s\n", "eps", "bloomRF", "Rosetta(F)",
+              "LowerBound");
+  for (double eps : {0.001, 0.002, 0.005, 0.010, 0.015, 0.020, 0.030}) {
+    // For points, both models reduce to Bloom-style space; bloomRF's k
+    // is fixed by the domain, so invert its point formula numerically.
+    double lo = 1, hi = 80;
+    for (int iter = 0; iter < 50; ++iter) {
+      double mid = (lo + hi) / 2;
+      uint32_t k = (64 - 20 + 6) / 7;
+      double fpr = BasicPointFpr(n, static_cast<uint64_t>(mid * n), k);
+      (fpr > eps ? lo : hi) = mid;
+    }
+    double rosetta = std::log2(std::exp(1.0)) * std::log2(1.0 / eps);
+    std::printf("%-10.4f %-12.2f %-12.2f %-12.2f\n", eps, hi, rosetta,
+                PointLowerBoundBitsPerKey(eps));
+  }
+
+  std::printf("\n(B) Range queries of size R: bits/key to reach FPR eps\n");
+  std::printf("%-6s %-10s %-12s %-12s %-12s\n", "R", "eps", "bloomRF",
+              "Rosetta(F)", "LowerBound");
+  for (double r : {16.0, 32.0, 64.0}) {
+    for (double eps : {0.005, 0.010, 0.020, 0.030}) {
+      std::printf("%-6.0f %-10.3f %-12.2f %-12.2f %-12.2f\n", r, eps,
+                  BloomRFBitsPerKey(r, eps, n, 64),
+                  RosettaBitsPerKey(r, eps),
+                  RangeLowerBoundBitsPerKey(r, eps, n, 64));
+    }
+  }
+  std::printf("\nShape check (paper): Rosetta sits a near-constant factor "
+              "above the lower bound;\nbloomRF improves over Rosetta and "
+              "approaches the bound as R (hence delta) grows.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 10: space-budget sweep in the mini-LSM store. Small (8/16/32),
+// medium (1e4/1e5/1e6) and large (1e9/1e10/1e11) ranges at 10-22
+// bits/key, plus point-query FPR panels including a plain Bloom filter.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/lsm_bench_util.h"
+
+using namespace bloomrf;
+using namespace bloomrf::bench;
+
+int main(int argc, char** argv) {
+  Scale scale = ParseScale(argc, argv, 150'000, 4'000);
+  Header("Fig. 10", "LSM FPR/latency vs bits/key", scale);
+
+  Dataset data = MakeDataset(scale.keys, Distribution::kUniform, 0xf10);
+  std::vector<double> budgets = {10, 14, 18, 22};
+  std::vector<uint64_t> ranges = {8,          32,         100000,
+                                  1000000,    1000000000ULL,
+                                  100000000000ULL};
+
+  for (uint64_t range : ranges) {
+    std::printf("\n[range=%llu] FPR (seconds) per bits/key\n",
+                static_cast<unsigned long long>(range));
+    std::printf("%-8s %-22s %-22s %-22s\n", "bpk", "bloomRF", "Rosetta",
+                "SuRF");
+    QueryWorkload workload = MakeQueryWorkload(
+        data, scale.queries, range, Distribution::kUniform, 0xa7 + range);
+    for (double bpk : budgets) {
+      LsmRunResult ours = RunLsmWorkload(
+          data, NewBloomRFPolicy(bpk, static_cast<double>(range)), workload,
+          "/tmp/bench_fig10_brf");
+      LsmRunResult rosetta =
+          RunLsmWorkload(data, NewRosettaPolicy(bpk, range), workload,
+                         "/tmp/bench_fig10_ros");
+      // SuRF's size is structural; suffix bits emulate the budget knob.
+      uint32_t suffix_bits =
+          bpk <= 12 ? 0 : (bpk <= 16 ? 4 : 8);
+      LsmRunResult surf = RunLsmWorkload(
+          data, NewSurfPolicy(2, suffix_bits), workload,
+          "/tmp/bench_fig10_surf");
+      std::printf("%-8.0f %8.4f (%6.2fs)   %8.4f (%6.2fs)   %8.4f (%6.2fs)\n",
+                  bpk, ours.range_fpr, ours.range_seconds, rosetta.range_fpr,
+                  rosetta.range_seconds, surf.range_fpr, surf.range_seconds);
+    }
+  }
+
+  // Point-query FPR vs bits/key, incl. plain Bloom filter baseline.
+  std::printf("\n[point queries] FPR per bits/key (uniform workload)\n");
+  std::printf("%-8s %-12s %-12s %-12s %-12s\n", "bpk", "bloomRF", "Rosetta",
+              "SuRF", "Bloom");
+  QueryWorkload workload = MakeQueryWorkload(data, scale.queries, 1,
+                                             Distribution::kUniform, 0xb3);
+  for (double bpk : budgets) {
+    LsmRunResult ours = RunLsmWorkload(data, NewBloomRFPolicy(bpk, 1e6),
+                                       workload, "/tmp/bench_fig10_p1");
+    LsmRunResult rosetta = RunLsmWorkload(
+        data, NewRosettaPolicy(bpk, 1 << 10), workload, "/tmp/bench_fig10_p2");
+    LsmRunResult surf = RunLsmWorkload(
+        data, NewSurfPolicy(1, bpk <= 12 ? 4 : 8), workload,
+        "/tmp/bench_fig10_p3");
+    LsmRunResult bloom = RunLsmWorkload(data, NewBloomPolicy(bpk), workload,
+                                        "/tmp/bench_fig10_p4");
+    std::printf("%-8.0f %-12.6f %-12.6f %-12.6f %-12.6f\n", bpk,
+                ours.point_fpr, rosetta.point_fpr, surf.point_fpr,
+                bloom.point_fpr);
+  }
+  std::printf("\nShape check (paper): bloomRF dominates across budgets; "
+              "competitive with\nRosetta only losing at tiny ranges with "
+              ">=18 bpk; SuRF wins only at |R|~1e11;\nbloomRF point FPR "
+              "beats the plain BF (error-correction), Rosetta's bottom\n"
+              "filter is the point-query winner.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 11: holistic standalone comparison. For each combination of
+// data distribution x workload distribution x number of keys x space
+// budget x query range, reports each filter's empty-range FPR and the
+// winner — the color/symbol grid of the paper rendered as rows.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/standalone_bench_util.h"
+
+using namespace bloomrf;
+using namespace bloomrf::bench;
+
+int main(int argc, char** argv) {
+  Scale scale = ParseScale(argc, argv, 100'000, 4'000);
+  Header("Fig. 11", "standalone grid: best filter per setting", scale);
+
+  std::vector<uint64_t> key_counts = {10'000, scale.keys};
+  std::vector<double> budgets = {10, 14, 18, 22};
+  std::vector<uint64_t> ranges = {32, 10'000, 100'000'000ULL,
+                                  10'000'000'000ULL};
+
+  std::printf("%-9s %-9s %-9s %-5s %-13s %-10s %-10s %-10s  %s\n", "data",
+              "workload", "keys", "bpk", "range", "bloomRF", "Rosetta",
+              "SuRF", "winner");
+  for (Distribution data_dist :
+       {Distribution::kUniform, Distribution::kNormal,
+        Distribution::kZipfian}) {
+    for (Distribution query_dist :
+         {Distribution::kUniform, Distribution::kNormal,
+          Distribution::kZipfian}) {
+      // The paper varies both; keep the full cross at reduced sizes.
+      for (uint64_t n : key_counts) {
+        Dataset data = MakeDataset(n, data_dist, 0x11d + n);
+        for (double bpk : budgets) {
+          for (uint64_t range : ranges) {
+            StandaloneContenders c = BuildContenders(data, bpk, range);
+            QueryWorkload workload = MakeQueryWorkload(
+                data, scale.queries, range, query_dist, 0x9e + range);
+            auto ours = MeasureRangeFpr(
+                workload,
+                [&](uint64_t lo, uint64_t hi) {
+                  return c.bloomrf->MayContainRange(lo, hi);
+                },
+                c.bloomrf->MemoryBits(), n);
+            auto rosetta = MeasureRangeFpr(
+                workload,
+                [&](uint64_t lo, uint64_t hi) {
+                  return c.rosetta->MayContainRange(lo, hi);
+                },
+                c.rosetta->MemoryBits(), n);
+            auto surf = MeasureRangeFpr(
+                workload,
+                [&](uint64_t lo, uint64_t hi) {
+                  return c.surf->MayContainRange(lo, hi);
+                },
+                c.surf->MemoryBits(), n);
+            // SuRF's size is structural; when it exceeds the row's
+            // budget it is ineligible (the paper likewise reports
+            // settings where no SuRF variant fits).
+            bool surf_fits = surf.bits_per_key <= bpk + 2.0;
+            const char* winner = "bloomRF";
+            double best = ours.fpr;
+            if (rosetta.fpr < best) {
+              best = rosetta.fpr;
+              winner = "Rosetta";
+            }
+            if (surf_fits && surf.fpr < best) winner = "SuRF";
+            std::printf(
+                "%-9s %-9s %-9llu %-5.0f %-13llu %-10.4f %-10.4f %-10.4f  "
+                "%s%s\n",
+                DistributionName(data_dist), DistributionName(query_dist),
+                static_cast<unsigned long long>(n), bpk,
+                static_cast<unsigned long long>(range), ours.fpr,
+                rosetta.fpr, surf.fpr, winner,
+                surf_fits ? "" : " (SuRF over budget)");
+          }
+        }
+      }
+    }
+  }
+  std::printf("\nShape check (paper Fig. 11 / Fig. 1): Rosetta wins very "
+              "small ranges at >=16bpk;\nSuRF wins very large ranges at "
+              ">=14bpk and many keys; bloomRF wins the broad middle\nand "
+              "stays robust across data/workload skew.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Figure 12 strings panel: bloomRF's 7-byte-prefix + tail-hash string
+// coding vs SuRF (real suffixes) on a hierarchical string dataset —
+// point and short-lexicographic-range FPR across space budgets.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/string_bloomrf.h"
+#include "filters/surf/surf.h"
+#include "util/random.h"
+#include "workload/synthetic_strings.h"
+
+using namespace bloomrf;
+using namespace bloomrf::bench;
+
+namespace {
+
+/// Diverse dataset: random 12-char identifiers — 7-byte prefixes are
+/// unique, the regime bloomRF's string coding is designed for.
+std::vector<std::string> DiverseKeys(uint64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::set<std::string> keys;
+  const char* alphabet = "abcdefghijklmnopqrstuvwxyz0123456789";
+  while (keys.size() < n) {
+    std::string k;
+    for (int i = 0; i < 12; ++i) k.push_back(alphabet[rng.Uniform(36)]);
+    keys.insert(k);
+  }
+  return {keys.begin(), keys.end()};
+}
+
+void RunDataset(const char* name, const std::vector<std::string>& keys,
+                uint64_t num_queries);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Scale scale = ParseScale(argc, argv, 100'000, 20'000);
+  Header("Fig. 12 (strings)", "string keys: bloomRF vs SuRF", scale);
+
+  StringDatasetOptions options;
+  options.num_keys = scale.keys;
+  RunDataset("diverse 12-char ids", DiverseKeys(scale.keys, 0xd1),
+             scale.queries);
+  RunDataset("hierarchical paths (deep shared prefixes)",
+             GenerateStringKeys(options), scale.queries);
+  std::printf("\nShape check (paper Fig. 12 strings): SuRF's trie is exact "
+              "on string structure\nand robust everywhere; bloomRF is "
+              "competitive when 7-byte prefixes are diverse\nand degrades "
+              "on deep shared prefixes (ranges inside one prefix collide) — "
+              "the\ntrade-off of its SuRF-Hash-style coding.\n");
+  return 0;
+}
+
+namespace {
+
+void RunDataset(const char* name, const std::vector<std::string>& keys,
+                uint64_t num_queries) {
+  std::set<std::string> keyset(keys.begin(), keys.end());
+  std::printf("\n[%s] %zu keys\n", name, keys.size());
+
+  // Miss queries: mutate existing keys' tails.
+  Rng rng(0x57);
+  std::vector<std::string> misses;
+  while (misses.size() < num_queries) {
+    std::string candidate = keys[rng.Uniform(keys.size())];
+    candidate[candidate.size() - 1 - rng.Uniform(5)] =
+        static_cast<char>('a' + rng.Uniform(26));
+    if (!keyset.count(candidate)) misses.push_back(candidate);
+  }
+
+  std::printf("%-6s %-22s %-22s %-14s\n", "bpk", "point FPR (bRF|SuRF)",
+              "range FPR (bRF|SuRF)", "SuRF bits/key");
+  for (double bpk : {10.0, 14.0, 18.0, 22.0}) {
+    StringBloomRF ours(BloomRFConfig::Basic(keys.size(), bpk));
+    for (const std::string& k : keys) ours.Insert(k);
+    Surf::Options sopt;
+    sopt.suffix_type = SurfSuffixType::kReal;
+    sopt.suffix_bits = bpk <= 12 ? 4 : 8;
+    Surf surf = Surf::BuildFromStrings(keys, sopt);
+
+    uint64_t our_fp = 0, surf_fp = 0;
+    for (const std::string& q : misses) {
+      if (ours.MayContain(q)) ++our_fp;
+      if (surf.MayContainString(q)) ++surf_fp;
+    }
+    // Short lexicographic ranges at random anchors: mutate a key in
+    // the *middle* so the anchor shares only a short prefix with the
+    // data, then span a few trailing characters.
+    uint64_t our_rfp = 0, surf_rfp = 0, empties = 0;
+    for (uint64_t i = 0; i < num_queries; ++i) {
+      std::string lo = keys[rng.Uniform(keys.size())];
+      size_t pos = lo.size() / 2 + rng.Uniform(lo.size() / 4);
+      lo[pos] = static_cast<char>('A' + rng.Uniform(26));  // uppercase: off-alphabet
+      std::string hi = lo + "zzzz";
+      auto it = keyset.lower_bound(lo);
+      if (it != keyset.end() && *it <= hi) continue;
+      ++empties;
+      if (ours.MayContainRange(lo, hi)) ++our_rfp;
+      if (surf.MayContainStringRange(lo, hi)) ++surf_rfp;
+    }
+    std::printf("%-6.0f %8.4f | %8.4f    %8.4f | %8.4f    %10.1f\n", bpk,
+                static_cast<double>(our_fp) / misses.size(),
+                static_cast<double>(surf_fp) / misses.size(),
+                empties ? static_cast<double>(our_rfp) / empties : 0.0,
+                empties ? static_cast<double>(surf_rfp) / empties : 0.0,
+                static_cast<double>(surf.MemoryBits()) /
+                    static_cast<double>(keys.size()));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,67 @@
+// Figure 12.A: online behaviour, single-threaded — overall throughput
+// of a mixed insert/lookup workload as the lookup percentage varies
+// (10..100%), for point- and range-queries. Keys are inserted unsorted
+// and unprepared (bloomRF is online; no build phase).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/bloomrf.h"
+#include "core/tuning_advisor.h"
+#include "util/timer.h"
+#include "workload/key_generator.h"
+
+using namespace bloomrf;
+using namespace bloomrf::bench;
+
+int main(int argc, char** argv) {
+  Scale scale = ParseScale(argc, argv, 500'000, 0);
+  Header("Fig. 12.A", "single-threaded insert/lookup mix", scale);
+
+  Dataset data = MakeDataset(scale.keys, Distribution::kUniform, 0x12a);
+  AdvisorParams params;
+  params.n = scale.keys;
+  params.total_bits = 18 * scale.keys;
+  params.max_range = 1e6;
+  BloomRFConfig cfg = AdviseConfig(params).config;
+
+  std::printf("%-12s %-22s %-22s\n", "lookups%", "point mix Mops/s",
+              "range mix Mops/s");
+  for (int lookup_pct = 10; lookup_pct <= 100; lookup_pct += 10) {
+    double mops[2];
+    for (int mode = 0; mode < 2; ++mode) {
+      BloomRF filter(cfg);
+      // Pre-populate half the dataset so lookups probe a loaded filter
+      // at every mix ratio; the timed phase streams the rest.
+      size_t next_insert = data.keys.size() / 2;
+      for (size_t i = 0; i < next_insert; ++i) filter.Insert(data.keys[i]);
+      Rng rng(0x5eed + lookup_pct);
+      uint64_t target_ops = data.keys.size() * 2;
+      Timer timer;
+      for (uint64_t op = 0; op < target_ops; ++op) {
+        bool do_lookup = rng.Uniform(100) < static_cast<uint64_t>(lookup_pct);
+        if (do_lookup || next_insert >= data.keys.size()) {
+          uint64_t y = rng.Next();
+          if (mode == 0) {
+            volatile bool r = filter.MayContain(y);
+            (void)r;
+          } else {
+            volatile bool r =
+                filter.MayContainRange(y, y + 1023 > y ? y + 1023 : y);
+            (void)r;
+          }
+        } else {
+          filter.Insert(data.keys[next_insert++]);
+        }
+      }
+      mops[mode] = Mops(target_ops, timer.ElapsedSeconds());
+    }
+    std::printf("%-12d %-22.2f %-22.2f\n", lookup_pct, mops[0], mops[1]);
+  }
+  std::printf("\nShape check (paper): mixed throughput is flat across most "
+              "ratios — insertion\nimpact is acceptable (the paper's "
+              "conclusion). Our empty-probe early exit makes\nlookup-heavy "
+              "mixes *faster* (misses die at the top layer), where the "
+              "paper's\ncurves favour insert-heavy mixes.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 12.E1-E3: standalone point-query FPR across space budgets and
+// workload distributions, comparing bloomRF, Rosetta, SuRF-Hash, a
+// LevelDB-style Bloom filter, and a Cuckoo filter at ~95% occupancy
+// with budget-constrained fingerprint sizes.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/standalone_bench_util.h"
+#include "filters/bloom_filter.h"
+#include "filters/cuckoo_filter.h"
+
+using namespace bloomrf;
+using namespace bloomrf::bench;
+
+int main(int argc, char** argv) {
+  Scale scale = ParseScale(argc, argv, 2'000'000, 100'000);
+  Header("Fig. 12.E", "standalone point FPR (2M keys)", scale);
+
+  for (Distribution dist : {Distribution::kUniform, Distribution::kNormal,
+                            Distribution::kZipfian}) {
+    Dataset data = MakeDataset(scale.keys, Distribution::kUniform, 0x12e);
+    QueryWorkload workload =
+        MakeQueryWorkload(data, scale.queries, 1, dist, 0xe1 + (int)dist);
+    std::printf("\n[workload=%s]\n%-6s %-12s %-12s %-12s %-12s %-12s\n",
+                DistributionName(dist), "bpk", "bloomRF", "Rosetta", "SuRF",
+                "Bloom", "Cuckoo");
+    for (double bpk : {10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 22.0}) {
+      StandaloneContenders c = BuildContenders(data, bpk, 1 << 10);
+      BloomFilter bloom(data.keys.size(), bpk);
+      // Cuckoo: fingerprint sized to the budget at 95% occupancy:
+      // bits/key ~= f / (0.95 * load in table) -> f ~= bpk * 0.95.
+      uint32_t fp_bits = static_cast<uint32_t>(bpk * 0.95);
+      if (fp_bits > 16) fp_bits = 16;
+      CuckooFilter cuckoo(data.keys.size(), fp_bits, 0.95);
+      for (uint64_t k : data.keys) {
+        bloom.Insert(k);
+        cuckoo.Insert(k);
+      }
+      auto point_fpr = [&](auto&& fn) {
+        uint64_t fp = 0, misses = 0;
+        for (uint64_t y : workload.point_queries) {
+          if (data.Contains(y)) continue;
+          ++misses;
+          if (fn(y)) ++fp;
+        }
+        return misses ? static_cast<double>(fp) / misses : 0.0;
+      };
+      std::printf("%-6.0f %-12.6f %-12.6f %-12.6f %-12.6f %-12.6f\n", bpk,
+                  point_fpr([&](uint64_t y) { return c.bloomrf->MayContain(y); }),
+                  point_fpr([&](uint64_t y) { return c.rosetta->MayContain(y); }),
+                  point_fpr([&](uint64_t y) { return c.surf->MayContain(y); }),
+                  point_fpr([&](uint64_t y) { return bloom.MayContain(y); }),
+                  point_fpr([&](uint64_t y) { return cuckoo.MayContain(y); }));
+    }
+  }
+  std::printf("\nShape check (paper): Cuckoo/Bloom/Rosetta lead pure point "
+              "FPR; bloomRF stays\nwithin a small factor (pays for range "
+              "support); SuRF-Hash trails at low budgets.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 12.F: dual-attribute filtering on the synthetic SDSS dataset
+// (stand-in for DR16, see DESIGN.md). Compares one multi-attribute
+// bloomRF(Run, ObjectID) probed with `Run < 300 AND ObjectID = c`
+// against two separate bloomRF filters combined conjunctively.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/bloomrf.h"
+#include "core/multi_attribute.h"
+#include "util/random.h"
+#include "util/timer.h"
+#include "workload/synthetic_sdss.h"
+
+using namespace bloomrf;
+using namespace bloomrf::bench;
+
+int main(int argc, char** argv) {
+  Scale scale = ParseScale(argc, argv, 300'000, 20'000);
+  Header("Fig. 12.F", "multi-attribute vs two separate filters (SDSS)",
+         scale);
+
+  SdssOptions sopt;
+  sopt.num_rows = scale.keys;
+  std::vector<SdssRow> rows = GenerateSdssRows(sopt);
+  // Attribute domains: Run is small-integer, ObjectID is wide. Shift
+  // Run into the high bits so 32-bit reduction keeps its precision.
+  auto run_key = [](uint64_t run) { return run << 40; };
+
+  std::vector<uint64_t> ids;
+  for (const auto& row : rows) ids.push_back(row.object_id);
+  std::sort(ids.begin(), ids.end());
+
+  std::printf("%-6s %-22s %-22s %-14s %-14s\n", "bpk", "multiattr FPR",
+              "two-filters FPR", "multi Mops/s", "two Mops/s");
+  for (double bpk : {10.0, 14.0, 18.0, 22.0}) {
+    MultiAttributeBloomRF multi(
+        BloomRFConfig::Basic(rows.size() * 2, bpk));
+    BloomRF run_filter(BloomRFConfig::Basic(rows.size(), bpk / 2));
+    BloomRF id_filter(BloomRFConfig::Basic(rows.size(), bpk / 2));
+    for (const auto& row : rows) {
+      multi.Insert(run_key(row.run), row.object_id);
+      run_filter.Insert(run_key(row.run));
+      id_filter.Insert(row.object_id);
+    }
+
+    // The paper's scenario: probe Run<300 AND ObjectID=c for *existing*
+    // ObjectIDs whose row has Run >= 300. Each attribute predicate is
+    // individually satisfiable (the separate ID filter truthfully
+    // fires, and rows with Run<300 exist), but the conjunction is
+    // empty — only the joint filter can see that.
+    std::vector<uint64_t> candidates;
+    for (const auto& row : rows) {
+      if (row.run >= 300) candidates.push_back(row.object_id);
+      if (candidates.size() >= scale.queries) break;
+    }
+    uint64_t fp_multi = 0, fp_two = 0;
+    Timer multi_timer;
+    for (uint64_t candidate : candidates) {
+      if (multi.MayMatchRangePoint(run_key(0), run_key(299), candidate)) {
+        ++fp_multi;
+      }
+    }
+    double multi_seconds = multi_timer.ElapsedSeconds();
+    Timer two_timer;
+    for (uint64_t candidate : candidates) {
+      bool run_side = run_filter.MayContainRange(
+          run_key(0), run_key(299) | ((uint64_t{1} << 40) - 1));
+      bool id_side = id_filter.MayContain(candidate);
+      if (run_side && id_side) ++fp_two;
+    }
+    double two_seconds = two_timer.ElapsedSeconds();
+    uint64_t queries = candidates.size();
+    uint64_t q2 = queries;
+    std::printf("%-6.0f %-22.4f %-22.4f %-14.2f %-14.2f\n", bpk,
+                static_cast<double>(fp_multi) / queries,
+                static_cast<double>(fp_two) / queries,
+                Mops(queries, multi_seconds), Mops(q2, two_seconds));
+  }
+  std::printf("\nShape check (paper): the multi-attribute filter yields "
+              "better FPR than the\nconjunction of two separate filters — "
+              "despite its reduced 32-bit precision —\nbecause its FPR "
+              "depends on the joint selectivity, not the product.\n");
+  return 0;
+}

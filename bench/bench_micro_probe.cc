@@ -1,0 +1,170 @@
+// Micro-benchmarks (google-benchmark): single-operation cost of
+// insert, point probe and range probe for bloomRF and the baselines —
+// the per-probe CPU numbers underlying Fig. 12.G's breakdown.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/bloomrf.h"
+#include "core/tuning_advisor.h"
+#include "filters/bloom_filter.h"
+#include "filters/rosetta.h"
+#include "filters/surf/surf.h"
+#include "workload/key_generator.h"
+
+namespace bloomrf {
+namespace {
+
+constexpr uint64_t kKeys = 1'000'000;
+constexpr double kBpk = 18.0;
+
+const Dataset& SharedDataset() {
+  static Dataset data = MakeDataset(kKeys, Distribution::kUniform, 0x3c0);
+  return data;
+}
+
+void BM_BloomRF_Insert(benchmark::State& state) {
+  const Dataset& data = SharedDataset();
+  BloomRF filter(BloomRFConfig::Basic(kKeys, kBpk));
+  size_t i = 0;
+  for (auto _ : state) {
+    filter.Insert(data.keys[i++ % data.keys.size()]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomRF_Insert);
+
+void BM_Bloom_Insert(benchmark::State& state) {
+  const Dataset& data = SharedDataset();
+  BloomFilter filter(kKeys, kBpk);
+  size_t i = 0;
+  for (auto _ : state) {
+    filter.Insert(data.keys[i++ % data.keys.size()]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Bloom_Insert);
+
+void BM_Rosetta_Insert(benchmark::State& state) {
+  const Dataset& data = SharedDataset();
+  Rosetta::Options options;
+  options.expected_keys = kKeys;
+  options.bits_per_key = kBpk;
+  options.max_range = 1 << 10;
+  Rosetta filter(options);
+  size_t i = 0;
+  for (auto _ : state) {
+    filter.Insert(data.keys[i++ % data.keys.size()]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Rosetta_Insert);
+
+template <typename Filter>
+std::unique_ptr<Filter> BuildLoaded();
+
+template <>
+std::unique_ptr<BloomRF> BuildLoaded() {
+  AdvisorParams params;
+  params.n = kKeys;
+  params.total_bits = static_cast<uint64_t>(kBpk * kKeys);
+  params.max_range = 1e6;
+  auto filter = std::make_unique<BloomRF>(AdviseConfig(params).config);
+  for (uint64_t k : SharedDataset().keys) filter->Insert(k);
+  return filter;
+}
+
+void BM_BloomRF_PointProbe(benchmark::State& state) {
+  static auto filter = BuildLoaded<BloomRF>();
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter->MayContain(rng.Next()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomRF_PointProbe);
+
+void BM_BloomRF_RangeProbe(benchmark::State& state) {
+  static auto filter = BuildLoaded<BloomRF>();
+  Rng rng(2);
+  uint64_t range = uint64_t{1} << static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    uint64_t lo = rng.Next();
+    uint64_t hi = lo + range - 1 > lo ? lo + range - 1 : lo;
+    benchmark::DoNotOptimize(filter->MayContainRange(lo, hi));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomRF_RangeProbe)->Arg(4)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_Rosetta_RangeProbe(benchmark::State& state) {
+  static auto filter = [] {
+    Rosetta::Options options;
+    options.expected_keys = kKeys;
+    options.bits_per_key = kBpk;
+    options.max_range = 1 << 14;
+    auto f = std::make_unique<Rosetta>(options);
+    for (uint64_t k : SharedDataset().keys) f->Insert(k);
+    return f;
+  }();
+  Rng rng(3);
+  uint64_t range = uint64_t{1} << static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    uint64_t lo = rng.Next();
+    uint64_t hi = lo + range - 1 > lo ? lo + range - 1 : lo;
+    benchmark::DoNotOptimize(filter->MayContainRange(lo, hi));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Rosetta_RangeProbe)->Arg(4)->Arg(10)->Arg(14);
+
+void BM_Surf_PointProbe(benchmark::State& state) {
+  static auto filter = [] {
+    Surf::Options options;
+    options.suffix_type = SurfSuffixType::kHash;
+    options.suffix_bits = 8;
+    return std::make_unique<Surf>(
+        Surf::BuildFromU64(SharedDataset().sorted_keys, options));
+  }();
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter->MayContain(rng.Next()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Surf_PointProbe);
+
+void BM_Surf_RangeProbe(benchmark::State& state) {
+  static auto filter = [] {
+    Surf::Options options;
+    options.suffix_type = SurfSuffixType::kReal;
+    options.suffix_bits = 8;
+    return std::make_unique<Surf>(
+        Surf::BuildFromU64(SharedDataset().sorted_keys, options));
+  }();
+  Rng rng(5);
+  uint64_t range = uint64_t{1} << static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    uint64_t lo = rng.Next();
+    uint64_t hi = lo + range - 1 > lo ? lo + range - 1 : lo;
+    benchmark::DoNotOptimize(filter->MayContainRange(lo, hi));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Surf_RangeProbe)->Arg(10)->Arg(30);
+
+void BM_Hash_Mix64(benchmark::State& state) {
+  uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (auto _ : state) {
+    x = Mix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Hash_Mix64);
+
+}  // namespace
+}  // namespace bloomrf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Shared driver for standalone (no LSM) filter comparisons: builds
+// bloomRF (advisor-tuned), Rosetta and SuRF-Real over one dataset and
+// measures empty-query FPR and probe throughput.
+
+#ifndef BLOOMRF_BENCH_STANDALONE_BENCH_UTIL_H_
+#define BLOOMRF_BENCH_STANDALONE_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bloomrf.h"
+#include "core/tuning_advisor.h"
+#include "filters/rosetta.h"
+#include "filters/surf/surf.h"
+#include "util/timer.h"
+#include "workload/key_generator.h"
+#include "workload/query_generator.h"
+
+namespace bloomrf::bench {
+
+struct StandaloneResult {
+  double fpr = 0;
+  double seconds = 0;
+  double bits_per_key = 0;
+};
+
+template <typename ProbeFn>
+StandaloneResult MeasureRangeFpr(const QueryWorkload& workload,
+                                 ProbeFn&& probe, uint64_t memory_bits,
+                                 uint64_t n) {
+  StandaloneResult result;
+  uint64_t fp = 0, empties = 0;
+  Timer timer;
+  for (const RangeQuery& q : workload.range_queries) {
+    bool answer = probe(q.lo, q.hi);
+    if (q.empty) {
+      ++empties;
+      if (answer) ++fp;
+    }
+  }
+  result.seconds = timer.ElapsedSeconds();
+  result.fpr = empties ? static_cast<double>(fp) / empties : 0.0;
+  result.bits_per_key =
+      static_cast<double>(memory_bits) / static_cast<double>(n);
+  return result;
+}
+
+struct StandaloneContenders {
+  std::unique_ptr<BloomRF> bloomrf;
+  std::unique_ptr<Rosetta> rosetta;
+  std::unique_ptr<Surf> surf;
+};
+
+inline StandaloneContenders BuildContenders(const Dataset& data,
+                                            double bits_per_key,
+                                            uint64_t max_range) {
+  StandaloneContenders c;
+  AdvisorParams params;
+  params.n = data.keys.size();
+  params.total_bits = static_cast<uint64_t>(
+      bits_per_key * static_cast<double>(data.keys.size()));
+  params.max_range = static_cast<double>(max_range);
+  c.bloomrf = std::make_unique<BloomRF>(AdviseConfig(params).config);
+  Rosetta::Options ropt;
+  ropt.expected_keys = data.keys.size();
+  ropt.bits_per_key = bits_per_key;
+  ropt.max_range = max_range;
+  c.rosetta = std::make_unique<Rosetta>(ropt);
+  for (uint64_t k : data.keys) {
+    c.bloomrf->Insert(k);
+    c.rosetta->Insert(k);
+  }
+  Surf::Options sopt;
+  sopt.suffix_type = SurfSuffixType::kReal;
+  sopt.suffix_bits = bits_per_key <= 12 ? 4 : 8;
+  c.surf = std::make_unique<Surf>(
+      Surf::BuildFromU64(data.sorted_keys, sopt));
+  return c;
+}
+
+}  // namespace bloomrf::bench
+
+#endif  // BLOOMRF_BENCH_STANDALONE_BENCH_UTIL_H_

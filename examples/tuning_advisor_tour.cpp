@@ -1,0 +1,56 @@
+// Tuning-advisor tour (paper Sect. 7): shows how the advisor's choice
+// of delta ladder, exact level, replica counts and segment split
+// shifts with the memory budget and the target query-range size, and
+// reports the analytic FPR forecast for each configuration — the
+// paper's "Figure C" advisor example as a walk-through.
+//
+//   $ ./examples/tuning_advisor_tour
+
+#include <cstdio>
+
+#include "core/fpr_model.h"
+#include "core/tuning_advisor.h"
+
+using namespace bloomrf;
+
+int main() {
+  const uint64_t n = 50'000'000;  // the paper's 50M-key running example
+
+  std::printf("advisor configurations for n = 50M keys, d = 64\n\n");
+  std::printf("%-6s %-10s %-60s %10s %10s\n", "bpk", "max range", "config",
+              "rangeFPR", "pointFPR");
+  for (double bpk : {10.0, 14.0, 16.0, 22.0}) {
+    for (double range : {64.0, 1e6, 1e10}) {
+      AdvisorParams params;
+      params.n = n;
+      params.total_bits = static_cast<uint64_t>(bpk * n);
+      params.max_range = range;
+      AdvisorResult result = AdviseConfig(params);
+      std::printf("%-6.0f %-10.0e %-60s %10.4f %10.4f\n", bpk, range,
+                  result.config.DebugString().c_str(),
+                  result.expected_range_fpr, result.expected_point_fpr);
+    }
+  }
+
+  // The paper's Sect. 7 worked example: 14 bits/key -> exact level 36,
+  // delta ladder (7,7,7,7,4,2,2)-ish, replicated top hash.
+  std::printf("\npaper's worked example (n=50M, 14 bits/key, R=1e10):\n");
+  AdvisorParams params;
+  params.n = n;
+  params.total_bits = 14 * n;
+  params.max_range = 1e10;
+  AdvisorResult result = AdviseConfig(params);
+  std::printf("  %s\n", result.config.DebugString().c_str());
+  std::printf("  exact level %u (paper: ~36), layers %zu\n",
+              result.config.TopLevel(), result.config.num_layers());
+
+  // Per-level FPR forecast of the chosen configuration.
+  FprModelResult model = EvaluateFprModel(result.config, n);
+  std::printf("\nper-level FPR forecast (levels 0..%u):\n  ",
+              result.config.TopLevel());
+  for (uint32_t l = 0; l <= result.config.TopLevel(); l += 4) {
+    std::printf("l%u=%.3f ", l, model.fpr_per_level[l]);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,330 @@
+#include "core/bloomrf.h"
+
+#include <cassert>
+
+#include "util/coding.h"
+#include "util/hash.h"
+
+namespace bloomrf {
+
+BloomRF::BloomRF(BloomRFConfig config) : config_(std::move(config)) {
+  std::string problem = config_.Validate();
+  assert(problem.empty() && "invalid BloomRFConfig");
+  if (!problem.empty()) {
+    config_ = BloomRFConfig::Basic(1024, 10.0);
+  }
+  // Round segments up so every layer's word size divides the segment.
+  for (uint64_t& m : config_.segment_bits) m = (m + 63) & ~63ULL;
+
+  top_level_ = config_.TopLevel();
+  uint64_t seed_state = config_.seed;
+  perm_seed_ = SplitMix64(seed_state);
+
+  segments_.resize(config_.segment_bits.size());
+  for (size_t j = 0; j < segments_.size(); ++j) {
+    segments_[j].Reset(config_.segment_bits[j]);
+  }
+  if (config_.has_exact_layer) {
+    exact_.Reset(config_.ExactBits());
+  }
+
+  layers_.resize(config_.num_layers());
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    Layer& layer = layers_[i];
+    layer.level = config_.LevelOfLayer(i);
+    layer.offset_bits = config_.delta[i] - 1;
+    layer.word_bits = 1u << layer.offset_bits;
+    layer.replicas = config_.replicas[i];
+    layer.segment = config_.segment_of[i];
+    layer.num_slots = config_.segment_bits[layer.segment] / layer.word_bits;
+    layer.seed_base = SplitMix64(seed_state) + (uint64_t{i} << 32);
+  }
+}
+
+uint64_t BloomRF::SlotOf(const Layer& layer, uint64_t word_key,
+                         uint32_t replica) const {
+  return FastRange64(Hash64(word_key, layer.seed_base + replica),
+                     layer.num_slots);
+}
+
+bool BloomRF::WordReversed(const Layer& layer, uint64_t word_key) const {
+  if (!config_.permute_words || layer.word_bits == 1) return false;
+  return Hash64(word_key, perm_seed_) & 1;
+}
+
+uint64_t BloomRF::WordIndexForKey(uint64_t key, size_t layer_idx,
+                                  uint32_t replica) const {
+  const Layer& layer = layers_[layer_idx];
+  uint64_t word_key = Shr(key, layer.level + layer.offset_bits);
+  return SlotOf(layer, word_key, replica);
+}
+
+void BloomRF::Insert(uint64_t key) {
+  for (const Layer& layer : layers_) {
+    uint64_t prefix = Shr(key, layer.level);
+    uint64_t word_key = prefix >> layer.offset_bits;
+    uint64_t offset = prefix & (layer.word_bits - 1);
+    if (WordReversed(layer, word_key)) {
+      offset = layer.word_bits - 1 - offset;
+    }
+    uint64_t bit = uint64_t{1} << offset;
+    BitArray& seg = segments_[layer.segment];
+    for (uint32_t r = 0; r < layer.replicas; ++r) {
+      seg.OrWord(SlotOf(layer, word_key, r), layer.word_bits, bit);
+    }
+  }
+  if (config_.has_exact_layer) {
+    exact_.SetBit(Shr(key, top_level_));
+  }
+}
+
+uint64_t BloomRF::LoadWordAnd(const Layer& layer, uint64_t word_key) const {
+  const BitArray& seg = segments_[layer.segment];
+  uint64_t word = seg.LoadWord(SlotOf(layer, word_key, 0), layer.word_bits);
+  for (uint32_t r = 1; r < layer.replicas && word != 0; ++r) {
+    word &= seg.LoadWord(SlotOf(layer, word_key, r), layer.word_bits);
+  }
+  return word;
+}
+
+bool BloomRF::TestPrefix(const Layer& layer, uint64_t p,
+                         ProbeStats* stats) const {
+  if (stats) ++stats->bit_probes;
+  uint64_t word_key = p >> layer.offset_bits;
+  uint64_t offset = p & (layer.word_bits - 1);
+  if (WordReversed(layer, word_key)) {
+    offset = layer.word_bits - 1 - offset;
+  }
+  return (LoadWordAnd(layer, word_key) >> offset) & 1ULL;
+}
+
+bool BloomRF::TestPrefixRange(const Layer& layer, uint64_t x, uint64_t y,
+                              uint64_t max_words, ProbeStats* stats) const {
+  if (x > y) return false;
+  uint64_t first_word = x >> layer.offset_bits;
+  uint64_t last_word = y >> layer.offset_bits;
+  if (last_word - first_word + 1 > max_words) return true;  // conservative
+  for (uint64_t wk = first_word; wk <= last_word; ++wk) {
+    uint64_t base = wk << layer.offset_bits;
+    uint64_t lo_off = (wk == first_word) ? (x - base) : 0;
+    uint64_t hi_off = (wk == last_word) ? (y - base) : (layer.word_bits - 1);
+    if (WordReversed(layer, wk)) {
+      uint64_t new_lo = layer.word_bits - 1 - hi_off;
+      hi_off = layer.word_bits - 1 - lo_off;
+      lo_off = new_lo;
+    }
+    uint64_t width = hi_off - lo_off + 1;
+    uint64_t mask = (width >= 64 ? ~0ULL : ((uint64_t{1} << width) - 1))
+                    << lo_off;
+    if (stats) ++stats->word_probes;
+    if (LoadWordAnd(layer, wk) & mask) return true;
+  }
+  return false;
+}
+
+bool BloomRF::MayContain(uint64_t key, ProbeStats* stats) const {
+  if (config_.has_exact_layer && !exact_.TestBit(Shr(key, top_level_))) {
+    if (stats) ++stats->bit_probes;
+    return false;
+  }
+  for (size_t i = layers_.size(); i-- > 0;) {
+    if (!TestPrefix(layers_[i], Shr(key, layers_[i].level), stats)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BloomRF::ExactRangeProbe(uint64_t lp, uint64_t rp,
+                              ProbeStats* stats) const {
+  if (lp > rp) return false;
+  if (rp - lp + 1 > config_.max_exact_scan_bits) return true;  // conservative
+  if (stats) stats->word_probes += (rp - lp) / 64 + 1;
+  return exact_.AnyInRange(lp, rp);
+}
+
+bool BloomRF::MayContainRange(uint64_t lo, uint64_t hi,
+                              ProbeStats* stats) const {
+  if (lo > hi) return false;
+  if (lo == hi) return MayContain(lo, stats);
+
+  // --- Top boundary: exact layer if present, otherwise levels at or
+  // above TopLevel() are treated as saturated coverings.
+  bool split = false;
+  bool left_alive = true;
+  bool right_alive = true;
+  if (config_.has_exact_layer) {
+    uint64_t lp = Shr(lo, top_level_);
+    uint64_t rp = Shr(hi, top_level_);
+    if (lp == rp) {
+      if (!exact_.TestBit(lp)) return false;
+      if (stats) ++stats->bit_probes;
+    } else {
+      // Middle DIs at the exact level lie fully inside [lo, hi].
+      if (rp - lp >= 2 && ExactRangeProbe(lp + 1, rp - 1, stats)) return true;
+      if (stats) stats->bit_probes += 2;
+      left_alive = exact_.TestBit(lp);
+      right_alive = exact_.TestBit(rp);
+      if (!left_alive && !right_alive) return false;
+      split = true;
+    }
+  }
+
+  // --- Descend hash layers top to bottom (Algorithm 1).
+  for (size_t idx = layers_.size(); idx-- > 0;) {
+    const Layer& layer = layers_[idx];
+    uint32_t level = layer.level;
+    uint32_t parent_level =
+        (idx + 1 < layers_.size()) ? layers_[idx + 1].level : top_level_;
+    uint64_t lp = Shr(lo, level);
+    uint64_t rp = Shr(hi, level);
+
+    if (!split) {
+      uint64_t parent_lp = Shr(lo, parent_level);
+      uint64_t parent_rp = Shr(hi, parent_level);
+      if (lp == rp) {
+        // Phase 1: single covering (Fig. 7). A zero bit proves the
+        // whole interval empty — early stop.
+        if (!TestPrefix(layer, lp, stats)) return false;
+        continue;
+      }
+      // The covering path splits within this layer's span. Middle
+      // prefixes [lp+1, rp-1] are decomposition DIs: any set bit is a
+      // positive. When the parents already differ (possible only at
+      // the topmost stored layer), the scan is capped.
+      uint64_t max_words =
+          (parent_lp == parent_rp) ? 2 : config_.max_top_layer_words;
+      if (rp - lp >= 2 &&
+          TestPrefixRange(layer, lp + 1, rp - 1, max_words, stats)) {
+        return true;
+      }
+      left_alive = TestPrefix(layer, lp, stats);
+      right_alive = TestPrefix(layer, rp, stats);
+      if (level == 0) return left_alive || right_alive;
+      if (!left_alive && !right_alive) return false;
+      split = true;
+      continue;
+    }
+
+    // Phase 2: two independent key paths. Decomposition DIs of the
+    // left path are the prefixes from lp(+1) to the end of the
+    // left-parent covering; mirror-inverted for the right path. Each
+    // range lies within one parent, hence spans at most two words.
+    uint32_t span = parent_level - level;  // == delta of the layer above
+    if (left_alive) {
+      uint64_t parent = Shr(lo, parent_level);
+      uint64_t end = (parent << span) | ((uint64_t{1} << span) - 1);
+      uint64_t start = (level == 0) ? lp : lp + 1;
+      if (start <= end && TestPrefixRange(layer, start, end, 4, stats)) {
+        return true;
+      }
+      if (level != 0) left_alive = TestPrefix(layer, lp, stats);
+    }
+    if (right_alive) {
+      uint64_t parent = Shr(hi, parent_level);
+      uint64_t start = parent << span;
+      uint64_t end = (level == 0) ? rp : rp - 1;
+      if (start <= end && end >= start &&
+          TestPrefixRange(layer, start, end, 4, stats)) {
+        return true;
+      }
+      if (level != 0) right_alive = TestPrefix(layer, rp, stats);
+    }
+    if (level == 0) return false;
+    if (!left_alive && !right_alive) return false;
+  }
+  // The bottom layer always has level 0, so control cannot reach here;
+  // stay conservative if it ever does.
+  return true;
+}
+
+uint64_t BloomRF::MemoryBits() const {
+  uint64_t total = config_.has_exact_layer ? exact_.size_bits() : 0;
+  for (const BitArray& seg : segments_) total += seg.size_bits();
+  return total;
+}
+
+std::vector<double> BloomRF::ZeroBitFractions() const {
+  std::vector<double> fractions;
+  for (const BitArray& seg : segments_) {
+    fractions.push_back(
+        1.0 - static_cast<double>(seg.CountOnes()) /
+                  static_cast<double>(seg.size_bits()));
+  }
+  if (config_.has_exact_layer) {
+    fractions.push_back(1.0 -
+                        static_cast<double>(exact_.CountOnes()) /
+                            static_cast<double>(exact_.size_bits()));
+  }
+  return fractions;
+}
+
+std::string BloomRF::Serialize() const {
+  std::string out;
+  PutFixed32(&out, 0xb100f001);  // format tag
+  PutFixed32(&out, config_.domain_bits);
+  PutFixed32(&out, static_cast<uint32_t>(config_.num_layers()));
+  for (size_t i = 0; i < config_.num_layers(); ++i) {
+    out.push_back(static_cast<char>(config_.delta[i]));
+    out.push_back(static_cast<char>(config_.replicas[i]));
+    out.push_back(static_cast<char>(config_.segment_of[i]));
+  }
+  PutFixed32(&out, static_cast<uint32_t>(config_.segment_bits.size()));
+  for (uint64_t m : config_.segment_bits) PutFixed64(&out, m);
+  out.push_back(config_.has_exact_layer ? 1 : 0);
+  out.push_back(config_.permute_words ? 1 : 0);
+  PutFixed64(&out, config_.seed);
+  for (const BitArray& seg : segments_) seg.SerializeTo(&out);
+  if (config_.has_exact_layer) exact_.SerializeTo(&out);
+  return out;
+}
+
+std::optional<BloomRF> BloomRF::Deserialize(std::string_view data) {
+  size_t pos = 0;
+  auto need = [&](size_t n) { return pos + n <= data.size(); };
+  if (!need(12)) return std::nullopt;
+  if (DecodeFixed32(data.data()) != 0xb100f001) return std::nullopt;
+  BloomRFConfig cfg;
+  cfg.domain_bits = DecodeFixed32(data.data() + 4);
+  uint32_t k = DecodeFixed32(data.data() + 8);
+  pos = 12;
+  if (k == 0 || k > 64 || !need(3 * k)) return std::nullopt;
+  for (uint32_t i = 0; i < k; ++i) {
+    cfg.delta.push_back(static_cast<uint8_t>(data[pos++]));
+    cfg.replicas.push_back(static_cast<uint8_t>(data[pos++]));
+    cfg.segment_of.push_back(static_cast<uint8_t>(data[pos++]));
+  }
+  if (!need(4)) return std::nullopt;
+  uint32_t nseg = DecodeFixed32(data.data() + pos);
+  pos += 4;
+  if (nseg == 0 || nseg > 16 || !need(8 * nseg)) return std::nullopt;
+  for (uint32_t j = 0; j < nseg; ++j) {
+    cfg.segment_bits.push_back(DecodeFixed64(data.data() + pos));
+    pos += 8;
+  }
+  if (!need(10)) return std::nullopt;
+  cfg.has_exact_layer = data[pos++] != 0;
+  cfg.permute_words = data[pos++] != 0;
+  cfg.seed = DecodeFixed64(data.data() + pos);
+  pos += 8;
+  if (!cfg.Validate().empty()) return std::nullopt;
+
+  BloomRF filter(cfg);
+  for (size_t j = 0; j < filter.segments_.size(); ++j) {
+    uint64_t bytes = filter.segments_[j].size_bytes();
+    if (!need(bytes)) return std::nullopt;
+    filter.segments_[j].DeserializeFrom(filter.segments_[j].size_bits(),
+                                        data.substr(pos, bytes));
+    pos += bytes;
+  }
+  if (cfg.has_exact_layer) {
+    uint64_t bytes = filter.exact_.size_bytes();
+    if (!need(bytes)) return std::nullopt;
+    filter.exact_.DeserializeFrom(filter.exact_.size_bits(),
+                                  data.substr(pos, bytes));
+    pos += bytes;
+  }
+  return filter;
+}
+
+}  // namespace bloomrf

@@ -1,0 +1,160 @@
+#include "core/fpr_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bloomrf {
+
+namespace {
+
+double Pow2(uint32_t e) { return std::ldexp(1.0, static_cast<int>(e)); }
+
+}  // namespace
+
+double BasicPointFpr(uint64_t n, uint64_t m, uint32_t k) {
+  double load = 1.0 - std::exp(-static_cast<double>(k) *
+                               static_cast<double>(n) /
+                               static_cast<double>(m));
+  return std::pow(load, k);
+}
+
+double BasicRangeFprBound(uint64_t n, uint64_t m, uint32_t k, uint32_t delta,
+                          double range_size) {
+  double load = 1.0 - std::exp(-static_cast<double>(k) *
+                               static_cast<double>(n) /
+                               static_cast<double>(m));
+  double exponent =
+      static_cast<double>(k) - std::log2(std::max(1.0, range_size)) / delta;
+  if (exponent <= 0) return 1.0;
+  return std::min(1.0, 2.0 * std::pow(load, exponent));
+}
+
+double FprModelResult::MaxFprUpToRange(double range_size) const {
+  uint32_t top = static_cast<uint32_t>(std::floor(
+      std::log2(std::max(1.0, range_size))));
+  double worst = 0;
+  for (uint32_t l = 0; l <= top && l < fpr_per_level.size(); ++l) {
+    worst = std::max(worst, fpr_per_level[l]);
+  }
+  return worst;
+}
+
+FprModelResult EvaluateFprModel(const BloomRFConfig& cfg, uint64_t n,
+                                double C) {
+  const uint32_t d = cfg.domain_bits;
+  const size_t k = cfg.num_layers();
+  FprModelResult result;
+  result.fpr_per_level.assign(d + 1, 1.0);
+
+  // Probability that a probed bit of segment j is zero:
+  // p_j = (1 - C/m_j)^(k'_j * n), k'_j = total hash functions writing
+  // into segment j.
+  std::vector<double> seg_zero_prob(cfg.segment_bits.size(), 1.0);
+  {
+    std::vector<double> hashes(cfg.segment_bits.size(), 0.0);
+    for (size_t i = 0; i < k; ++i) hashes[cfg.segment_of[i]] += cfg.replicas[i];
+    for (size_t j = 0; j < cfg.segment_bits.size(); ++j) {
+      double m = static_cast<double>(cfg.segment_bits[j]);
+      seg_zero_prob[j] =
+          std::exp(hashes[j] * static_cast<double>(n) * std::log1p(-C / m));
+    }
+  }
+
+  const uint32_t top_level = std::min(cfg.TopLevel(), d);
+
+  // True positives per level under a uniform key distribution.
+  auto tp = [&](uint32_t level) {
+    return std::min(static_cast<double>(n), Pow2(d - level));
+  };
+
+  // Levels above the stored boundary: saturated (everything potentially
+  // positive) unless the boundary level is stored exactly.
+  std::vector<double> fp(d + 1, 0.0), tn(d + 1, 0.0);
+  for (uint32_t l = d; l > top_level; --l) {
+    fp[l] = Pow2(d - l) - tp(l);
+    tn[l] = 0.0;
+    result.fpr_per_level[l] =
+        fp[l] + tn[l] > 0 ? fp[l] / (fp[l] + tn[l]) : 0.0;
+  }
+  if (cfg.has_exact_layer) {
+    fp[top_level] = 0.0;
+    tn[top_level] = Pow2(d - top_level) - tp(top_level);
+  } else {
+    fp[top_level] = Pow2(d - top_level) - tp(top_level);
+    tn[top_level] = 0.0;
+  }
+  result.fpr_per_level[top_level] =
+      fp[top_level] + tn[top_level] > 0
+          ? fp[top_level] / (fp[top_level] + tn[top_level])
+          : 0.0;
+
+  // Descend layer by layer. Levels in [l_i, l_{i+1}) are answered by
+  // layer i's word: a DI on level l is tested with 2^(l - l_i) bits.
+  for (size_t i = k; i-- > 0;) {
+    uint32_t low = cfg.LevelOfLayer(i);
+    uint32_t high = std::min(cfg.LevelOfLayer(i + 1), top_level);
+    if (low >= high && !(i + 1 == k)) continue;
+    double p = seg_zero_prob[cfg.segment_of[i]];
+    double r = cfg.replicas[i];
+    double one_bit_pos = std::pow(1.0 - p, r);  // all replicas set
+    for (uint32_t l = high; l-- > low;) {
+      uint32_t parent = high;
+      double fp_pot =
+          Pow2(parent - l) * (fp[parent] + tp(parent)) - tp(l);
+      fp_pot = std::max(0.0, fp_pot);
+      double bits = Pow2(l - low);
+      double p_probe = 1.0 - std::pow(1.0 - one_bit_pos, bits);
+      fp[l] = p_probe * fp_pot;
+      tn[l] = Pow2(parent - l) * tn[parent] + (1.0 - p_probe) * fp_pot;
+      double denom = fp[l] + tn[l];
+      result.fpr_per_level[l] = denom > 0 ? fp[l] / denom : 0.0;
+    }
+  }
+  result.point_fpr = result.fpr_per_level[0];
+  return result;
+}
+
+double RosettaBitsPerKey(double range_size, double eps) {
+  return std::log2(std::exp(1.0)) * std::log2(range_size / eps);
+}
+
+double RangeLowerBoundBitsPerKey(double range_size, double eps, uint64_t n,
+                                 uint32_t domain_bits) {
+  double best = 0.0;
+  double domain = std::ldexp(1.0, static_cast<int>(domain_bits));
+  for (double gamma = 1.0001; gamma < 64.0; gamma *= 1.05) {
+    double term1 =
+        std::log2(std::pow(range_size, 1.0 - gamma * eps) / eps);
+    double inner = 1.0 - 4.0 * static_cast<double>(n) * range_size / domain *
+                             (1.0 - 1.0 / gamma) * std::exp(1.0);
+    if (inner <= 0) continue;
+    double bound = term1 + std::log2(inner);
+    best = std::max(best, bound);
+  }
+  return best;
+}
+
+double PointLowerBoundBitsPerKey(double eps) { return std::log2(1.0 / eps); }
+
+double BloomRFBitsPerKey(double range_size, double eps, uint64_t n,
+                         uint32_t domain_bits, uint32_t delta) {
+  // Binary search on m/n: the bound (eq. 6) is monotone decreasing in m.
+  double lo = 1.0, hi = 128.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    double mid = (lo + hi) / 2;
+    uint64_t m = static_cast<uint64_t>(mid * static_cast<double>(n));
+    uint32_t log2n = static_cast<uint32_t>(std::log2(std::max<uint64_t>(2, n)));
+    uint32_t k = (domain_bits > log2n ? domain_bits - log2n : 1);
+    k = (k + delta - 1) / delta;
+    if (k < 1) k = 1;
+    double bound = BasicRangeFprBound(n, m, k, delta, range_size);
+    if (bound > eps) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace bloomrf

@@ -1,0 +1,67 @@
+// Analytic false-positive-rate models of bloomRF.
+//
+// - Basic closed-form bound (paper Sect. 5, eq. 6) for the tuning-free
+//   single-segment filter.
+// - Extended per-level recursion (paper Sect. 7 "Extended Model") for
+//   arbitrary configurations with segments, replicas and an exact
+//   layer. The recursion tracks, per dyadic level, the estimated
+//   number of true-positive, false-positive and true-negative DIs under
+//   a uniform key distribution, and derives fpr_l = fp_l/(fp_l+tn_l).
+// - The Rosetta first-cut space model and the Goswami/Carter
+//   theoretical lower bounds used in the Sect. 6 comparison (Fig. 8).
+
+#ifndef BLOOMRF_CORE_FPR_MODEL_H_
+#define BLOOMRF_CORE_FPR_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+
+namespace bloomrf {
+
+/// Closed-form range FPR bound of basic bloomRF (eq. 6):
+/// eps <= 2 (1 - e^{-kn/m})^{k - log2(R)/delta}.
+double BasicRangeFprBound(uint64_t n, uint64_t m, uint32_t k, uint32_t delta,
+                          double range_size);
+
+/// Point FPR of basic bloomRF: (1 - e^{-kn/m})^k.
+double BasicPointFpr(uint64_t n, uint64_t m, uint32_t k);
+
+struct FprModelResult {
+  /// fpr per dyadic level, index 0..domain_bits (level 0 = points).
+  std::vector<double> fpr_per_level;
+  double point_fpr = 1.0;
+
+  /// Max FPR over levels 0..floor(log2(R)) — the worst dyadic
+  /// constituent of a range of size R.
+  double MaxFprUpToRange(double range_size) const;
+};
+
+/// Evaluates the extended model for `cfg` holding `n` keys. `C` models
+/// the data-distribution scatter constant (Sect. 5/7; C = 1 for
+/// uniform/normal/zipfian per the paper's Fig. 5 experiments).
+FprModelResult EvaluateFprModel(const BloomRFConfig& cfg, uint64_t n,
+                                double C = 1.0);
+
+/// Rosetta first-cut solution space model (Sect. 6 / [29]): bits/key to
+/// reach range-FPR eps at max range R: m/n ~= log2(e) * log2(R/eps).
+double RosettaBitsPerKey(double range_size, double eps);
+
+/// Goswami et al. range-emptiness lower bound (Sect. 6 / [20]),
+/// maximized over the free parameter gamma > 1:
+/// m/n >= log2(R^{1-gamma*eps}/eps) + log2(1 - 4nR/2^d (1 - 1/gamma) e).
+double RangeLowerBoundBitsPerKey(double range_size, double eps, uint64_t n,
+                                 uint32_t domain_bits);
+
+/// Carter et al. point-query lower bound [7]: m/n >= log2(1/eps).
+double PointLowerBoundBitsPerKey(double eps);
+
+/// Bits/key basic bloomRF needs for range-FPR <= eps at max range R
+/// (inverts eq. 6 numerically).
+double BloomRFBitsPerKey(double range_size, double eps, uint64_t n,
+                         uint32_t domain_bits, uint32_t delta = 7);
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_CORE_FPR_MODEL_H_

@@ -1,0 +1,39 @@
+#include "core/key_codec.h"
+
+#include "util/hash.h"
+
+namespace bloomrf {
+
+namespace {
+
+uint64_t SevenBytePrefix(std::string_view s) {
+  uint64_t prefix = 0;
+  for (size_t i = 0; i < 7; ++i) {
+    uint8_t byte = i < s.size() ? static_cast<uint8_t>(s[i]) : 0;
+    prefix = (prefix << 8) | byte;
+  }
+  return prefix;
+}
+
+}  // namespace
+
+uint64_t OrderedFromString(std::string_view s) {
+  uint64_t prefix = SevenBytePrefix(s);
+  // Hash the *rest* of the string plus the length, as in SuRF-Hash:
+  // identical 7-byte prefixes with different tails get distinct codes
+  // with probability 255/256.
+  std::string_view rest = s.size() > 7 ? s.substr(7) : std::string_view{};
+  uint8_t tail = static_cast<uint8_t>(
+      HashBytes(rest.data(), rest.size(), /*seed=*/s.size() * 0x9e37ULL));
+  return (prefix << 8) | tail;
+}
+
+uint64_t StringRangeLow(std::string_view a) {
+  return SevenBytePrefix(a) << 8;
+}
+
+uint64_t StringRangeHigh(std::string_view b) {
+  return (SevenBytePrefix(b) << 8) | 0xff;
+}
+
+}  // namespace bloomrf

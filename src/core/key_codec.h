@@ -1,0 +1,69 @@
+// Order-preserving encodings of supported datatypes onto the uint64
+// filter domain (paper Sect. 8 "Datatype support").
+//
+// bloomRF operates on unsigned integers; every other type is mapped to
+// uint64 by a *monotone* coding phi, so that range queries on the
+// original type become range queries on phi-images:
+//   - signed 64-bit integers: offset-binary (flip the sign bit);
+//   - IEEE-754 doubles/floats: sign-magnitude flip (the paper's map
+//     phi: x + 2^(q+r) when the sign bit is clear, bitwise inverse
+//     otherwise);
+//   - variable-length strings: SuRF-Hash-style, first seven bytes in
+//     the most-significant positions plus a one-byte hash of the whole
+//     string (incl. length) in the least-significant byte — exact-ish
+//     point queries, 7-byte-prefix range queries.
+
+#ifndef BLOOMRF_CORE_KEY_CODEC_H_
+#define BLOOMRF_CORE_KEY_CODEC_H_
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace bloomrf {
+
+/// Signed 64-bit integer -> ordered uint64 (monotone, bijective).
+inline uint64_t OrderedFromInt64(int64_t v) {
+  return static_cast<uint64_t>(v) ^ (uint64_t{1} << 63);
+}
+
+inline int64_t Int64FromOrdered(uint64_t u) {
+  return static_cast<int64_t>(u ^ (uint64_t{1} << 63));
+}
+
+/// IEEE-754 double -> ordered uint64: monotone over all finite values
+/// (and infinities); -0.0 orders just below +0.0; NaNs land at the
+/// extremes. This is the paper's phi(x).
+inline uint64_t OrderedFromDouble(double d) {
+  uint64_t bits = std::bit_cast<uint64_t>(d);
+  if (bits & (uint64_t{1} << 63)) return ~bits;
+  return bits | (uint64_t{1} << 63);
+}
+
+inline double DoubleFromOrdered(uint64_t u) {
+  if (u & (uint64_t{1} << 63)) return std::bit_cast<double>(u ^ (uint64_t{1} << 63));
+  return std::bit_cast<double>(~u);
+}
+
+/// IEEE-754 float -> ordered uint64 (ordered uint32 widened into the
+/// high half so dyadic levels keep their meaning).
+inline uint64_t OrderedFromFloat(float f) {
+  uint32_t bits = std::bit_cast<uint32_t>(f);
+  uint32_t ordered =
+      (bits & 0x80000000u) ? ~bits : (bits | 0x80000000u);
+  return static_cast<uint64_t>(ordered) << 32;
+}
+
+/// Variable-length string -> uint64. The seven most significant bytes
+/// hold the string prefix; the least significant byte holds a hash of
+/// the full string including its length (used only by point queries).
+uint64_t OrderedFromString(std::string_view s);
+
+/// Inclusive uint64 bounds of all possible encodings of strings in the
+/// lexicographic range [a, b]: the hash byte is widened to [0x00,0xFF].
+uint64_t StringRangeLow(std::string_view a);
+uint64_t StringRangeHigh(std::string_view b);
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_CORE_KEY_CODEC_H_

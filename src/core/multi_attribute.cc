@@ -1,0 +1,3 @@
+// MultiAttributeBloomRF is header-only; this translation unit exists so
+// the build exposes a stable object for the target.
+#include "core/multi_attribute.h"

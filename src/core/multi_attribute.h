@@ -1,0 +1,71 @@
+// Dual-attribute bloomRF (paper Sect. 8 "Multi-Attribute bloomRF").
+//
+// Filters on two attributes simultaneously with reduced precision: each
+// attribute is truncated monotonically to its 32 most significant bits,
+// the pair is concatenated in both orders (<A,B> and <B,A>) and both
+// tuples are inserted into one underlying bloomRF. Conjunctive
+// predicates then become a single range probe:
+//   A = a AND B = b        -> point probe of <A,B>
+//   A in [a1,a2] AND B = b -> range probe of <B,A> (B fixed in the
+//                             high half, A spans the low half)
+//   A = a AND B in [b1,b2] -> range probe of <A,B>
+
+#ifndef BLOOMRF_CORE_MULTI_ATTRIBUTE_H_
+#define BLOOMRF_CORE_MULTI_ATTRIBUTE_H_
+
+#include <cstdint>
+
+#include "core/bloomrf.h"
+
+namespace bloomrf {
+
+class MultiAttributeBloomRF {
+ public:
+  /// `config` should be sized for 2n keys (each pair is inserted twice).
+  explicit MultiAttributeBloomRF(BloomRFConfig config)
+      : filter_(std::move(config)) {}
+
+  /// Monotone precision reduction to 32 bits.
+  static uint32_t Reduce(uint64_t v) { return static_cast<uint32_t>(v >> 32); }
+
+  static uint64_t Concat(uint32_t high, uint32_t low) {
+    return (static_cast<uint64_t>(high) << 32) | low;
+  }
+
+  void Insert(uint64_t a, uint64_t b) {
+    uint32_t ra = Reduce(a);
+    uint32_t rb = Reduce(b);
+    filter_.Insert(Concat(ra, rb));  // <A,B>
+    filter_.Insert(Concat(rb, ra));  // <B,A>
+  }
+
+  /// A = a AND B = b. Probes a short range because the reduction maps
+  /// many exact values onto one reduced value.
+  bool MayMatchPointPoint(uint64_t a, uint64_t b) const {
+    return filter_.MayContain(Concat(Reduce(a), Reduce(b)));
+  }
+
+  /// A in [a_lo, a_hi] AND B = b.
+  bool MayMatchRangePoint(uint64_t a_lo, uint64_t a_hi, uint64_t b) const {
+    uint32_t rb = Reduce(b);
+    return filter_.MayContainRange(Concat(rb, Reduce(a_lo)),
+                                   Concat(rb, Reduce(a_hi)));
+  }
+
+  /// A = a AND B in [b_lo, b_hi].
+  bool MayMatchPointRange(uint64_t a, uint64_t b_lo, uint64_t b_hi) const {
+    uint32_t ra = Reduce(a);
+    return filter_.MayContainRange(Concat(ra, Reduce(b_lo)),
+                                   Concat(ra, Reduce(b_hi)));
+  }
+
+  const BloomRF& filter() const { return filter_; }
+  uint64_t MemoryBits() const { return filter_.MemoryBits(); }
+
+ private:
+  BloomRF filter_;
+};
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_CORE_MULTI_ATTRIBUTE_H_

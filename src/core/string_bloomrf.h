@@ -1,0 +1,60 @@
+// String-keyed bloomRF (paper Sect. 8 "Variable-length strings").
+//
+// Wraps a BloomRF behind the SuRF-Hash-style string coding of
+// core/key_codec.h: the seven most significant bytes carry the string
+// prefix (ordering), the least significant byte carries a hash of the
+// tail and length (point precision). Range queries use only the
+// 7-byte-prefix component, so strings sharing a 7-byte prefix are
+// indistinguishable to range probes — the same trade-off the paper
+// accepts.
+
+#ifndef BLOOMRF_CORE_STRING_BLOOMRF_H_
+#define BLOOMRF_CORE_STRING_BLOOMRF_H_
+
+#include <string_view>
+
+#include "core/bloomrf.h"
+#include "core/key_codec.h"
+
+namespace bloomrf {
+
+class StringBloomRF {
+ public:
+  explicit StringBloomRF(BloomRFConfig config) : filter_(std::move(config)) {}
+
+  void Insert(std::string_view key) {
+    filter_.Insert(OrderedFromString(key));
+  }
+
+  /// Point membership: exact up to the 7-byte prefix + 8-bit tail hash.
+  bool MayContain(std::string_view key) const {
+    return filter_.MayContain(OrderedFromString(key));
+  }
+
+  /// Lexicographic range [lo, hi] (inclusive). The probe widens the
+  /// hash byte, so precision is limited to the 7-byte prefix.
+  bool MayContainRange(std::string_view lo, std::string_view hi) const {
+    uint64_t lo_code = StringRangeLow(lo);
+    uint64_t hi_code = StringRangeHigh(hi);
+    if (lo_code > hi_code) return false;
+    return filter_.MayContainRange(lo_code, hi_code);
+  }
+
+  /// All strings starting with `prefix` form one contiguous code range.
+  bool MayContainPrefix(std::string_view prefix) const {
+    std::string hi(prefix);
+    // Extend with 0xFF bytes to the 7-byte horizon.
+    while (hi.size() < 7) hi.push_back('\xff');
+    return MayContainRange(prefix, hi);
+  }
+
+  const BloomRF& filter() const { return filter_; }
+  uint64_t MemoryBits() const { return filter_.MemoryBits(); }
+
+ private:
+  BloomRF filter_;
+};
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_CORE_STRING_BLOOMRF_H_

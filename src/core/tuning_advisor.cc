@@ -1,0 +1,128 @@
+#include "core/tuning_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bloomrf {
+
+namespace {
+
+/// Builds the delta ladder for an exact level at `target`: as many
+/// bottom layers with delta = 7 as reasonable, then a transition with
+/// decreasing deltas towards the exact layer (paper example: target 36
+/// -> (7,7,7,7,4,2,2) bottom-first).
+std::vector<uint8_t> BuildDeltaLadder(uint32_t target) {
+  std::vector<uint8_t> deltas;
+  uint32_t sevens = target >= 14 ? (target - 8) / 7 : target / 7;
+  for (uint32_t i = 0; i < sevens; ++i) deltas.push_back(7);
+  uint32_t rem = target - sevens * 7;
+  while (rem > 0) {
+    uint8_t step;
+    if (rem >= 8) {
+      step = 7;
+    } else if (rem > 4) {
+      step = static_cast<uint8_t>(rem / 2);
+    } else if (rem > 2) {
+      step = 2;
+    } else {
+      step = static_cast<uint8_t>(rem);
+    }
+    deltas.push_back(step);
+    rem -= step;
+  }
+  return deltas;
+}
+
+double Score(const FprModelResult& model, double max_range, double weight,
+             double* fpr_m, double* fpr_p) {
+  *fpr_m = model.MaxFprUpToRange(max_range);
+  *fpr_p = model.point_fpr;
+  return (*fpr_m) * (*fpr_m) + weight * weight * (*fpr_p) * (*fpr_p);
+}
+
+}  // namespace
+
+AdvisorResult AdviseConfig(const AdvisorParams& params) {
+  const uint32_t d = params.domain_bits;
+  const uint64_t m = std::max<uint64_t>(params.total_bits, 256);
+  const uint64_t n = std::max<uint64_t>(params.n, 2);
+
+  AdvisorResult best;
+  // Baseline candidate: basic, tuning-free bloomRF.
+  {
+    BloomRFConfig basic = BloomRFConfig::Basic(
+        n, static_cast<double>(m) / static_cast<double>(n), d, 7);
+    FprModelResult model = EvaluateFprModel(basic, n);
+    best.config = basic;
+    best.weighted_score =
+        Score(model, params.max_range, params.point_weight,
+              &best.expected_range_fpr, &best.expected_point_fpr);
+  }
+
+  // Exact-layer candidates: the lowest level whose exact bitmap fits in
+  // 60% of the budget, and the next one up (Sect. 7 heuristic).
+  uint32_t l_e = d;
+  for (uint32_t l = 1; l <= d; ++l) {
+    double bitmap = std::ldexp(1.0, static_cast<int>(d - l));
+    if (bitmap < 0.6 * static_cast<double>(m)) {
+      l_e = l;
+      break;
+    }
+  }
+  if (l_e >= d) return best;  // budget too small for any exact layer
+
+  for (uint32_t candidate : {l_e, l_e + 1}) {
+    if (candidate >= d || d - candidate > 40) continue;
+    uint64_t m1 = uint64_t{1} << (d - candidate);
+    if (m1 + 128 >= m) continue;
+    uint64_t m_rest = m - m1;
+
+    std::vector<uint8_t> deltas = BuildDeltaLadder(candidate);
+    size_t k = deltas.size();
+    if (k == 0) continue;
+
+    BloomRFConfig cfg;
+    cfg.domain_bits = d;
+    cfg.delta = deltas;
+    cfg.has_exact_layer = true;
+    cfg.replicas.assign(k, 1);
+    cfg.segment_of.assign(k, 0);
+    // Mid segment (0): layers in the transition region (delta < 7);
+    // bottom segment (1): the delta-7 layers. Replicate the hash of
+    // the topmost non-exact layer (error correction for large DIs).
+    bool has_mid = false;
+    for (size_t i = 0; i < k; ++i) {
+      if (deltas[i] < 7) {
+        cfg.segment_of[i] = 0;
+        has_mid = true;
+      } else {
+        cfg.segment_of[i] = 1;
+      }
+    }
+    if (!has_mid) cfg.segment_of[k - 1] = 0;
+    cfg.replicas[k - 1] = 2;
+
+    // Sweep the mid/bottom split of the remaining budget.
+    for (double frac : {0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50}) {
+      uint64_t m_mid = std::max<uint64_t>(
+          64, static_cast<uint64_t>(frac * static_cast<double>(m_rest)));
+      if (m_mid + 64 > m_rest) continue;
+      uint64_t m_bot = m_rest - m_mid;
+      cfg.segment_bits = {m_mid, m_bot};
+      if (!cfg.Validate().empty()) continue;
+      FprModelResult model = EvaluateFprModel(cfg, n);
+      double fpr_m, fpr_p;
+      double score =
+          Score(model, params.max_range, params.point_weight, &fpr_m, &fpr_p);
+      if (score < best.weighted_score) {
+        best.config = cfg;
+        best.weighted_score = score;
+        best.expected_range_fpr = fpr_m;
+        best.expected_point_fpr = fpr_p;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace bloomrf

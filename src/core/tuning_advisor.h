@@ -1,0 +1,42 @@
+// Tuning advisor (paper Sect. 7 "Tuning Advisor").
+//
+// Given the number of keys n, a total memory budget m (bits) and an
+// approximate maximum query-range size R, the advisor selects a full
+// bloomRF configuration: the delta vector, per-layer replica counts and
+// segment assignment, the exact-layer level and the segment split
+// (m1, m2, m3). Candidates are scored with the extended FPR model by
+// the weighted norm fpr_w^2 = fpr_range^2 + C^2 * fpr_point^2.
+
+#ifndef BLOOMRF_CORE_TUNING_ADVISOR_H_
+#define BLOOMRF_CORE_TUNING_ADVISOR_H_
+
+#include <cstdint>
+
+#include "core/config.h"
+#include "core/fpr_model.h"
+
+namespace bloomrf {
+
+struct AdvisorParams {
+  uint64_t n = 0;            ///< number of keys
+  uint64_t total_bits = 0;   ///< memory budget m
+  double max_range = 1;      ///< approximate maximum query range R
+  uint32_t domain_bits = 64;
+  double point_weight = 2.0;  ///< C in fpr_w^2 = fpr_m^2 + C^2 fpr_p^2
+};
+
+struct AdvisorResult {
+  BloomRFConfig config;
+  double expected_range_fpr = 1.0;
+  double expected_point_fpr = 1.0;
+  double weighted_score = 1.0;
+};
+
+/// Computes the best configuration for `params`. Falls back to basic
+/// bloomRF when no exact-layer candidate fits the budget (small budgets
+/// or small ranges); basic is also chosen when it scores better.
+AdvisorResult AdviseConfig(const AdvisorParams& params);
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_CORE_TUNING_ADVISOR_H_

@@ -1,0 +1,97 @@
+#include "filters/cuckoo_filter.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/hash.h"
+
+namespace bloomrf {
+
+CuckooFilter::CuckooFilter(uint64_t expected_keys, uint32_t fingerprint_bits,
+                           double target_occupancy, uint64_t seed)
+    : fp_bits_(std::clamp<uint32_t>(fingerprint_bits, 2, 16)), seed_(seed) {
+  double slots_needed =
+      static_cast<double>(std::max<uint64_t>(expected_keys, 4)) /
+      std::clamp(target_occupancy, 0.05, 1.0);
+  uint64_t buckets = static_cast<uint64_t>(slots_needed / kSlotsPerBucket) + 1;
+  num_buckets_ = std::bit_ceil(std::max<uint64_t>(buckets, 2));
+  table_.assign(num_buckets_ * kSlotsPerBucket, 0);
+}
+
+uint16_t CuckooFilter::Fingerprint(uint64_t key) const {
+  uint64_t h = Hash64(key, seed_ ^ 0xf1f1);
+  uint16_t fp = static_cast<uint16_t>(h & ((1u << fp_bits_) - 1));
+  return fp == 0 ? 1 : fp;  // 0 marks an empty slot
+}
+
+uint64_t CuckooFilter::IndexHash(uint64_t key) const {
+  return Hash64(key, seed_) & (num_buckets_ - 1);
+}
+
+uint64_t CuckooFilter::AltIndex(uint64_t index, uint16_t fp) const {
+  return (index ^ Hash64(fp, seed_ ^ 0xa17a)) & (num_buckets_ - 1);
+}
+
+bool CuckooFilter::InsertFp(uint64_t bucket, uint16_t fp) {
+  for (uint32_t s = 0; s < kSlotsPerBucket; ++s) {
+    if (Slot(bucket, s) == 0) {
+      Slot(bucket, s) = fp;
+      ++occupied_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CuckooFilter::Insert(uint64_t key) {
+  uint16_t fp = Fingerprint(key);
+  uint64_t i1 = IndexHash(key);
+  uint64_t i2 = AltIndex(i1, fp);
+  if (InsertFp(i1, fp) || InsertFp(i2, fp)) return;
+  // Kick a random resident.
+  uint64_t bucket = (Hash64(key, seed_ ^ 0x9) & 1) ? i2 : i1;
+  uint16_t cur = fp;
+  for (uint32_t kick = 0; kick < kMaxKicks; ++kick) {
+    uint32_t victim = Hash64(bucket * 0x1007 + kick, seed_) % kSlotsPerBucket;
+    std::swap(cur, Slot(bucket, victim));
+    bucket = AltIndex(bucket, cur);
+    if (InsertFp(bucket, cur)) return;
+  }
+  // Table effectively full: to preserve the no-false-negative contract
+  // the filter degrades to answering true everywhere.
+  ++failed_inserts_;
+  saturated_ = true;
+}
+
+bool CuckooFilter::BucketContains(uint64_t bucket, uint16_t fp) const {
+  for (uint32_t s = 0; s < kSlotsPerBucket; ++s) {
+    if (Slot(bucket, s) == fp) return true;
+  }
+  return false;
+}
+
+bool CuckooFilter::MayContain(uint64_t key) const {
+  if (saturated_) return true;
+  uint16_t fp = Fingerprint(key);
+  uint64_t i1 = IndexHash(key);
+  return BucketContains(i1, fp) || BucketContains(AltIndex(i1, fp), fp);
+}
+
+bool CuckooFilter::BucketDelete(uint64_t bucket, uint16_t fp) {
+  for (uint32_t s = 0; s < kSlotsPerBucket; ++s) {
+    if (Slot(bucket, s) == fp) {
+      Slot(bucket, s) = 0;
+      --occupied_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CuckooFilter::Delete(uint64_t key) {
+  uint16_t fp = Fingerprint(key);
+  uint64_t i1 = IndexHash(key);
+  return BucketDelete(i1, fp) || BucketDelete(AltIndex(i1, fp), fp);
+}
+
+}  // namespace bloomrf

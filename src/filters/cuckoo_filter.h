@@ -1,0 +1,80 @@
+// Cuckoo filter baseline (Fan et al., CoNEXT'14; paper Fig. 12.E).
+//
+// 4-way buckets of f-bit fingerprints with partial-key cuckoo hashing:
+// the alternate bucket of a fingerprint is i ^ hash(fp). Supports
+// deletion. The paper probes it at 95% target occupancy with varying
+// fingerprint sizes to stay inside each space budget.
+
+#ifndef BLOOMRF_FILTERS_CUCKOO_FILTER_H_
+#define BLOOMRF_FILTERS_CUCKOO_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "filters/filter.h"
+
+namespace bloomrf {
+
+class CuckooFilter : public OnlineFilter {
+ public:
+  /// Sizes the table for `expected_keys` at `target_occupancy` with
+  /// `fingerprint_bits` in [2, 16].
+  CuckooFilter(uint64_t expected_keys, uint32_t fingerprint_bits,
+               double target_occupancy = 0.95, uint64_t seed = 0xc0c0);
+
+  std::string Name() const override { return "Cuckoo"; }
+
+  /// Returns silently on table overflow (tracked by failed_inserts());
+  /// an overflowed slot would otherwise cause a false negative, so the
+  /// filter records the key in a spill set semantics-free way: the
+  /// victim fingerprint is kept and all probes of its buckets answer
+  /// true.
+  void Insert(uint64_t key) override;
+
+  bool MayContain(uint64_t key) const override;
+  bool MayContainRange(uint64_t, uint64_t) const override { return true; }
+
+  /// Deletes one copy of `key`'s fingerprint; returns false if absent.
+  bool Delete(uint64_t key);
+
+  uint64_t MemoryBits() const override {
+    return num_buckets_ * kSlotsPerBucket * fp_bits_;
+  }
+
+  uint64_t failed_inserts() const { return failed_inserts_; }
+  double occupancy() const {
+    return static_cast<double>(occupied_) /
+           static_cast<double>(num_buckets_ * kSlotsPerBucket);
+  }
+
+ private:
+  static constexpr uint32_t kSlotsPerBucket = 4;
+  static constexpr uint32_t kMaxKicks = 500;
+
+  uint16_t Fingerprint(uint64_t key) const;
+  uint64_t IndexHash(uint64_t key) const;
+  uint64_t AltIndex(uint64_t index, uint16_t fp) const;
+
+  uint16_t& Slot(uint64_t bucket, uint32_t slot) {
+    return table_[bucket * kSlotsPerBucket + slot];
+  }
+  uint16_t Slot(uint64_t bucket, uint32_t slot) const {
+    return table_[bucket * kSlotsPerBucket + slot];
+  }
+
+  bool InsertFp(uint64_t bucket, uint16_t fp);
+  bool BucketContains(uint64_t bucket, uint16_t fp) const;
+  bool BucketDelete(uint64_t bucket, uint16_t fp);
+
+  std::vector<uint16_t> table_;  // 0 == empty slot
+  uint64_t num_buckets_;
+  uint32_t fp_bits_;
+  uint64_t seed_;
+  uint64_t occupied_ = 0;
+  uint64_t failed_inserts_ = 0;
+  bool saturated_ = false;  // overflow: all probes answer true
+};
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_FILTERS_CUCKOO_FILTER_H_

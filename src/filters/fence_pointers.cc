@@ -1,0 +1,31 @@
+#include "filters/fence_pointers.h"
+
+#include <algorithm>
+
+namespace bloomrf {
+
+FencePointers::FencePointers(const std::vector<uint64_t>& sorted_keys,
+                             double bits_per_key) {
+  if (sorted_keys.empty()) return;
+  // bits/key budget: blocks of ceil(128 / bits_per_key) keys.
+  uint64_t block = bits_per_key > 0
+                       ? static_cast<uint64_t>(128.0 / bits_per_key + 0.999)
+                       : sorted_keys.size();
+  if (block < 1) block = 1;
+  for (size_t i = 0; i < sorted_keys.size(); i += block) {
+    size_t end = std::min(i + block, sorted_keys.size()) - 1;
+    mins_.push_back(sorted_keys[i]);
+    maxs_.push_back(sorted_keys[end]);
+  }
+}
+
+bool FencePointers::MayContainRange(uint64_t lo, uint64_t hi) const {
+  if (lo > hi || mins_.empty()) return false;
+  // First block whose max >= lo.
+  auto it = std::lower_bound(maxs_.begin(), maxs_.end(), lo);
+  if (it == maxs_.end()) return false;
+  size_t idx = static_cast<size_t>(it - maxs_.begin());
+  return mins_[idx] <= hi;
+}
+
+}  // namespace bloomrf

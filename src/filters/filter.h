@@ -1,0 +1,43 @@
+// Common interface of all point/range filters in the evaluation
+// (bloomRF and the baselines of paper Sect. 9).
+//
+// Semantics: a filter answers approximate membership — `false` is
+// definite ("no inserted key matches"), `true` may be a false positive.
+// Point-only filters (plain Bloom, Cuckoo) answer every range probe
+// with a conservative `true`.
+
+#ifndef BLOOMRF_FILTERS_FILTER_H_
+#define BLOOMRF_FILTERS_FILTER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bloomrf {
+
+class Filter {
+ public:
+  virtual ~Filter() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Approximate point membership.
+  virtual bool MayContain(uint64_t key) const = 0;
+
+  /// Approximate emptiness of the inclusive interval [lo, hi].
+  virtual bool MayContainRange(uint64_t lo, uint64_t hi) const = 0;
+
+  /// Logical filter size in bits (what the paper's bits/key accounting
+  /// charges).
+  virtual uint64_t MemoryBits() const = 0;
+};
+
+/// Filters supporting online insertion (bloomRF, Bloom variants,
+/// Rosetta, Cuckoo). SuRF and fence pointers are offline-built.
+class OnlineFilter : public Filter {
+ public:
+  virtual void Insert(uint64_t key) = 0;
+};
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_FILTERS_FILTER_H_

@@ -1,0 +1,64 @@
+#include "filters/prefix_bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace bloomrf {
+
+PrefixBloomFilter::PrefixBloomFilter(uint64_t expected_keys,
+                                     double bits_per_key,
+                                     uint32_t prefix_level, uint64_t seed)
+    : prefix_level_(prefix_level), seed_(seed) {
+  uint64_t m = static_cast<uint64_t>(
+      bits_per_key * static_cast<double>(std::max<uint64_t>(expected_keys, 1)));
+  m = std::max<uint64_t>(64, (m + 63) & ~63ULL);
+  bits_.Reset(m);
+  // Each key costs two insertions (full key + prefix): halve k.
+  k_ = std::max<uint32_t>(
+      1, static_cast<uint32_t>(bits_per_key * std::log(2.0) / 2.0));
+}
+
+void PrefixBloomFilter::InsertValue(uint64_t v, uint64_t domain_tag) {
+  uint64_t h1 = Hash64(v, seed_ ^ domain_tag);
+  uint64_t h2 = Hash64(v, seed_ ^ domain_tag ^ 0x5bd1e995);
+  for (uint32_t i = 0; i < k_; ++i) {
+    bits_.SetBit(FastRange64(DoubleHashProbe(h1, h2, i), bits_.size_bits()));
+  }
+}
+
+bool PrefixBloomFilter::TestValue(uint64_t v, uint64_t domain_tag) const {
+  uint64_t h1 = Hash64(v, seed_ ^ domain_tag);
+  uint64_t h2 = Hash64(v, seed_ ^ domain_tag ^ 0x5bd1e995);
+  for (uint32_t i = 0; i < k_; ++i) {
+    if (!bits_.TestBit(
+            FastRange64(DoubleHashProbe(h1, h2, i), bits_.size_bits()))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrefixBloomFilter::Insert(uint64_t key) {
+  InsertValue(key, /*domain_tag=*/1);
+  InsertValue(key >> prefix_level_, /*domain_tag=*/2);
+}
+
+bool PrefixBloomFilter::MayContain(uint64_t key) const {
+  return TestValue(key, 1);
+}
+
+bool PrefixBloomFilter::MayContainRange(uint64_t lo, uint64_t hi) const {
+  if (lo > hi) return false;
+  uint64_t lp = lo >> prefix_level_;
+  uint64_t rp = hi >> prefix_level_;
+  if (rp - lp + 1 > kMaxProbes) return true;  // cannot exclude cheaply
+  for (uint64_t p = lp;; ++p) {
+    if (TestValue(p, 2)) return true;
+    if (p == rp) break;
+  }
+  return false;
+}
+
+}  // namespace bloomrf

@@ -1,0 +1,42 @@
+#include "filters/surf/louds_dense.h"
+
+#include "util/coding.h"
+
+namespace bloomrf {
+
+void LoudsDenseLevel::Encode(const SurfBuilderLevel& level) {
+  num_nodes_ = level.num_nodes;
+  // Node ordinal advances on every louds bit.
+  uint64_t node = 0;
+  bool first = true;
+  for (size_t i = 0; i < level.labels.size(); ++i) {
+    if (level.louds[i]) {
+      if (!first) ++node;
+      first = false;
+    }
+    uint64_t pos = node * kFanout + level.labels[i];
+    labels_.SetBit(pos);
+    if (level.has_child[i]) has_child_.SetBit(pos);
+  }
+  // Both bitmaps span all nodes even when trailing bits are zero.
+  labels_.EnsureSize(num_nodes_ * kFanout);
+  has_child_.EnsureSize(num_nodes_ * kFanout);
+  labels_.Build();
+  has_child_.Build();
+}
+
+void LoudsDenseLevel::SerializeTo(std::string* dst) const {
+  PutFixed64(dst, num_nodes_);
+  labels_.SerializeTo(dst);
+  has_child_.SerializeTo(dst);
+}
+
+bool LoudsDenseLevel::DeserializeFrom(std::string_view src, size_t* pos) {
+  if (*pos + 8 > src.size()) return false;
+  num_nodes_ = DecodeFixed64(src.data() + *pos);
+  *pos += 8;
+  return labels_.DeserializeFrom(src, pos) &&
+         has_child_.DeserializeFrom(src, pos);
+}
+
+}  // namespace bloomrf

@@ -1,0 +1,37 @@
+#include "filters/surf/louds_sparse.h"
+
+#include "util/coding.h"
+
+namespace bloomrf {
+
+void LoudsSparseLevel::Encode(const SurfBuilderLevel& level) {
+  labels_ = level.labels;
+  for (size_t i = 0; i < level.labels.size(); ++i) {
+    if (level.has_child[i]) has_child_.SetBit(i);
+    if (level.louds[i]) louds_.SetBit(i);
+  }
+  has_child_.EnsureSize(labels_.size());
+  louds_.EnsureSize(labels_.size());
+  has_child_.Build();
+  louds_.Build();
+}
+
+void LoudsSparseLevel::SerializeTo(std::string* dst) const {
+  PutFixed64(dst, labels_.size());
+  dst->append(reinterpret_cast<const char*>(labels_.data()), labels_.size());
+  has_child_.SerializeTo(dst);
+  louds_.SerializeTo(dst);
+}
+
+bool LoudsSparseLevel::DeserializeFrom(std::string_view src, size_t* pos) {
+  if (*pos + 8 > src.size()) return false;
+  uint64_t count = DecodeFixed64(src.data() + *pos);
+  *pos += 8;
+  if (*pos + count > src.size()) return false;
+  labels_.assign(src.begin() + *pos, src.begin() + *pos + count);
+  *pos += count;
+  return has_child_.DeserializeFrom(src, pos) &&
+         louds_.DeserializeFrom(src, pos);
+}
+
+}  // namespace bloomrf

@@ -1,0 +1,75 @@
+// LOUDS-Sparse level encoding for SuRF (paper [49]).
+//
+// Each edge of a sparse level costs one byte label plus two bits
+// (has-child, louds). Node boundaries are recovered with select1 over
+// the louds bits; child and suffix ordinals with rank1 over has-child.
+
+#ifndef BLOOMRF_FILTERS_SURF_LOUDS_SPARSE_H_
+#define BLOOMRF_FILTERS_SURF_LOUDS_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "filters/surf/surf_builder.h"
+#include "util/bit_vector.h"
+
+namespace bloomrf {
+
+class LoudsSparseLevel {
+ public:
+  LoudsSparseLevel() = default;
+
+  void Encode(const SurfBuilderLevel& level);
+
+  uint64_t num_edges() const { return labels_.size(); }
+  uint64_t num_nodes() const { return louds_.ones(); }
+
+  uint8_t Label(uint64_t pos) const { return labels_[pos]; }
+  bool EdgeHasChild(uint64_t pos) const { return has_child_.Get(pos); }
+
+  uint64_t ChildOrdinal(uint64_t pos) const { return has_child_.Rank1(pos); }
+  uint64_t SuffixOrdinal(uint64_t pos) const { return has_child_.Rank0(pos); }
+
+  uint64_t NodeBegin(uint64_t node) const { return louds_.Select1(node); }
+  uint64_t NodeEnd(uint64_t node) const {
+    return node + 1 < louds_.ones() ? louds_.Select1(node + 1)
+                                    : labels_.size();
+  }
+
+  /// Position of the smallest label >= `label` within `node`, or -1.
+  /// Labels within a node are sorted (builder emits keys in order).
+  int64_t FindLabelGE(uint64_t node, uint32_t label) const {
+    uint64_t begin = NodeBegin(node);
+    uint64_t end = NodeEnd(node);
+    for (uint64_t p = begin; p < end; ++p) {
+      if (labels_[p] >= label) return static_cast<int64_t>(p);
+    }
+    return -1;
+  }
+
+  /// Exact-label variant; -1 if absent.
+  int64_t FindLabel(uint64_t node, uint8_t label) const {
+    int64_t p = FindLabelGE(node, label);
+    if (p < 0 || labels_[static_cast<uint64_t>(p)] != label) return -1;
+    return p;
+  }
+
+  uint64_t SizeBits() const {
+    return labels_.size() * 8 + has_child_.SizeBits() + louds_.SizeBits();
+  }
+
+  /// Logical size per the paper's accounting: 10 bits per edge.
+  uint64_t LogicalBits() const { return labels_.size() * 10; }
+
+  void SerializeTo(std::string* dst) const;
+  bool DeserializeFrom(std::string_view src, size_t* pos);
+
+ private:
+  std::vector<uint8_t> labels_;
+  BitVector has_child_;
+  BitVector louds_;
+};
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_FILTERS_SURF_LOUDS_SPARSE_H_

@@ -1,0 +1,388 @@
+#include "filters/surf/surf.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+
+namespace bloomrf {
+
+namespace {
+
+/// Three-way comparison of a truncated stored prefix against a query
+/// bound: -1 definitely smaller, +1 definitely larger, 0 cannot be
+/// excluded (equal so far and the stored key may extend arbitrarily).
+int ComparePrefix(const std::string& prefix, const std::string& bound) {
+  size_t n = std::min(prefix.size(), bound.size());
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t a = static_cast<uint8_t>(prefix[i]);
+    uint8_t b = static_cast<uint8_t>(bound[i]);
+    if (a < b) return -1;
+    if (a > b) return 1;
+  }
+  if (prefix.size() > bound.size()) return 1;  // bound is a proper prefix
+  return 0;
+}
+
+}  // namespace
+
+Surf Surf::BuildFromU64(const std::vector<uint64_t>& sorted_keys,
+                        const Options& options) {
+  std::vector<std::string> byte_keys;
+  byte_keys.reserve(sorted_keys.size());
+  for (uint64_t k : sorted_keys) byte_keys.push_back(EncodeKeyBigEndian(k));
+  // Fixed-width keys are already prefix-free: no terminator needed.
+  Surf surf = BuildCore(byte_keys, options);
+  surf.string_mode_ = false;
+  return surf;
+}
+
+Surf Surf::BuildFromStrings(const std::vector<std::string>& sorted_keys,
+                            const Options& options) {
+  // Terminated copies make any unique sorted set prefix-free while
+  // preserving order; queries append the same terminator.
+  std::vector<std::string> keys;
+  keys.reserve(sorted_keys.size());
+  for (const std::string& s : sorted_keys) keys.push_back(s + '\0');
+  Surf surf = BuildCore(keys, options);
+  surf.string_mode_ = true;
+  return surf;
+}
+
+Surf Surf::BuildCore(const std::vector<std::string>& keys,
+                     const Options& options) {
+  Surf surf;
+  surf.options_ = options;
+
+  SurfBuilder builder(options.suffix_type, options.suffix_bits);
+  bool ok = builder.Build(keys);
+  (void)ok;
+  surf.num_keys_ = builder.num_keys();
+  const auto& levels = builder.levels();
+  surf.height_ = static_cast<uint32_t>(levels.size());
+
+  // Dense cutoff: include top levels while their cumulative dense cost
+  // stays below (total sparse cost) / ratio.
+  uint64_t total_sparse_bits = 0;
+  for (const auto& level : levels) total_sparse_bits += level.labels.size() * 10;
+  uint64_t dense_budget =
+      total_sparse_bits / std::max<uint32_t>(1, options.dense_size_ratio);
+  uint64_t dense_cost = 0;
+  uint32_t cutoff = 0;
+  for (const auto& level : levels) {
+    dense_cost += level.num_nodes * 512;
+    if (dense_cost > dense_budget) break;
+    ++cutoff;
+  }
+  surf.dense_levels_ = cutoff;
+
+  for (uint32_t l = 0; l < surf.height_; ++l) {
+    if (l < cutoff) {
+      surf.dense_.emplace_back();
+      surf.dense_.back().Encode(levels[l]);
+    } else {
+      surf.sparse_.emplace_back();
+      surf.sparse_.back().Encode(levels[l]);
+    }
+    surf.suffixes_.push_back(levels[l].suffixes);
+  }
+  return surf;
+}
+
+bool Surf::EdgeHasChild(uint32_t level, uint64_t pos) const {
+  if (LevelIsDense(level)) {
+    return dense_[level].EdgeHasChild(pos / 256, static_cast<uint8_t>(pos % 256));
+  }
+  return sparse_[level - dense_levels_].EdgeHasChild(pos);
+}
+
+uint64_t Surf::ChildOrdinal(uint32_t level, uint64_t pos) const {
+  if (LevelIsDense(level)) {
+    return dense_[level].ChildOrdinal(pos / 256, static_cast<uint8_t>(pos % 256));
+  }
+  return sparse_[level - dense_levels_].ChildOrdinal(pos);
+}
+
+uint8_t Surf::EdgeLabel(uint32_t level, uint64_t pos) const {
+  if (LevelIsDense(level)) return static_cast<uint8_t>(pos % 256);
+  return sparse_[level - dense_levels_].Label(pos);
+}
+
+uint64_t Surf::SuffixValue(uint32_t level, uint64_t pos) const {
+  uint64_t ordinal;
+  if (LevelIsDense(level)) {
+    ordinal =
+        dense_[level].SuffixOrdinal(pos / 256, static_cast<uint8_t>(pos % 256));
+  } else {
+    ordinal = sparse_[level - dense_levels_].SuffixOrdinal(pos);
+  }
+  return suffixes_[level][ordinal];
+}
+
+bool Surf::FindEdgeGE(uint32_t level, uint64_t node, uint32_t c,
+                      uint64_t* pos) const {
+  if (LevelIsDense(level)) {
+    int label = dense_[level].FindLabelGE(node, c);
+    if (label < 0) return false;
+    *pos = node * 256 + static_cast<uint64_t>(label);
+    return true;
+  }
+  int64_t p = sparse_[level - dense_levels_].FindLabelGE(node, c);
+  if (p < 0) return false;
+  *pos = static_cast<uint64_t>(p);
+  return true;
+}
+
+bool Surf::NextEdgeInNode(uint32_t level, uint64_t node, uint64_t pos,
+                          uint64_t* next) const {
+  if (LevelIsDense(level)) {
+    uint32_t label = static_cast<uint32_t>(pos % 256);
+    if (label == 255) return false;
+    return FindEdgeGE(level, node, label + 1, next);
+  }
+  const LoudsSparseLevel& lvl = sparse_[level - dense_levels_];
+  if (pos + 1 >= lvl.NodeEnd(node)) return false;
+  *next = pos + 1;
+  return true;
+}
+
+bool Surf::LookupBytes(const std::string& key) const {
+  if (num_keys_ == 0) return false;
+  uint64_t node = 0;
+  for (uint32_t level = 0; level < height_; ++level) {
+    if (level >= key.size()) return false;  // key shorter than any match
+    uint8_t c = static_cast<uint8_t>(key[level]);
+    uint64_t pos;
+    if (!FindEdgeGE(level, node, c, &pos) || EdgeLabel(level, pos) != c) {
+      return false;
+    }
+    if (EdgeHasChild(level, pos)) {
+      node = ChildOrdinal(level, pos);
+      continue;
+    }
+    // Terminal edge: the stored key agrees with `key` on the first
+    // level+1 bytes; the suffix decides.
+    switch (options_.suffix_type) {
+      case SurfSuffixType::kNone:
+        return true;
+      case SurfSuffixType::kHash: {
+        SurfBuilder builder(options_.suffix_type, options_.suffix_bits);
+        return SuffixValue(level, pos) == builder.SuffixOf(key, level);
+      }
+      case SurfSuffixType::kReal:
+        return SuffixValue(level, pos) ==
+               SurfBuilder::RealBits(key, level + 1, options_.suffix_bits);
+    }
+  }
+  return false;
+}
+
+Surf::SeekResult Surf::DescendLeftmostFromEdge(uint32_t level, uint64_t pos,
+                                               std::string prefix) const {
+  while (true) {
+    prefix.push_back(static_cast<char>(EdgeLabel(level, pos)));
+    if (!EdgeHasChild(level, pos)) {
+      return {true, std::move(prefix), SuffixValue(level, pos)};
+    }
+    uint64_t node = ChildOrdinal(level, pos);
+    ++level;
+    uint64_t first;
+    if (!FindEdgeGE(level, node, 0, &first)) {
+      return {true, std::move(prefix), 0};  // defensive: malformed trie
+    }
+    pos = first;
+  }
+}
+
+Surf::SeekResult Surf::DescendLeftmost(uint32_t level, uint64_t node,
+                                       std::string prefix) const {
+  uint64_t pos;
+  if (!FindEdgeGE(level, node, 0, &pos)) return {};
+  return DescendLeftmostFromEdge(level, pos, std::move(prefix));
+}
+
+Surf::SeekResult Surf::AdvanceAndDescend(std::vector<Frame>& frames,
+                                         uint32_t level, uint64_t node,
+                                         uint64_t pos,
+                                         std::string prefix) const {
+  uint64_t next;
+  // pos == UINT64_MAX marks "no edge taken at this level": skip
+  // straight to backtracking.
+  if (pos != UINT64_MAX && NextEdgeInNode(level, node, pos, &next)) {
+    return DescendLeftmostFromEdge(level, next, std::move(prefix));
+  }
+  while (!frames.empty()) {
+    Frame frame = frames.back();
+    frames.pop_back();
+    --level;
+    prefix.pop_back();
+    if (NextEdgeInNode(level, frame.node, frame.pos, &next)) {
+      return DescendLeftmostFromEdge(level, next, std::move(prefix));
+    }
+  }
+  return {};
+}
+
+Surf::SeekResult Surf::SeekGE(const std::string& key) const {
+  if (num_keys_ == 0) return {};
+  std::vector<Frame> frames;
+  std::string prefix;
+  uint64_t node = 0;
+  for (uint32_t level = 0; level < height_; ++level) {
+    if (level >= key.size()) {
+      // Query exhausted: every key in this subtree extends the shared
+      // prefix and is therefore greater.
+      return DescendLeftmost(level, node, std::move(prefix));
+    }
+    uint8_t c = static_cast<uint8_t>(key[level]);
+    uint64_t pos;
+    if (!FindEdgeGE(level, node, c, &pos)) {
+      // Backtrack to the nearest ancestor with a following sibling.
+      std::string p = prefix;
+      return AdvanceAndDescend(frames, level, node,
+                               /*pos=*/UINT64_MAX, std::move(p));
+    }
+    if (EdgeLabel(level, pos) != c) {
+      return DescendLeftmostFromEdge(level, pos, std::move(prefix));
+    }
+    if (EdgeHasChild(level, pos)) {
+      frames.push_back({node, pos});
+      prefix.push_back(static_cast<char>(c));
+      node = ChildOrdinal(level, pos);
+      continue;
+    }
+    // Terminal matching the query prefix: the stored key agrees on
+    // level+1 bytes and is truncated here — it may be >= or < key.
+    uint64_t suffix = SuffixValue(level, pos);
+    if (options_.suffix_type == SurfSuffixType::kReal) {
+      uint64_t qbits =
+          SurfBuilder::RealBits(key, level + 1, options_.suffix_bits);
+      if (suffix < qbits) {
+        // Real suffix proves the stored key smaller: advance.
+        prefix.push_back(static_cast<char>(c));
+        std::string p = prefix;
+        p.pop_back();
+        return AdvanceAndDescend(frames, level, node, pos, std::move(p));
+      }
+    }
+    prefix.push_back(static_cast<char>(c));
+    return {true, std::move(prefix), suffix};
+  }
+  return {};
+}
+
+bool Surf::RangeBytes(const std::string& lo, const std::string& hi) const {
+  SeekResult successor = SeekGE(lo);
+  if (!successor.found) return false;
+  int cmp = ComparePrefix(successor.prefix, hi);
+  if (cmp < 0) return true;
+  if (cmp > 0) return false;
+  // Equal over the common prefix; real suffix bits can still exclude.
+  if (options_.suffix_type == SurfSuffixType::kReal &&
+      successor.prefix.size() < hi.size()) {
+    uint64_t hbits = SurfBuilder::RealBits(
+        hi, static_cast<uint32_t>(successor.prefix.size()),
+        options_.suffix_bits);
+    if (successor.suffix > hbits) return false;
+  }
+  return true;
+}
+
+bool Surf::MayContain(uint64_t key) const {
+  return LookupBytes(EncodeKeyBigEndian(key));
+}
+
+bool Surf::MayContainRange(uint64_t lo, uint64_t hi) const {
+  if (lo > hi) return false;
+  return RangeBytes(EncodeKeyBigEndian(lo), EncodeKeyBigEndian(hi));
+}
+
+bool Surf::MayContainString(std::string_view key) const {
+  std::string k(key);
+  if (string_mode_) k.push_back('\0');
+  return LookupBytes(k);
+}
+
+bool Surf::MayContainStringRange(std::string_view lo,
+                                 std::string_view hi) const {
+  std::string l(lo), h(hi);
+  if (string_mode_) {
+    l.push_back('\0');
+    h.push_back('\0');
+  }
+  if (l > h) return false;
+  return RangeBytes(l, h);
+}
+
+std::string Surf::Serialize() const {
+  std::string out;
+  PutFixed32(&out, 0x50f5u);  // format tag
+  out.push_back(static_cast<char>(options_.suffix_type));
+  out.push_back(static_cast<char>(options_.suffix_bits));
+  out.push_back(string_mode_ ? 1 : 0);
+  PutFixed32(&out, height_);
+  PutFixed32(&out, dense_levels_);
+  PutFixed64(&out, num_keys_);
+  for (const auto& level : dense_) level.SerializeTo(&out);
+  for (const auto& level : sparse_) level.SerializeTo(&out);
+  for (const auto& suffixes : suffixes_) {
+    PutFixed64(&out, suffixes.size());
+    for (uint64_t s : suffixes) PutFixed64(&out, s);
+  }
+  return out;
+}
+
+std::optional<Surf> Surf::Deserialize(std::string_view data) {
+  size_t pos = 0;
+  if (data.size() < 23 || DecodeFixed32(data.data()) != 0x50f5u) {
+    return std::nullopt;
+  }
+  Surf surf;
+  pos = 4;
+  surf.options_.suffix_type =
+      static_cast<SurfSuffixType>(static_cast<uint8_t>(data[pos++]));
+  surf.options_.suffix_bits = static_cast<uint8_t>(data[pos++]);
+  surf.string_mode_ = data[pos++] != 0;
+  surf.height_ = DecodeFixed32(data.data() + pos);
+  pos += 4;
+  surf.dense_levels_ = DecodeFixed32(data.data() + pos);
+  pos += 4;
+  surf.num_keys_ = DecodeFixed64(data.data() + pos);
+  pos += 8;
+  if (surf.height_ > 4096 || surf.dense_levels_ > surf.height_) {
+    return std::nullopt;
+  }
+  for (uint32_t l = 0; l < surf.dense_levels_; ++l) {
+    surf.dense_.emplace_back();
+    if (!surf.dense_.back().DeserializeFrom(data, &pos)) return std::nullopt;
+  }
+  for (uint32_t l = surf.dense_levels_; l < surf.height_; ++l) {
+    surf.sparse_.emplace_back();
+    if (!surf.sparse_.back().DeserializeFrom(data, &pos)) return std::nullopt;
+  }
+  for (uint32_t l = 0; l < surf.height_; ++l) {
+    if (pos + 8 > data.size()) return std::nullopt;
+    uint64_t count = DecodeFixed64(data.data() + pos);
+    pos += 8;
+    if (pos + count * 8 > data.size()) return std::nullopt;
+    std::vector<uint64_t> suffixes;
+    suffixes.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      suffixes.push_back(DecodeFixed64(data.data() + pos));
+      pos += 8;
+    }
+    surf.suffixes_.push_back(std::move(suffixes));
+  }
+  return surf;
+}
+
+uint64_t Surf::MemoryBits() const {
+  uint64_t total = 0;
+  for (const auto& level : dense_) total += level.LogicalBits();
+  for (const auto& level : sparse_) total += level.LogicalBits();
+  if (options_.suffix_type != SurfSuffixType::kNone) {
+    total += num_keys_ * options_.suffix_bits;
+  }
+  return total;
+}
+
+}  // namespace bloomrf

@@ -1,0 +1,89 @@
+#include "filters/surf/surf_builder.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace bloomrf {
+
+namespace {
+
+uint32_t Lcp(const std::string& a, const std::string& b) {
+  uint32_t n = static_cast<uint32_t>(std::min(a.size(), b.size()));
+  for (uint32_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return i;
+  }
+  return n;
+}
+
+}  // namespace
+
+uint64_t SurfBuilder::RealBits(const std::string& key, uint32_t from_byte,
+                               uint32_t bits) {
+  uint64_t value = 0;
+  uint32_t taken = 0;
+  for (uint32_t i = from_byte; taken < bits; ++i) {
+    uint8_t byte = i < key.size() ? static_cast<uint8_t>(key[i]) : 0;
+    uint32_t want = std::min<uint32_t>(8, bits - taken);
+    value = (value << want) | (byte >> (8 - want));
+    taken += want;
+  }
+  return value;
+}
+
+uint64_t SurfBuilder::SuffixOf(const std::string& key,
+                               uint32_t terminal_level) const {
+  switch (suffix_type_) {
+    case SurfSuffixType::kNone:
+      return 0;
+    case SurfSuffixType::kHash:
+      return HashBytes(key.data(), key.size(), 0x50f1) &
+             ((uint64_t{1} << suffix_bits_) - 1);
+    case SurfSuffixType::kReal:
+      return RealBits(key, terminal_level + 1, suffix_bits_);
+  }
+  return 0;
+}
+
+bool SurfBuilder::Build(const std::vector<std::string>& keys) {
+  levels_.clear();
+  num_keys_ = keys.size();
+  if (keys.empty()) return true;
+
+  // Last emitted edge's full prefix per level, to detect node starts.
+  std::vector<std::string> last_prefix_at_level;
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const std::string& key = keys[i];
+    if (key.empty()) return false;
+    uint32_t lcp_prev = i > 0 ? Lcp(keys[i - 1], key) : 0;
+    uint32_t lcp_next = i + 1 < keys.size() ? Lcp(key, keys[i + 1]) : 0;
+    if (i > 0 && keys[i - 1] >= key) return false;        // not sorted/unique
+    if (lcp_prev >= key.size() || lcp_next >= key.size()) {
+      return false;  // key is a prefix of a neighbour: not prefix-free
+    }
+    uint32_t terminal = std::max(lcp_prev, lcp_next);
+
+    for (uint32_t level = lcp_prev; level <= terminal; ++level) {
+      if (level >= levels_.size()) {
+        levels_.emplace_back();
+        last_prefix_at_level.emplace_back("\x01");  // sentinel: no edge yet
+      }
+      SurfBuilderLevel& data = levels_[level];
+      bool new_node =
+          data.labels.empty() ||
+          last_prefix_at_level[level].compare(0, level, key, 0, level) != 0;
+      data.labels.push_back(static_cast<uint8_t>(key[level]));
+      data.has_child.push_back(level < terminal);
+      data.louds.push_back(new_node);
+      if (new_node) ++data.num_nodes;
+      if (level == terminal) {
+        data.suffixes.push_back(SuffixOf(key, terminal));
+      }
+      last_prefix_at_level[level] = key.substr(0, level + 1);
+    }
+  }
+  return true;
+}
+
+}  // namespace bloomrf

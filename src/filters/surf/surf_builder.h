@@ -1,0 +1,63 @@
+// Trie builder for the SuRF baseline (Zhang et al., SIGMOD'18; paper
+// [49]).
+//
+// Consumes a sorted, unique, prefix-free set of byte-string keys and
+// emits, per trie level, the raw label / has-child / louds sequences of
+// a *truncated* trie: every key is stored only up to its distinguishing
+// byte (the minimal depth separating it from both neighbours), plus an
+// optional suffix (none / key hash / real key bits) that trades space
+// for point-query precision — SuRF-Base / SuRF-Hash / SuRF-Real.
+//
+// The builder streams over the sorted keys once: key i contributes new
+// edges exactly on levels [lcp(i-1,i), max(lcp(i-1,i), lcp(i,i+1))].
+
+#ifndef BLOOMRF_FILTERS_SURF_SURF_BUILDER_H_
+#define BLOOMRF_FILTERS_SURF_SURF_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bloomrf {
+
+enum class SurfSuffixType { kNone, kHash, kReal };
+
+struct SurfBuilderLevel {
+  std::vector<uint8_t> labels;
+  std::vector<bool> has_child;  // parallel to labels
+  std::vector<bool> louds;      // 1 = first edge of its node
+  std::vector<uint64_t> suffixes;  // one entry per terminal edge
+  uint64_t num_nodes = 0;
+};
+
+class SurfBuilder {
+ public:
+  SurfBuilder(SurfSuffixType suffix_type, uint32_t suffix_bits)
+      : suffix_type_(suffix_type), suffix_bits_(suffix_bits & 63) {}
+
+  /// Builds level data from `keys` (sorted, unique, prefix-free,
+  /// non-empty). Returns false on malformed input.
+  bool Build(const std::vector<std::string>& keys);
+
+  const std::vector<SurfBuilderLevel>& levels() const { return levels_; }
+  uint64_t num_keys() const { return num_keys_; }
+
+  /// Suffix value for `key` whose terminal label sits at byte index
+  /// `terminal_level` (hash of the whole key, or the first suffix_bits
+  /// real bits after the terminal byte, MSB-aligned into the low bits).
+  uint64_t SuffixOf(const std::string& key, uint32_t terminal_level) const;
+
+  /// Real-bits extraction for query-side comparisons.
+  static uint64_t RealBits(const std::string& key, uint32_t from_byte,
+                           uint32_t bits);
+
+ private:
+  SurfSuffixType suffix_type_;
+  uint32_t suffix_bits_;
+  std::vector<SurfBuilderLevel> levels_;
+  uint64_t num_keys_ = 0;
+};
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_FILTERS_SURF_SURF_BUILDER_H_

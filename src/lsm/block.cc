@@ -1,0 +1,38 @@
+#include "lsm/block.h"
+
+#include "util/coding.h"
+
+namespace bloomrf {
+
+void BlockBuilder::Add(uint64_t key, std::string_view value) {
+  PutFixed64(&buffer_, key);
+  PutFixed32(&buffer_, static_cast<uint32_t>(value.size()));
+  buffer_.append(value.data(), value.size());
+  last_key_ = key;
+  ++num_entries_;
+}
+
+std::string BlockBuilder::Finish() {
+  std::string out = std::move(buffer_);
+  buffer_.clear();
+  num_entries_ = 0;
+  last_key_ = 0;
+  return out;
+}
+
+bool ParseBlock(std::string_view data, std::vector<BlockEntry>* entries) {
+  entries->clear();
+  size_t pos = 0;
+  while (pos < data.size()) {
+    if (pos + 12 > data.size()) return false;
+    uint64_t key = DecodeFixed64(data.data() + pos);
+    uint32_t len = DecodeFixed32(data.data() + pos + 8);
+    pos += 12;
+    if (pos + len > data.size()) return false;
+    entries->push_back({key, data.substr(pos, len)});
+    pos += len;
+  }
+  return true;
+}
+
+}  // namespace bloomrf

@@ -1,0 +1,46 @@
+// Data-block format of the mini-LSM SST files.
+//
+// A block is a sorted run of (uint64 key, value) entries:
+//   entry := key:fixed64  value_len:fixed32  value_bytes
+// Blocks target Options::block_size bytes (RocksDB-style 4 KiB
+// default); the index block stores each data block's last key.
+
+#ifndef BLOOMRF_LSM_BLOCK_H_
+#define BLOOMRF_LSM_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bloomrf {
+
+class BlockBuilder {
+ public:
+  void Add(uint64_t key, std::string_view value);
+
+  size_t SizeBytes() const { return buffer_.size(); }
+  size_t NumEntries() const { return num_entries_; }
+  bool empty() const { return num_entries_ == 0; }
+  uint64_t last_key() const { return last_key_; }
+
+  /// Returns the serialized block and resets the builder.
+  std::string Finish();
+
+ private:
+  std::string buffer_;
+  size_t num_entries_ = 0;
+  uint64_t last_key_ = 0;
+};
+
+struct BlockEntry {
+  uint64_t key;
+  std::string_view value;  // points into the block's backing buffer
+};
+
+/// Parses a serialized block. Returns false on corruption.
+bool ParseBlock(std::string_view data, std::vector<BlockEntry>* entries);
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_LSM_BLOCK_H_

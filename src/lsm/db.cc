@@ -1,0 +1,97 @@
+#include "lsm/db.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <system_error>
+
+#include "lsm/table_builder.h"
+
+namespace bloomrf {
+
+Db::Db(DbOptions options) : options_(std::move(options)) {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+}
+
+bool Db::Put(uint64_t key, std::string_view value) {
+  memtable_.Put(key, value);
+  if (memtable_.ApproximateBytes() >= options_.memtable_bytes) {
+    return Flush();
+  }
+  return true;
+}
+
+bool Db::Flush() {
+  if (memtable_.empty()) return true;
+  auto entries = memtable_.Snapshot();
+  TableBuilder builder(options_.filter_policy.get(), options_.block_size);
+  for (const auto& [key, value] : entries) builder.Add(key, value);
+  std::string path =
+      options_.dir + "/" + std::to_string(next_file_number_++) + ".sst";
+  TableBuildStats build_stats;
+  // The memtable is cleared only once the SST is written and readable;
+  // a failed flush keeps all data queryable in memory.
+  if (!builder.WriteTo(path, &build_stats)) return false;
+  auto reader =
+      TableReader::Open(path, options_.filter_policy.get(), &stats_);
+  if (reader == nullptr) return false;
+  flush_stats_.filter_create_seconds += build_stats.filter_create_seconds;
+  flush_stats_.filter_block_bytes += build_stats.filter_block_bytes;
+  ++flush_stats_.sst_files;
+  tables_.push_back(std::move(reader));
+  memtable_.Clear();
+  return true;
+}
+
+bool Db::Get(uint64_t key, std::string* value) {
+  if (memtable_.Get(key, value)) return true;
+  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+    if ((*it)->Get(key, value, &stats_)) return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<uint64_t, std::string>> Db::RangeScan(uint64_t lo,
+                                                            uint64_t hi,
+                                                            size_t limit) {
+  // Newest-first merge: the first writer of a key wins.
+  std::map<uint64_t, std::string> merged;
+  std::vector<std::pair<uint64_t, std::string>> chunk;
+  memtable_.RangeScan(lo, hi, limit, &chunk);
+  for (auto& [k, v] : chunk) merged.emplace(k, std::move(v));
+  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+    chunk.clear();
+    (*it)->RangeScan(lo, hi, limit, &chunk, &stats_);
+    for (auto& [k, v] : chunk) merged.emplace(k, std::move(v));
+  }
+  std::vector<std::pair<uint64_t, std::string>> out;
+  for (auto& [k, v] : merged) {
+    if (out.size() >= limit) break;
+    out.emplace_back(k, std::move(v));
+  }
+  return out;
+}
+
+bool Db::RangeMayMatch(uint64_t lo, uint64_t hi) {
+  std::vector<std::pair<uint64_t, std::string>> probe;
+  memtable_.RangeScan(lo, hi, 1, &probe);
+  if (!probe.empty()) return true;
+  bool any = false;
+  for (auto& table : tables_) {
+    if (table->filter() != nullptr) {
+      if (table->RangeScan(lo, hi, 0, nullptr, &stats_)) any = true;
+    } else {
+      if (lo <= table->max_key() && hi >= table->min_key()) any = true;
+    }
+  }
+  return any;
+}
+
+uint64_t Db::filter_memory_bits() const {
+  uint64_t total = 0;
+  for (const auto& table : tables_) total += table->filter_memory_bits();
+  return total;
+}
+
+}  // namespace bloomrf

@@ -1,0 +1,93 @@
+// Mini-LSM key-value store: the system substrate standing in for the
+// paper's RocksDB v6.3.6 integration (Sect. 9, "Integration in
+// RocksDB").
+//
+// Behaviour mirrored from the paper's setup:
+//  - compaction disabled: flushed SSTs accumulate at level 0 and every
+//    read consults all of them, newest first;
+//  - one full filter block per SST, built through a pluggable
+//    FilterPolicy extended with range information (RangeMayMatch);
+//  - probe-cost accounting (filter time, I/O wait, deserialization)
+//    for the Fig. 12.G breakdown.
+//
+//   DbOptions options;
+//   options.dir = "/tmp/db";
+//   options.filter_policy = NewBloomRFPolicy(22.0, 1e6);
+//   Db db(options);
+//   db.Put(42, "value");
+//   db.Flush();
+//   std::string v;
+//   db.Get(42, &v);
+//   auto rows = db.RangeScan(40, 50, 100);
+
+#ifndef BLOOMRF_LSM_DB_H_
+#define BLOOMRF_LSM_DB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/filter_policy.h"
+#include "lsm/memtable.h"
+#include "lsm/table_reader.h"
+
+namespace bloomrf {
+
+struct DbOptions {
+  std::string dir;
+  /// Null disables filter blocks entirely.
+  std::shared_ptr<FilterPolicy> filter_policy;
+  size_t block_size = 4096;
+  uint64_t memtable_bytes = 64ull << 20;
+};
+
+struct DbFlushStats {
+  double filter_create_seconds = 0;
+  uint64_t filter_block_bytes = 0;
+  uint64_t sst_files = 0;
+};
+
+class Db {
+ public:
+  explicit Db(DbOptions options);
+
+  /// Inserts/overwrites a key in the memtable; flushes automatically
+  /// when the memtable exceeds its budget.
+  bool Put(uint64_t key, std::string_view value);
+
+  /// Point read: memtable first, then L0 tables newest-first through
+  /// their filters.
+  bool Get(uint64_t key, std::string* value);
+
+  /// Returns up to `limit` entries with keys in [lo, hi], merged over
+  /// the memtable and all SSTs (newest value wins on duplicates).
+  std::vector<std::pair<uint64_t, std::string>> RangeScan(uint64_t lo,
+                                                          uint64_t hi,
+                                                          size_t limit = 1024);
+
+  /// True iff some entry may exist in [lo, hi] — the pure filter-path
+  /// probe used by the FPR experiments (no block reads on negatives).
+  bool RangeMayMatch(uint64_t lo, uint64_t hi);
+
+  /// Flushes the memtable to a new L0 SST. No-op when empty.
+  bool Flush();
+
+  const LsmStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+  const DbFlushStats& flush_stats() const { return flush_stats_; }
+  size_t num_tables() const { return tables_.size(); }
+  uint64_t filter_memory_bits() const;
+
+ private:
+  DbOptions options_;
+  MemTable memtable_;
+  std::vector<std::unique_ptr<TableReader>> tables_;  // newest last
+  uint64_t next_file_number_ = 1;
+  LsmStats stats_;
+  DbFlushStats flush_stats_;
+};
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_LSM_DB_H_

@@ -1,0 +1,59 @@
+// Filter-policy plugin interface of the mini-LSM store, mirroring the
+// RocksDB integration described in paper Sect. 9: each SST file carries
+// one serialized filter block; the policy is "extended to pass
+// query-range information (lower/upper bounds) to the filter".
+//
+// A policy builds a filter over the sorted keys of an SST at flush time
+// (CreateFilter) and reconstitutes a probe object from the stored
+// filter block at open time (LoadFilter).
+
+#ifndef BLOOMRF_LSM_FILTER_POLICY_H_
+#define BLOOMRF_LSM_FILTER_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bloomrf {
+
+/// Probe side of a deserialized per-SST filter.
+class FilterProbe {
+ public:
+  virtual ~FilterProbe() = default;
+  virtual bool KeyMayMatch(uint64_t key) const = 0;
+  virtual bool RangeMayMatch(uint64_t lo, uint64_t hi) const = 0;
+  virtual uint64_t MemoryBits() const = 0;
+};
+
+class FilterPolicy {
+ public:
+  virtual ~FilterPolicy() = default;
+  virtual std::string Name() const = 0;
+
+  /// Builds and serializes a filter for one SST's sorted unique keys.
+  virtual std::string CreateFilter(
+      const std::vector<uint64_t>& sorted_keys) const = 0;
+
+  /// Reconstructs the probe object from a filter block. Returns null
+  /// on corruption (the table then probes nothing and scans).
+  virtual std::unique_ptr<FilterProbe> LoadFilter(
+      std::string_view data) const = 0;
+};
+
+/// Factory helpers for every policy used in the evaluation.
+std::unique_ptr<FilterPolicy> NewBloomRFPolicy(double bits_per_key,
+                                               double max_range);
+std::unique_ptr<FilterPolicy> NewBloomPolicy(double bits_per_key);
+std::unique_ptr<FilterPolicy> NewPrefixBloomPolicy(double bits_per_key,
+                                                   uint32_t prefix_level);
+std::unique_ptr<FilterPolicy> NewRosettaPolicy(double bits_per_key,
+                                               uint64_t max_range);
+std::unique_ptr<FilterPolicy> NewSurfPolicy(uint32_t suffix_type,
+                                            uint32_t suffix_bits);
+std::unique_ptr<FilterPolicy> NewFencePointerPolicy(double bits_per_key);
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_LSM_FILTER_POLICY_H_

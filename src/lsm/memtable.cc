@@ -1,0 +1,2 @@
+// MemTable is header-only; this translation unit anchors the target.
+#include "lsm/memtable.h"

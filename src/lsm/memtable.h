@@ -1,0 +1,79 @@
+// In-memory write buffer of the mini-LSM store. The paper's Problem 2
+// discussion notes that KV-stores absorb new data in a main-memory
+// delta that is searched "otherwise" (HashSkipLists / HashLinkLists in
+// RocksDB); a mutex-guarded ordered map reproduces that role here.
+
+#ifndef BLOOMRF_LSM_MEMTABLE_H_
+#define BLOOMRF_LSM_MEMTABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bloomrf {
+
+class MemTable {
+ public:
+  void Put(uint64_t key, std::string_view value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = entries_.insert_or_assign(key, std::string(value));
+    (void)it;
+    if (inserted) bytes_ += 8 + value.size();
+  }
+
+  bool Get(uint64_t key, std::string* value) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return false;
+    if (value != nullptr) *value = it->second;
+    return true;
+  }
+
+  /// Appends entries in [lo, hi] (up to `limit` total in `out`).
+  void RangeScan(uint64_t lo, uint64_t hi, size_t limit,
+                 std::vector<std::pair<uint64_t, std::string>>* out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.lower_bound(lo);
+         it != entries_.end() && it->first <= hi && out->size() < limit;
+         ++it) {
+      out->emplace_back(it->first, it->second);
+    }
+  }
+
+  uint64_t ApproximateBytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Copies all entries in sorted order (flush path). The memtable is
+  /// cleared separately, only after the flush has durably succeeded.
+  std::vector<std::pair<uint64_t, std::string>> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<uint64_t, std::string>> out;
+    out.reserve(entries_.size());
+    for (const auto& [k, v] : entries_) out.emplace_back(k, v);
+    return out;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::string> entries_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_LSM_MEMTABLE_H_

@@ -1,0 +1,66 @@
+#include "lsm/table_builder.h"
+
+#include <cstdio>
+
+#include "util/coding.h"
+#include "util/timer.h"
+
+namespace bloomrf {
+
+void TableBuilder::Add(uint64_t key, std::string_view value) {
+  current_.Add(key, value);
+  keys_.push_back(key);
+  if (current_.SizeBytes() >= block_size_) FlushBlock();
+}
+
+void TableBuilder::FlushBlock() {
+  if (current_.empty()) return;
+  uint64_t last = current_.last_key();
+  std::string block = current_.Finish();
+  PutFixed64(&index_, last);
+  PutFixed64(&index_, file_data_.size());
+  PutFixed64(&index_, block.size());
+  file_data_ += block;
+}
+
+bool TableBuilder::WriteTo(const std::string& path, TableBuildStats* stats) {
+  FlushBlock();
+  uint64_t index_off = file_data_.size();
+  uint64_t index_size = index_.size();
+  file_data_ += index_;
+
+  std::string filter_block;
+  double filter_seconds = 0;
+  if (policy_ != nullptr) {
+    Timer timer;
+    std::string filter_data = policy_->CreateFilter(keys_);
+    filter_seconds = timer.ElapsedSeconds();
+    PutLengthPrefixed(&filter_block, policy_->Name());
+    PutLengthPrefixed(&filter_block, filter_data);
+  }
+  uint64_t filter_off = file_data_.size();
+  uint64_t filter_size = filter_block.size();
+  file_data_ += filter_block;
+
+  PutFixed64(&file_data_, index_off);
+  PutFixed64(&file_data_, index_size);
+  PutFixed64(&file_data_, filter_off);
+  PutFixed64(&file_data_, filter_size);
+  PutFixed64(&file_data_, kMagic);
+
+  if (stats != nullptr) {
+    stats->filter_create_seconds = filter_seconds;
+    stats->filter_block_bytes = filter_size;
+    stats->data_bytes = index_off;
+    stats->num_entries = keys_.size();
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(file_data_.data(), 1, file_data_.size(), f) ==
+            file_data_.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace bloomrf

@@ -1,0 +1,60 @@
+// SST (sorted string table) writer of the mini-LSM store.
+//
+// File layout (all offsets little-endian):
+//   [data block]*  [index block]  [filter block]  [footer]
+//   index entry  := last_key:fixed64 offset:fixed64 size:fixed64
+//   filter block := name:len-prefixed data:len-prefixed
+//   footer       := index_off index_size filter_off filter_size magic
+//
+// Filters are built over the full key set of the file ("full filter"
+// placement, as in the paper's RocksDB integration with
+// compaction-disabled block-based tables).
+
+#ifndef BLOOMRF_LSM_TABLE_BUILDER_H_
+#define BLOOMRF_LSM_TABLE_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lsm/block.h"
+#include "lsm/filter_policy.h"
+
+namespace bloomrf {
+
+struct TableBuildStats {
+  double filter_create_seconds = 0;
+  uint64_t filter_block_bytes = 0;
+  uint64_t data_bytes = 0;
+  uint64_t num_entries = 0;
+};
+
+class TableBuilder {
+ public:
+  static constexpr uint64_t kMagic = 0xb100f54b1e5ULL;
+
+  /// `policy` may be null (no filter block). Does not take ownership.
+  TableBuilder(const FilterPolicy* policy, size_t block_size)
+      : policy_(policy), block_size_(block_size) {}
+
+  /// Adds an entry; keys must arrive in strictly increasing order.
+  void Add(uint64_t key, std::string_view value);
+
+  /// Serializes the complete table and writes it to `path`. Returns
+  /// false on I/O failure.
+  bool WriteTo(const std::string& path, TableBuildStats* stats);
+
+ private:
+  void FlushBlock();
+
+  const FilterPolicy* policy_;
+  size_t block_size_;
+  BlockBuilder current_;
+  std::string file_data_;
+  std::string index_;
+  std::vector<uint64_t> keys_;
+};
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_LSM_TABLE_BUILDER_H_

@@ -1,0 +1,164 @@
+#include "lsm/table_reader.h"
+
+#include <algorithm>
+
+#include "lsm/block.h"
+#include "lsm/table_builder.h"
+#include "util/coding.h"
+#include "util/timer.h"
+
+namespace bloomrf {
+
+namespace {
+
+bool ReadAt(std::FILE* f, uint64_t offset, uint64_t size, std::string* out) {
+  out->resize(size);
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) return false;
+  return std::fread(out->data(), 1, size, f) == size;
+}
+
+}  // namespace
+
+TableReader::~TableReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::unique_ptr<TableReader> TableReader::Open(const std::string& path,
+                                               const FilterPolicy* policy,
+                                               LsmStats* stats) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return nullptr;
+  std::unique_ptr<TableReader> reader(new TableReader());
+  reader->file_ = f;
+
+  if (std::fseek(f, 0, SEEK_END) != 0) return nullptr;
+  long file_size = std::ftell(f);
+  if (file_size < 40) return nullptr;
+
+  std::string footer;
+  if (!ReadAt(f, static_cast<uint64_t>(file_size) - 40, 40, &footer)) {
+    return nullptr;
+  }
+  uint64_t index_off = DecodeFixed64(footer.data());
+  uint64_t index_size = DecodeFixed64(footer.data() + 8);
+  uint64_t filter_off = DecodeFixed64(footer.data() + 16);
+  uint64_t filter_size = DecodeFixed64(footer.data() + 24);
+  if (DecodeFixed64(footer.data() + 32) != TableBuilder::kMagic) {
+    return nullptr;
+  }
+
+  std::string index_data;
+  if (!ReadAt(f, index_off, index_size, &index_data)) return nullptr;
+  if (index_size % 24 != 0) return nullptr;
+  for (size_t pos = 0; pos < index_data.size(); pos += 24) {
+    reader->index_.push_back({DecodeFixed64(index_data.data() + pos),
+                              DecodeFixed64(index_data.data() + pos + 8),
+                              DecodeFixed64(index_data.data() + pos + 16)});
+  }
+
+  if (policy != nullptr && filter_size > 0) {
+    std::string filter_data;
+    if (!ReadAt(f, filter_off, filter_size, &filter_data)) return nullptr;
+    size_t pos = 0;
+    std::string_view name, data;
+    if (!GetLengthPrefixed(filter_data, &pos, &name) ||
+        !GetLengthPrefixed(filter_data, &pos, &data)) {
+      return nullptr;
+    }
+    Timer timer;
+    reader->filter_ = policy->LoadFilter(data);
+    if (stats != nullptr) stats->deser_nanos += timer.ElapsedNanos();
+  }
+
+  // Min/max keys: first key of first block, last key of last block.
+  if (!reader->index_.empty()) {
+    std::string block;
+    if (!reader->ReadBlockAt(0, &block, nullptr)) return nullptr;
+    if (block.size() >= 8) reader->min_key_ = DecodeFixed64(block.data());
+    reader->max_key_ = reader->index_.back().last_key;
+  }
+  return reader;
+}
+
+bool TableReader::ReadBlockAt(size_t index_pos, std::string* buffer,
+                              LsmStats* stats) const {
+  const IndexEntry& entry = index_[index_pos];
+  Timer timer;
+  bool ok = ReadAt(file_, entry.offset, entry.size, buffer);
+  if (stats != nullptr) {
+    stats->io_nanos += timer.ElapsedNanos();
+    ++stats->blocks_read;
+    stats->bytes_read += entry.size;
+  }
+  return ok;
+}
+
+int64_t TableReader::FindBlock(uint64_t key) const {
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), key,
+      [](const IndexEntry& e, uint64_t k) { return e.last_key < k; });
+  if (it == index_.end()) return -1;
+  return static_cast<int64_t>(it - index_.begin());
+}
+
+bool TableReader::Get(uint64_t key, std::string* value,
+                      LsmStats* stats) const {
+  if (filter_ != nullptr) {
+    Timer timer;
+    bool may_match = filter_->KeyMayMatch(key);
+    if (stats != nullptr) {
+      stats->filter_probe_nanos += timer.ElapsedNanos();
+      ++stats->filter_probes;
+      if (!may_match) ++stats->filter_negatives;
+    }
+    if (!may_match) return false;
+  }
+  int64_t block_idx = FindBlock(key);
+  if (block_idx < 0) return false;
+  std::string buffer;
+  if (!ReadBlockAt(static_cast<size_t>(block_idx), &buffer, stats)) {
+    return false;
+  }
+  std::vector<BlockEntry> entries;
+  if (!ParseBlock(buffer, &entries)) return false;
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const BlockEntry& e, uint64_t k) { return e.key < k; });
+  if (it == entries.end() || it->key != key) return false;
+  if (value != nullptr) value->assign(it->value);
+  return true;
+}
+
+bool TableReader::RangeScan(uint64_t lo, uint64_t hi, size_t limit,
+                            std::vector<std::pair<uint64_t, std::string>>* out,
+                            LsmStats* stats) const {
+  if (filter_ != nullptr) {
+    Timer timer;
+    bool may_match = filter_->RangeMayMatch(lo, hi);
+    if (stats != nullptr) {
+      stats->filter_probe_nanos += timer.ElapsedNanos();
+      ++stats->filter_probes;
+      if (!may_match) ++stats->filter_negatives;
+    }
+    if (!may_match) return false;
+  }
+  int64_t block_idx = FindBlock(lo);
+  std::string buffer;
+  std::vector<BlockEntry> entries;
+  for (size_t b = block_idx < 0 ? index_.size() : static_cast<size_t>(block_idx);
+       b < index_.size(); ++b) {
+    if (!ReadBlockAt(b, &buffer, stats)) break;
+    if (!ParseBlock(buffer, &entries)) break;
+    for (const BlockEntry& entry : entries) {
+      if (entry.key < lo) continue;
+      if (entry.key > hi) return true;
+      if (out != nullptr) {
+        if (out->size() >= limit) return true;
+        out->emplace_back(entry.key, std::string(entry.value));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace bloomrf

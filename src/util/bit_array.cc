@@ -1,0 +1,67 @@
+#include "util/bit_array.h"
+
+#include <bit>
+#include <cstring>
+
+namespace bloomrf {
+
+void BitArray::Reset(uint64_t nbits) {
+  nbits_ = (nbits + 63) & ~63ULL;
+  nblocks_ = nbits_ / 64;
+  blocks_ = std::make_unique<std::atomic<uint64_t>[]>(nblocks_);
+  for (uint64_t i = 0; i < nblocks_; ++i) {
+    blocks_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+bool BitArray::AnyInRange(uint64_t lo, uint64_t hi) const {
+  if (lo > hi || lo >= nbits_) return false;
+  if (hi >= nbits_) hi = nbits_ - 1;
+  uint64_t first_block = lo >> 6;
+  uint64_t last_block = hi >> 6;
+  if (first_block == last_block) {
+    uint64_t width = hi - lo + 1;
+    uint64_t mask = (width == 64) ? ~0ULL : ((1ULL << width) - 1) << (lo & 63);
+    return (LoadBlock(first_block) & mask) != 0;
+  }
+  uint64_t head_mask = ~0ULL << (lo & 63);
+  if (LoadBlock(first_block) & head_mask) return true;
+  for (uint64_t b = first_block + 1; b < last_block; ++b) {
+    if (LoadBlock(b) != 0) return true;
+  }
+  uint64_t tail_width = (hi & 63) + 1;
+  uint64_t tail_mask = (tail_width == 64) ? ~0ULL : (1ULL << tail_width) - 1;
+  return (LoadBlock(last_block) & tail_mask) != 0;
+}
+
+uint64_t BitArray::CountOnes() const {
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < nblocks_; ++i) {
+    total += std::popcount(LoadBlock(i));
+  }
+  return total;
+}
+
+void BitArray::SerializeTo(std::string* dst) const {
+  dst->reserve(dst->size() + size_bytes());
+  for (uint64_t i = 0; i < nblocks_; ++i) {
+    uint64_t block = LoadBlock(i);
+    char buf[8];
+    std::memcpy(buf, &block, 8);
+    dst->append(buf, 8);
+  }
+}
+
+bool BitArray::DeserializeFrom(uint64_t nbits, std::string_view data) {
+  uint64_t rounded = (nbits + 63) & ~63ULL;
+  if (data.size() != rounded / 8) return false;
+  Reset(rounded);
+  for (uint64_t i = 0; i < nblocks_; ++i) {
+    uint64_t block;
+    std::memcpy(&block, data.data() + i * 8, 8);
+    blocks_[i].store(block, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+}  // namespace bloomrf

@@ -1,0 +1,151 @@
+#include "util/bit_vector.h"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace bloomrf {
+
+void BitVector::PushBack(bool bit) {
+  assert(!built_);
+  if ((nbits_ & 63) == 0) words_.push_back(0);
+  if (bit) words_.back() |= 1ULL << (nbits_ & 63);
+  ++nbits_;
+}
+
+void BitVector::AppendBits(uint64_t bits, uint32_t n) {
+  for (uint32_t i = 0; i < n; ++i) PushBack((bits >> i) & 1ULL);
+}
+
+void BitVector::SetBit(uint64_t pos) {
+  assert(!built_);
+  if (pos >= nbits_) {
+    nbits_ = pos + 1;
+    words_.resize((nbits_ + 63) / 64, 0);
+  }
+  words_[pos >> 6] |= 1ULL << (pos & 63);
+}
+
+void BitVector::EnsureSize(uint64_t nbits) {
+  assert(!built_);
+  if (nbits > nbits_) {
+    nbits_ = nbits;
+    words_.resize((nbits_ + 63) / 64, 0);
+  }
+}
+
+void BitVector::Build() {
+  built_ = true;
+  words_.resize((nbits_ + 63) / 64, 0);
+  // Clear any slack bits beyond nbits_ so popcounts are exact.
+  if (nbits_ & 63) {
+    words_.back() &= (1ULL << (nbits_ & 63)) - 1;
+  }
+  uint64_t nsuper = (nbits_ + kSuperBits - 1) / kSuperBits + 1;
+  super_rank_.assign(nsuper, 0);
+  total_ones_ = 0;
+  select_hints_.clear();
+  for (uint64_t w = 0; w < words_.size(); ++w) {
+    if ((w % (kSuperBits / 64)) == 0) {
+      super_rank_[w / (kSuperBits / 64)] = total_ones_;
+    }
+    uint64_t word = words_[w];
+    while (word) {
+      if (total_ones_ % kSelectSample == 0) {
+        select_hints_.push_back(w * 64 + std::countr_zero(word));
+      }
+      word &= word - 1;
+      ++total_ones_;
+    }
+  }
+  super_rank_.back() = total_ones_;
+}
+
+uint64_t BitVector::Rank1(uint64_t pos) const {
+  if (pos > nbits_) pos = nbits_;
+  uint64_t super = pos / kSuperBits;
+  uint64_t rank = super_rank_[super];
+  uint64_t w = super * (kSuperBits / 64);
+  uint64_t end_word = pos >> 6;
+  for (; w < end_word; ++w) rank += std::popcount(words_[w]);
+  if (pos & 63) {
+    rank += std::popcount(words_[end_word] & ((1ULL << (pos & 63)) - 1));
+  }
+  return rank;
+}
+
+uint64_t BitVector::Select1(uint64_t i) const {
+  assert(i < total_ones_);
+  uint64_t pos = select_hints_[i / kSelectSample];
+  uint64_t rank = (i / kSelectSample) * kSelectSample;
+  // Walk words from the hint.
+  uint64_t w = pos >> 6;
+  uint64_t word = words_[w] & (~0ULL << (pos & 63));
+  while (true) {
+    uint64_t pc = std::popcount(word);
+    if (rank + pc > i) break;
+    rank += pc;
+    word = words_[++w];
+  }
+  // i - rank zero-indexed 1-bit within `word`.
+  uint64_t remaining = i - rank;
+  while (remaining--) word &= word - 1;
+  return w * 64 + std::countr_zero(word);
+}
+
+uint64_t BitVector::NextOne(uint64_t pos) const {
+  if (pos >= nbits_) return nbits_;
+  uint64_t w = pos >> 6;
+  uint64_t word = words_[w] & (~0ULL << (pos & 63));
+  while (word == 0) {
+    if (++w >= words_.size()) return nbits_;
+    word = words_[w];
+  }
+  uint64_t result = w * 64 + std::countr_zero(word);
+  return result < nbits_ ? result : nbits_;
+}
+
+uint64_t BitVector::PrevOne(uint64_t pos) const {
+  if (nbits_ == 0) return UINT64_MAX;
+  if (pos >= nbits_) pos = nbits_ - 1;
+  uint64_t w = pos >> 6;
+  uint64_t mask = ((pos & 63) == 63) ? ~0ULL : ((1ULL << ((pos & 63) + 1)) - 1);
+  uint64_t word = words_[w] & mask;
+  while (word == 0) {
+    if (w == 0) return UINT64_MAX;
+    word = words_[--w];
+  }
+  return w * 64 + 63 - std::countl_zero(word);
+}
+
+uint64_t BitVector::SizeBits() const {
+  return words_.size() * 64 + super_rank_.size() * 64 +
+         select_hints_.size() * 64;
+}
+
+void BitVector::SerializeTo(std::string* dst) const {
+  assert(built_);
+  PutFixed64(dst, nbits_);
+  for (uint64_t word : words_) PutFixed64(dst, word);
+}
+
+bool BitVector::DeserializeFrom(std::string_view src, size_t* pos) {
+  if (*pos + 8 > src.size()) return false;
+  uint64_t nbits = DecodeFixed64(src.data() + *pos);
+  *pos += 8;
+  uint64_t nwords = (nbits + 63) / 64;
+  if (*pos + nwords * 8 > src.size()) return false;
+  built_ = false;
+  nbits_ = nbits;
+  words_.resize(nwords);
+  for (uint64_t w = 0; w < nwords; ++w) {
+    words_[w] = DecodeFixed64(src.data() + *pos);
+    *pos += 8;
+  }
+  Build();
+  return true;
+}
+
+}  // namespace bloomrf

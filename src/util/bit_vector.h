@@ -1,0 +1,88 @@
+// Succinct bitvector with rank/select support.
+//
+// Substrate for the SuRF baseline (LOUDS-Dense / LOUDS-Sparse
+// navigation, paper [49]). Rank uses a two-level directory (cumulative
+// popcount per 512-bit superblock plus per-64-bit-block bytes); select
+// uses sampled positions refined by a directory walk. Construction is
+// offline (SuRF is an offline filter, paper Problem 2), so the vector
+// is immutable after Build().
+
+#ifndef BLOOMRF_UTIL_BIT_VECTOR_H_
+#define BLOOMRF_UTIL_BIT_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bloomrf {
+
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Appends a bit (only valid before Build()).
+  void PushBack(bool bit);
+
+  /// Appends the low `n` bits of `bits`, LSB first.
+  void AppendBits(uint64_t bits, uint32_t n);
+
+  /// Sets bit `pos`, growing the vector if needed (pre-Build only).
+  void SetBit(uint64_t pos);
+
+  /// Grows the vector to at least `nbits` zero bits (pre-Build only).
+  void EnsureSize(uint64_t nbits);
+
+  /// Finalizes and builds the rank/select directories.
+  void Build();
+
+  uint64_t size() const { return nbits_; }
+
+  bool Get(uint64_t pos) const {
+    return (words_[pos >> 6] >> (pos & 63)) & 1ULL;
+  }
+
+  /// Number of 1-bits in [0, pos) — exclusive prefix rank.
+  uint64_t Rank1(uint64_t pos) const;
+
+  /// Number of 0-bits in [0, pos).
+  uint64_t Rank0(uint64_t pos) const { return pos - Rank1(pos); }
+
+  /// Position of the (i+1)-th 1-bit (0-based i). Requires i < ones().
+  uint64_t Select1(uint64_t i) const;
+
+  uint64_t ones() const { return total_ones_; }
+
+  /// Position of the next 1-bit at or after `pos`, or size() if none.
+  uint64_t NextOne(uint64_t pos) const;
+
+  /// Position of the previous 1-bit at or before `pos`, or UINT64_MAX.
+  uint64_t PrevOne(uint64_t pos) const;
+
+  /// Approximate heap usage in bits (payload + directories).
+  uint64_t SizeBits() const;
+
+  /// Appends nbits + raw payload words; directories are rebuilt on
+  /// load. Valid on built vectors only.
+  void SerializeTo(std::string* dst) const;
+
+  /// Restores from a SerializeTo() stream at `*pos`, advancing it.
+  /// Returns false on truncation. The vector comes back Built().
+  bool DeserializeFrom(std::string_view src, size_t* pos);
+
+ private:
+  static constexpr uint64_t kSuperBits = 512;
+  static constexpr uint64_t kSelectSample = 256;
+
+  std::vector<uint64_t> words_;
+  uint64_t nbits_ = 0;
+  uint64_t total_ones_ = 0;
+  std::vector<uint64_t> super_rank_;    // cumulative ones before superblock
+  std::vector<uint64_t> select_hints_;  // position of every kSelectSample-th 1
+  bool built_ = false;
+};
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_UTIL_BIT_VECTOR_H_

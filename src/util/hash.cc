@@ -1,0 +1,26 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+namespace bloomrf {
+
+uint64_t HashBytes(const void* data, size_t n, uint64_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL ^ Mix64(seed + n);
+  // Consume 8-byte chunks.
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    h = Mix64(h ^ chunk);
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    uint64_t tail = 0;
+    std::memcpy(&tail, p, n);
+    h = Mix64(h ^ tail ^ (static_cast<uint64_t>(n) << 56));
+  }
+  return Mix64(h);
+}
+
+}  // namespace bloomrf

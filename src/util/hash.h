@@ -1,0 +1,65 @@
+// Hashing utilities shared by all filters.
+//
+// All filters in this library hash 64-bit machine words (keys are first
+// mapped to an order-preserving uint64 representation, see
+// core/key_codec.h). We provide a strong 64-bit finalizer (SplitMix64 /
+// MurmurHash3 fmix64 family), seeded per-use-site, plus the
+// Kirsch-Mitzenmacher double-hashing scheme used by the Bloom-filter
+// baselines.
+
+#ifndef BLOOMRF_UTIL_HASH_H_
+#define BLOOMRF_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace bloomrf {
+
+/// MurmurHash3 fmix64 finalizer. Bijective mixer over uint64.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// SplitMix64 step: deterministically derives a stream of seeds.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Seeded 64-bit hash of a 64-bit value.
+inline uint64_t Hash64(uint64_t x, uint64_t seed) {
+  return Mix64(x + 0x9e3779b97f4a7c15ULL * (seed + 1));
+}
+
+/// 64-bit hash of arbitrary bytes (FNV-1a core + fmix64 finalizer).
+uint64_t HashBytes(const void* data, size_t n, uint64_t seed);
+
+inline uint64_t HashBytes(std::string_view s, uint64_t seed) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+/// Kirsch-Mitzenmacher double hashing: i-th probe position from two
+/// base hashes. `h2 | 1` keeps the stride odd, so all positions are
+/// reached when `m` is a power of two.
+inline uint64_t DoubleHashProbe(uint64_t h1, uint64_t h2, uint32_t i) {
+  return h1 + i * (h2 | 1);
+}
+
+/// Fast alternative to `h % n` (Lemire's multiply-shift reduction).
+/// Maps a full-range 64-bit hash uniformly onto [0, n).
+inline uint64_t FastRange64(uint64_t hash, uint64_t n) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(hash) * n) >> 64);
+}
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_UTIL_HASH_H_

@@ -1,0 +1,115 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace bloomrf {
+
+double Rng::NextGaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  zetan_ = Zeta(n, theta);
+  double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+  threshold_ = 1.0 + std::pow(0.5, theta);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  // Cap the exact summation; the tail contribution is approximated by
+  // the integral. Keeps construction O(1e6) even for n = 2^40.
+  constexpr uint64_t kExact = 1000000;
+  double sum = 0;
+  uint64_t upto = n < kExact ? n : kExact;
+  for (uint64_t i = 1; i <= upto; ++i) sum += 1.0 / std::pow(i, theta);
+  if (n > upto && theta != 1.0) {
+    sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+            std::pow(static_cast<double>(upto), 1.0 - theta)) /
+           (1.0 - theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next() {
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < threshold_) return 1;
+  return static_cast<uint64_t>(static_cast<double>(n_) *
+                               std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kNormal:
+      return "normal";
+    case Distribution::kZipfian:
+      return "zipfian";
+  }
+  return "?";
+}
+
+uint64_t DrawKey(Distribution dist, Rng& rng, ZipfianGenerator* zipf) {
+  switch (dist) {
+    case Distribution::kUniform:
+      return rng.Next();
+    case Distribution::kNormal: {
+      // Mean at domain center, sigma 2^59: spans a wide but clearly
+      // non-uniform slice of the domain (paper uses normal data and
+      // workload distributions without fixing parameters).
+      double g = rng.NextGaussian();
+      double v = 0x1.0p63 + g * 0x1.0p59;
+      if (v < 0) v = 0;
+      if (v >= 0x1.0p64) v = 0x1.0p64 - 1.0;
+      return static_cast<uint64_t>(v);
+    }
+    case Distribution::kZipfian: {
+      // Scrambled ranks mapped to sparse anchors: heavy skew onto a
+      // small set of hot regions, spread over the whole domain.
+      uint64_t rank = zipf->Next();
+      return Mix64(rank) & ~0xffffULL;  // cluster keys within 2^16 blocks
+    }
+  }
+  return 0;
+}
+
+std::vector<uint64_t> GenerateDistinctKeys(uint64_t n, Distribution dist,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  ZipfianGenerator zipf(uint64_t{1} << 40, 0.99, seed ^ 0x2f);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(n * 2);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  while (keys.size() < n) {
+    uint64_t k = DrawKey(dist, rng, &zipf);
+    if (dist == Distribution::kZipfian) {
+      // Zipfian draws collide by design; disambiguate within the hot
+      // block so the *data* stays clustered but keys are distinct.
+      k |= rng.Next() & 0xffffULL;
+    }
+    if (seen.insert(k).second) keys.push_back(k);
+  }
+  return keys;
+}
+
+}  // namespace bloomrf

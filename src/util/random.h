@@ -1,0 +1,94 @@
+// Deterministic random number generation and the data/workload
+// distributions used throughout the paper's evaluation (Sect. 9):
+// uniform, normal and zipfian key distributions over the 64-bit domain.
+
+#ifndef BLOOMRF_UTIL_RANDOM_H_
+#define BLOOMRF_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace bloomrf {
+
+/// xoshiro256**-style generator seeded via SplitMix64. Deterministic for
+/// a given seed; cheap enough for workload generation in benchmarks.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) {
+    uint64_t s = seed;
+    for (auto& word : state_) word = SplitMix64(s);
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return FastRange64(Next(), n); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Standard normal via Box-Muller (one value per call; the spare is
+  /// cached).
+  double NextGaussian();
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  bool has_spare_ = false;
+  double spare_ = 0;
+};
+
+/// YCSB-style Zipfian generator over ranks [0, n). Precomputes zeta(n,
+/// theta) once; Next() is O(1).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 0x5eed);
+
+  /// Returns a rank in [0, n); rank 0 is the most popular.
+  uint64_t Next();
+
+  /// Scrambled variant: popular ranks are scattered over [0, n).
+  uint64_t NextScrambled() { return FastRange64(Mix64(Next()), n_); }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double threshold_;
+  Rng rng_;
+};
+
+/// Distribution shapes for keys and query anchors (paper Sect. 9).
+enum class Distribution { kUniform, kNormal, kZipfian };
+
+const char* DistributionName(Distribution d);
+
+/// Draws one 64-bit value from `dist` over the full uint64 domain.
+/// Normal: mean 2^63, sigma 2^59 (clamped). Zipfian: scrambled ranks
+/// over 2^40 distinct anchors spread across the domain.
+uint64_t DrawKey(Distribution dist, Rng& rng, ZipfianGenerator* zipf);
+
+/// Generates `n` distinct keys from `dist` (sorted not guaranteed).
+std::vector<uint64_t> GenerateDistinctKeys(uint64_t n, Distribution dist,
+                                           uint64_t seed);
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_UTIL_RANDOM_H_

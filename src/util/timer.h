@@ -1,0 +1,34 @@
+// Minimal wall-clock timing helper for benchmark harnesses.
+
+#ifndef BLOOMRF_UTIL_TIMER_H_
+#define BLOOMRF_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace bloomrf {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  uint64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_UTIL_TIMER_H_

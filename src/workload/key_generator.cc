@@ -1,0 +1,33 @@
+#include "workload/key_generator.h"
+
+#include <algorithm>
+
+namespace bloomrf {
+
+bool Dataset::RangeNonEmpty(uint64_t lo, uint64_t hi) const {
+  if (lo > hi) return false;
+  auto it = std::lower_bound(sorted_keys.begin(), sorted_keys.end(), lo);
+  return it != sorted_keys.end() && *it <= hi;
+}
+
+bool Dataset::Contains(uint64_t key) const {
+  return std::binary_search(sorted_keys.begin(), sorted_keys.end(), key);
+}
+
+Dataset MakeDataset(uint64_t n, Distribution dist, uint64_t seed) {
+  Dataset dataset;
+  dataset.keys = GenerateDistinctKeys(n, dist, seed);
+  dataset.sorted_keys = dataset.keys;
+  std::sort(dataset.sorted_keys.begin(), dataset.sorted_keys.end());
+  return dataset;
+}
+
+std::string MakeValue(uint64_t key, size_t value_size) {
+  std::string value(value_size, '\0');
+  for (size_t i = 0; i < value_size; ++i) {
+    value[i] = static_cast<char>((key >> ((i % 8) * 8)) ^ (i * 131));
+  }
+  return value;
+}
+
+}  // namespace bloomrf

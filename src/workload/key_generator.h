@@ -1,0 +1,36 @@
+// Dataset generation for the evaluation workloads (paper Sect. 9):
+// uniform / normal / zipfian key sets over the 64-bit domain, plus the
+// YCSB-workload-E derivative (integer keys with 512-byte values,
+// range-scan heavy).
+
+#ifndef BLOOMRF_WORKLOAD_KEY_GENERATOR_H_
+#define BLOOMRF_WORKLOAD_KEY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace bloomrf {
+
+/// A generated dataset: distinct keys plus a sorted copy for ground
+/// truth and offline filter construction.
+struct Dataset {
+  std::vector<uint64_t> keys;         // insertion order
+  std::vector<uint64_t> sorted_keys;  // ascending, unique
+
+  /// True iff [lo, hi] contains at least one key (ground truth).
+  bool RangeNonEmpty(uint64_t lo, uint64_t hi) const;
+  bool Contains(uint64_t key) const;
+};
+
+Dataset MakeDataset(uint64_t n, Distribution dist, uint64_t seed);
+
+/// Fixed-size value payload for the YCSB-E derivative (512 bytes in the
+/// paper).
+std::string MakeValue(uint64_t key, size_t value_size);
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_WORKLOAD_KEY_GENERATOR_H_

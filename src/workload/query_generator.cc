@@ -1,0 +1,38 @@
+#include "workload/query_generator.h"
+
+namespace bloomrf {
+
+QueryWorkload MakeQueryWorkload(const Dataset& dataset, uint64_t num_queries,
+                                uint64_t range_size, Distribution dist,
+                                uint64_t seed, int max_redraws) {
+  QueryWorkload workload;
+  Rng rng(seed);
+  ZipfianGenerator zipf(uint64_t{1} << 40, 0.99, seed ^ 0x77);
+  if (range_size < 1) range_size = 1;
+
+  workload.point_queries.reserve(num_queries);
+  for (uint64_t i = 0; i < num_queries; ++i) {
+    uint64_t y = DrawKey(dist, rng, &zipf);
+    for (int r = 0; r < max_redraws && dataset.Contains(y); ++r) {
+      y = DrawKey(dist, rng, &zipf);
+    }
+    workload.point_queries.push_back(y);
+  }
+
+  workload.range_queries.reserve(num_queries);
+  for (uint64_t i = 0; i < num_queries; ++i) {
+    uint64_t lo = 0, hi = 0;
+    bool empty = false;
+    for (int r = 0; r < max_redraws && !empty; ++r) {
+      lo = DrawKey(dist, rng, &zipf);
+      if (lo > UINT64_MAX - (range_size - 1)) lo = UINT64_MAX - (range_size - 1);
+      hi = lo + (range_size - 1);
+      empty = !dataset.RangeNonEmpty(lo, hi);
+    }
+    if (!empty) ++workload.non_empty_ranges;
+    workload.range_queries.push_back({lo, hi, empty});
+  }
+  return workload;
+}
+
+}  // namespace bloomrf

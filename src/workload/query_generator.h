@@ -1,0 +1,41 @@
+// Query workload generation (paper Sect. 9): point- and range-queries
+// whose anchors follow a workload distribution (uniform / normal /
+// zipfian) independent of the data distribution. By default queries
+// are *empty* (worst case for filters, as in the paper); anchors that
+// hit the dataset are re-drawn a bounded number of times.
+
+#ifndef BLOOMRF_WORKLOAD_QUERY_GENERATOR_H_
+#define BLOOMRF_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "workload/key_generator.h"
+
+namespace bloomrf {
+
+struct RangeQuery {
+  uint64_t lo;
+  uint64_t hi;
+  bool empty;  // ground truth: no dataset key in [lo, hi]
+};
+
+struct QueryWorkload {
+  std::vector<uint64_t> point_queries;  // all misses unless noted
+  std::vector<RangeQuery> range_queries;
+  uint64_t non_empty_ranges = 0;
+};
+
+/// Generates `num_queries` point misses and `num_queries` ranges of
+/// exactly `range_size` elements each (hi = lo + range_size - 1).
+/// At most `max_redraws` attempts are made to keep a query empty;
+/// ranges that stay non-empty are kept and flagged (mirrors the
+/// paper's note that ~1% of the largest ranges end up non-empty).
+QueryWorkload MakeQueryWorkload(const Dataset& dataset, uint64_t num_queries,
+                                uint64_t range_size, Distribution dist,
+                                uint64_t seed, int max_redraws = 16);
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_WORKLOAD_QUERY_GENERATOR_H_

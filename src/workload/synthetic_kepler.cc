@@ -1,0 +1,30 @@
+#include "workload/synthetic_kepler.h"
+
+#include "util/random.h"
+
+namespace bloomrf {
+
+std::vector<double> GenerateKeplerFlux(const KeplerOptions& options) {
+  std::vector<double> flux;
+  flux.reserve(options.num_stars * options.samples_per_star);
+  Rng rng(options.seed);
+  for (uint64_t star = 0; star < options.num_stars; ++star) {
+    // Per-star baseline: mean-shifted around 0 like the labelled
+    // dataset (flux is normalized and centred), with star-to-star
+    // variation of a few tenths.
+    double baseline = rng.NextGaussian() * 0.3;
+    double level = 0;
+    for (uint64_t t = 0; t < options.samples_per_star; ++t) {
+      // AR(1) autocorrelated noise.
+      level = 0.98 * level + options.noise_sigma * rng.NextGaussian();
+      double value = baseline + level;
+      if (rng.NextDouble() < options.transit_probability) {
+        value -= options.transit_depth * (0.5 + rng.NextDouble());
+      }
+      flux.push_back(value);
+    }
+  }
+  return flux;
+}
+
+}  // namespace bloomrf

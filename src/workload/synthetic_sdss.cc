@@ -1,0 +1,28 @@
+#include "workload/synthetic_sdss.h"
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace bloomrf {
+
+std::vector<SdssRow> GenerateSdssRows(const SdssOptions& options) {
+  std::vector<SdssRow> rows;
+  rows.reserve(options.num_rows);
+  Rng rng(options.seed);
+  for (uint64_t i = 0; i < options.num_rows; ++i) {
+    double run_value = static_cast<double>(options.mean_run) +
+                       rng.NextGaussian() * options.run_sigma;
+    if (run_value < 1) run_value = 1;
+    uint64_t run = static_cast<uint64_t>(run_value);
+    // ObjectIDs cluster by run (sky stripes), with normal scatter.
+    double center = 0x1.0p62 + static_cast<double>(run) * 0x1.0p48;
+    double id_value = center + rng.NextGaussian() * 0x1.0p47;
+    if (id_value < 0) id_value = 0;
+    if (id_value >= 0x1.0p64) id_value = 0x1.0p64 - 1;
+    rows.push_back({static_cast<uint64_t>(id_value), run});
+  }
+  return rows;
+}
+
+}  // namespace bloomrf

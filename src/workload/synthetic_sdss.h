@@ -1,0 +1,35 @@
+// Synthetic stand-in for the Sloan Digital Sky Survey DR16 sample the
+// paper uses for the multi-attribute experiment (Fig. 12.F; [42]).
+//
+// The paper extracts the ObjectID and Run columns and notes that
+// "their values roughly follow a normal distribution". The generator
+// reproduces that: Run is drawn from a discretized normal over a small
+// range of observation runs, ObjectID from a wide normal over the
+// 64-bit identifier space, with mild correlation between the two (runs
+// image adjacent sky stripes, so identifiers cluster by run).
+
+#ifndef BLOOMRF_WORKLOAD_SYNTHETIC_SDSS_H_
+#define BLOOMRF_WORKLOAD_SYNTHETIC_SDSS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bloomrf {
+
+struct SdssRow {
+  uint64_t object_id;
+  uint64_t run;
+};
+
+struct SdssOptions {
+  uint64_t num_rows = 500000;
+  uint64_t mean_run = 756;
+  double run_sigma = 400;
+  uint64_t seed = 0x5d55;
+};
+
+std::vector<SdssRow> GenerateSdssRows(const SdssOptions& options);
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_WORKLOAD_SYNTHETIC_SDSS_H_

@@ -1,0 +1,30 @@
+#include "workload/synthetic_strings.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "util/random.h"
+
+namespace bloomrf {
+
+std::vector<std::string> GenerateStringKeys(
+    const StringDatasetOptions& opts) {
+  Rng rng(opts.seed);
+  ZipfianGenerator user_zipf(opts.num_users, 0.9, opts.seed ^ 1);
+  std::set<std::string> keys;
+  char buffer[64];
+  while (keys.size() < opts.num_keys) {
+    uint64_t user = user_zipf.NextScrambled();
+    uint64_t album = rng.Uniform(opts.num_albums);
+    uint64_t img = rng.Uniform(1000000);
+    std::snprintf(buffer, sizeof(buffer), "user%04llu/album%02llu/img%06llu",
+                  static_cast<unsigned long long>(user),
+                  static_cast<unsigned long long>(album),
+                  static_cast<unsigned long long>(img));
+    keys.insert(buffer);
+  }
+  return {keys.begin(), keys.end()};
+}
+
+}  // namespace bloomrf

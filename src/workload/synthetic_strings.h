@@ -1,0 +1,28 @@
+// Synthetic variable-length string keys for the Fig. 12 strings
+// experiment: hierarchical, URL/path-like identifiers
+// ("user042/album17/img00923") with shared prefixes and zipfian
+// hotspots — the shape that separates trie-based filters (SuRF) from
+// hash-based ones (bloomRF's 7-byte prefix coding).
+
+#ifndef BLOOMRF_WORKLOAD_SYNTHETIC_STRINGS_H_
+#define BLOOMRF_WORKLOAD_SYNTHETIC_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bloomrf {
+
+struct StringDatasetOptions {
+  uint64_t num_keys = 100000;
+  uint64_t num_users = 2000;   // first path component fan-out
+  uint64_t num_albums = 50;    // second component fan-out per user
+  uint64_t seed = 0x57e1195;
+};
+
+/// Returns sorted unique keys.
+std::vector<std::string> GenerateStringKeys(const StringDatasetOptions& opts);
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_WORKLOAD_SYNTHETIC_STRINGS_H_

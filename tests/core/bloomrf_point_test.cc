@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/bloomrf.h"
+#include "tests/test_util.h"
+
+namespace bloomrf {
+namespace {
+
+using ::bloomrf::testing::RandomKeySet;
+
+TEST(BloomRFPointTest, EmptyFilterRejectsEverything) {
+  BloomRF filter(BloomRFConfig::Basic(1000, 12.0));
+  EXPECT_FALSE(filter.MayContain(0));
+  EXPECT_FALSE(filter.MayContain(42));
+  EXPECT_FALSE(filter.MayContain(UINT64_MAX));
+}
+
+TEST(BloomRFPointTest, NoFalseNegatives) {
+  auto keys = RandomKeySet(50000, 11);
+  BloomRF filter(BloomRFConfig::Basic(keys.size(), 12.0));
+  for (uint64_t k : keys) filter.Insert(k);
+  for (uint64_t k : keys) EXPECT_TRUE(filter.MayContain(k)) << k;
+}
+
+TEST(BloomRFPointTest, FprWithinBudget) {
+  auto keys = RandomKeySet(100000, 12);
+  BloomRF filter(BloomRFConfig::Basic(keys.size(), 14.0));
+  for (uint64_t k : keys) filter.Insert(k);
+  Rng rng(13);
+  uint64_t fp = 0, negatives = 0;
+  for (int i = 0; i < 200000; ++i) {
+    uint64_t y = rng.Next();
+    if (keys.count(y)) continue;
+    ++negatives;
+    if (filter.MayContain(y)) ++fp;
+  }
+  double fpr = static_cast<double>(fp) / static_cast<double>(negatives);
+  EXPECT_LT(fpr, 0.02);  // 14 bits/key should be well under 2%
+}
+
+TEST(BloomRFPointTest, ExtremeKeysHandled) {
+  BloomRF filter(BloomRFConfig::Basic(16, 16.0));
+  for (uint64_t k : {uint64_t{0}, uint64_t{1}, UINT64_MAX, UINT64_MAX - 1,
+                     uint64_t{1} << 63}) {
+    filter.Insert(k);
+    EXPECT_TRUE(filter.MayContain(k)) << k;
+  }
+}
+
+TEST(BloomRFPointTest, SmallDomainExhaustive) {
+  auto keys = RandomKeySet(100, 14, /*domain=*/1 << 12);
+  BloomRF filter(BloomRFConfig::Basic(keys.size(), 12.0, 12, 3));
+  for (uint64_t k : keys) filter.Insert(k);
+  uint64_t fp = 0;
+  for (uint64_t y = 0; y < (1 << 12); ++y) {
+    bool truth = keys.count(y) > 0;
+    bool answer = filter.MayContain(y);
+    ASSERT_TRUE(answer || !truth) << "false negative at " << y;
+    if (answer && !truth) ++fp;
+  }
+  EXPECT_LT(fp, (1 << 12) / 6);
+}
+
+TEST(BloomRFPointTest, ProbeStatsCountLayers) {
+  BloomRFConfig cfg = BloomRFConfig::Basic(1000, 14.0);
+  BloomRF filter(cfg);
+  filter.Insert(42);
+  ProbeStats stats;
+  filter.MayContain(42, &stats);
+  // A full positive probe touches every layer exactly once.
+  EXPECT_EQ(stats.bit_probes, cfg.num_layers());
+}
+
+TEST(BloomRFPointTest, NegativeProbesStopEarly) {
+  BloomRFConfig cfg = BloomRFConfig::Basic(1000, 14.0);
+  BloomRF filter(cfg);
+  filter.Insert(42);
+  ProbeStats stats;
+  filter.MayContain(0xdeadbeefdeadbeefULL, &stats);
+  EXPECT_LE(stats.bit_probes, cfg.num_layers());
+  EXPECT_GE(stats.bit_probes, 1u);
+}
+
+TEST(BloomRFPointTest, WithExactLayerNoFalseNegatives) {
+  BloomRFConfig cfg;
+  cfg.domain_bits = 64;
+  cfg.delta = {7, 7, 7, 7, 7, 7};
+  cfg.replicas = {1, 1, 1, 1, 1, 2};
+  cfg.segment_of = {1, 1, 1, 1, 0, 0};
+  cfg.segment_bits = {100000, 300000};
+  cfg.has_exact_layer = true;  // exact level 42: 2^22 bits
+  ASSERT_TRUE(cfg.Validate().empty()) << cfg.Validate();
+  BloomRF filter(cfg);
+  auto keys = RandomKeySet(20000, 15);
+  for (uint64_t k : keys) filter.Insert(k);
+  for (uint64_t k : keys) EXPECT_TRUE(filter.MayContain(k)) << k;
+}
+
+TEST(BloomRFPointTest, PermutedWordsNoFalseNegatives) {
+  BloomRFConfig cfg = BloomRFConfig::Basic(5000, 14.0);
+  cfg.permute_words = true;
+  BloomRF filter(cfg);
+  auto keys = RandomKeySet(5000, 16);
+  for (uint64_t k : keys) filter.Insert(k);
+  for (uint64_t k : keys) EXPECT_TRUE(filter.MayContain(k)) << k;
+}
+
+TEST(BloomRFPointTest, ReplicasReducePointFpr) {
+  auto keys = RandomKeySet(30000, 17);
+  auto measure = [&](uint8_t replicas) {
+    BloomRFConfig cfg = BloomRFConfig::Basic(keys.size(), 16.0);
+    for (auto& r : cfg.replicas) r = replicas;
+    BloomRF filter(cfg);
+    for (uint64_t k : keys) filter.Insert(k);
+    Rng rng(18);
+    uint64_t fp = 0;
+    for (int i = 0; i < 100000; ++i) {
+      uint64_t y = rng.Next();
+      if (!keys.count(y) && filter.MayContain(y)) ++fp;
+    }
+    return fp;
+  };
+  // Doubling hash functions at this load factor must cut FPR.
+  EXPECT_LT(measure(2), measure(1));
+}
+
+}  // namespace
+}  // namespace bloomrf

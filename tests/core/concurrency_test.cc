@@ -1,0 +1,98 @@
+// bloomRF is an online, lock-free structure (paper Problem 2 and
+// Fig. 12.A/B): lookups run concurrently with insertions. These tests
+// pin the memory-visibility contract: a key inserted before a probe
+// (happens-before via thread join or acquire/release flag) is always
+// found, under concurrent writer load.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/bloomrf.h"
+#include "tests/test_util.h"
+
+namespace bloomrf {
+namespace {
+
+using ::bloomrf::testing::RandomKeySet;
+
+TEST(ConcurrencyTest, ParallelInsertsAllVisibleAfterJoin) {
+  auto keyset = RandomKeySet(80000, 91);
+  std::vector<uint64_t> keys(keyset.begin(), keyset.end());
+  BloomRF filter(BloomRFConfig::Basic(keys.size(), 14.0));
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (size_t i = static_cast<size_t>(t); i < keys.size(); i += kThreads) {
+        filter.Insert(keys[i]);
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  for (uint64_t k : keys) ASSERT_TRUE(filter.MayContain(k)) << k;
+}
+
+TEST(ConcurrencyTest, ReadersNeverSeeFalseNegativesUnderLoad) {
+  auto keyset = RandomKeySet(40000, 92);
+  std::vector<uint64_t> keys(keyset.begin(), keyset.end());
+  // First half pre-inserted; second half inserted while readers run.
+  size_t half = keys.size() / 2;
+  BloomRF filter(BloomRFConfig::Basic(keys.size(), 14.0));
+  for (size_t i = 0; i < half; ++i) filter.Insert(keys[i]);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> false_negatives{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        for (size_t i = 0; i < half; ++i) {
+          if (!filter.MayContain(keys[i])) {
+            false_negatives.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (size_t i = half; i < keys.size(); ++i) filter.Insert(keys[i]);
+    stop.store(true, std::memory_order_release);
+  });
+  writer.join();
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(false_negatives.load(), 0u);
+  for (uint64_t k : keys) ASSERT_TRUE(filter.MayContain(k));
+}
+
+TEST(ConcurrencyTest, ConcurrentRangeProbesDuringInserts) {
+  auto keyset = RandomKeySet(20000, 93);
+  std::vector<uint64_t> keys(keyset.begin(), keyset.end());
+  BloomRF filter(BloomRFConfig::Basic(keys.size(), 16.0));
+  size_t half = keys.size() / 2;
+  for (size_t i = 0; i < half; ++i) filter.Insert(keys[i]);
+
+  std::atomic<uint64_t> missed{0};
+  std::thread writer([&] {
+    for (size_t i = half; i < keys.size(); ++i) filter.Insert(keys[i]);
+  });
+  std::thread reader([&] {
+    for (int round = 0; round < 3; ++round) {
+      for (size_t i = 0; i < half; ++i) {
+        uint64_t k = keys[i];
+        uint64_t lo = k >= 500 ? k - 500 : 0;
+        uint64_t hi = k <= UINT64_MAX - 500 ? k + 500 : UINT64_MAX;
+        if (!filter.MayContainRange(lo, hi)) missed.fetch_add(1);
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(missed.load(), 0u);
+}
+
+}  // namespace
+}  // namespace bloomrf

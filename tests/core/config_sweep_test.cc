@@ -1,0 +1,118 @@
+// Exhaustive configuration sweep on a small domain: for every layer
+// layout (delta vectors, replicas, segments, exact layer, permutation)
+// the filter must agree with ground truth on *all* point queries and a
+// dense sample of intervals — the strongest form of the one-sided-
+// error property.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/bloomrf.h"
+#include "tests/test_util.h"
+
+namespace bloomrf {
+namespace {
+
+using ::bloomrf::testing::GroundTruthRange;
+using ::bloomrf::testing::RandomKeySet;
+
+struct ConfigCase {
+  std::string name;
+  BloomRFConfig config;
+};
+
+std::vector<ConfigCase> SmallDomainConfigs() {
+  std::vector<ConfigCase> cases;
+  auto add = [&](std::string name, std::vector<uint8_t> delta,
+                 std::vector<uint8_t> replicas,
+                 std::vector<uint8_t> segment_of,
+                 std::vector<uint64_t> segment_bits, bool exact,
+                 bool permute) {
+    BloomRFConfig cfg;
+    cfg.domain_bits = 14;
+    cfg.delta = std::move(delta);
+    cfg.replicas = std::move(replicas);
+    cfg.segment_of = std::move(segment_of);
+    cfg.segment_bits = std::move(segment_bits);
+    cfg.has_exact_layer = exact;
+    cfg.permute_words = permute;
+    ASSERT_TRUE(cfg.Validate().empty())
+        << name << ": " << cfg.Validate();
+    cases.push_back({std::move(name), std::move(cfg)});
+  };
+
+  add("uniform_delta3", {3, 3, 3, 3}, {1, 1, 1, 1}, {0, 0, 0, 0}, {2048},
+      false, false);
+  add("uniform_delta4", {4, 4, 4}, {1, 1, 1}, {0, 0, 0}, {2048}, false,
+      false);
+  add("mixed_ladder", {4, 3, 2, 2}, {1, 1, 1, 1}, {0, 0, 0, 0}, {2048},
+      false, false);
+  add("delta1_planar", {1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+      {1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, {0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+      {2048}, false, false);
+  add("replicated_top", {4, 4, 4}, {1, 1, 3}, {0, 0, 0}, {2048}, false,
+      false);
+  add("two_segments", {4, 3, 3}, {1, 1, 2}, {1, 0, 0}, {1024, 1024}, false,
+      false);
+  add("exact_layer", {4, 4}, {1, 1}, {0, 0}, {1024}, true, false);
+  add("exact_plus_ladder", {4, 3, 2}, {1, 2, 2}, {1, 0, 0}, {512, 1024},
+      true, false);
+  add("permuted", {4, 4, 4}, {1, 1, 1}, {0, 0, 0}, {2048}, false, true);
+  add("permuted_exact", {4, 4}, {2, 1}, {0, 0}, {1024}, true, true);
+  return cases;
+}
+
+class ConfigSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ConfigSweepTest, ExhaustivePointsAndSampledRanges) {
+  std::vector<ConfigCase> cases;
+  SmallDomainConfigs().swap(cases);
+  const ConfigCase& test_case = cases[GetParam()];
+  constexpr uint64_t kDomain = 1 << 14;
+
+  auto keys = RandomKeySet(300, 999 + GetParam(), kDomain);
+  BloomRF filter(test_case.config);
+  for (uint64_t k : keys) filter.Insert(k);
+
+  // Exhaustive points.
+  for (uint64_t y = 0; y < kDomain; ++y) {
+    if (keys.count(y)) {
+      ASSERT_TRUE(filter.MayContain(y))
+          << test_case.name << " point " << y;
+    }
+  }
+  // Dense interval sample: all intervals starting at multiples of 11
+  // with lengths 2^j and 2^j +- 1.
+  for (uint64_t lo = 0; lo < kDomain; lo += 11) {
+    for (uint32_t j = 0; j <= 14; j += 2) {
+      for (int64_t adjust : {-1, 0, 1}) {
+        int64_t len = static_cast<int64_t>(uint64_t{1} << j) + adjust;
+        if (len < 1) continue;
+        uint64_t hi = std::min<uint64_t>(kDomain - 1,
+                                         lo + static_cast<uint64_t>(len) - 1);
+        if (GroundTruthRange(keys, lo, hi)) {
+          ASSERT_TRUE(filter.MayContainRange(lo, hi))
+              << test_case.name << " [" << lo << "," << hi << "]";
+        }
+      }
+    }
+  }
+}
+
+const char* kConfigNames[] = {
+    "uniform_delta3", "uniform_delta4",    "mixed_ladder",
+    "delta1_planar",  "replicated_top",    "two_segments",
+    "exact_layer",    "exact_plus_ladder", "permuted",
+    "permuted_exact"};
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, ConfigSweepTest,
+                         ::testing::Range<size_t>(0, 10),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return std::string(kConfigNames[info.param]);
+                         });
+
+}  // namespace
+}  // namespace bloomrf

@@ -1,0 +1,102 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace bloomrf {
+namespace {
+
+TEST(ConfigTest, BasicDerivesLayerCount) {
+  // Paper Sect. 3.2 "Random Scatter": 2M keys, d=64, delta=7 ->
+  // k = ceil((64 - 21) / 7) = ceil(43/7) = 7... the paper uses
+  // floor(log2 2M)=21 and reports k=6 with their rounding; our
+  // formula gives ceil(43/7)=7. Verify the formula we document.
+  BloomRFConfig cfg = BloomRFConfig::Basic(2'000'000, 10.0, 64, 7);
+  EXPECT_EQ(cfg.num_layers(), (64u - 20u + 6u) / 7u);
+  EXPECT_EQ(cfg.delta.size(), cfg.replicas.size());
+  EXPECT_EQ(cfg.delta.size(), cfg.segment_of.size());
+  EXPECT_TRUE(cfg.Validate().empty()) << cfg.Validate();
+}
+
+TEST(ConfigTest, BasicSegmentSizedByBitsPerKey) {
+  BloomRFConfig cfg = BloomRFConfig::Basic(1000, 14.0);
+  EXPECT_GE(cfg.segment_bits[0], 14000u);
+  EXPECT_LT(cfg.segment_bits[0], 14000u + 64);
+}
+
+TEST(ConfigTest, LevelsAreDeltaPrefixSums) {
+  BloomRFConfig cfg;
+  cfg.domain_bits = 64;
+  cfg.delta = {7, 7, 4, 2};
+  cfg.replicas = {1, 1, 1, 2};
+  cfg.segment_of = {0, 0, 0, 0};
+  cfg.segment_bits = {4096};
+  EXPECT_EQ(cfg.LevelOfLayer(0), 0u);
+  EXPECT_EQ(cfg.LevelOfLayer(1), 7u);
+  EXPECT_EQ(cfg.LevelOfLayer(2), 14u);
+  EXPECT_EQ(cfg.LevelOfLayer(3), 18u);
+  EXPECT_EQ(cfg.TopLevel(), 20u);
+  EXPECT_TRUE(cfg.Validate().empty()) << cfg.Validate();
+}
+
+TEST(ConfigTest, ExactBitsMatchesLevel) {
+  BloomRFConfig cfg;
+  cfg.domain_bits = 32;
+  cfg.delta = {7, 7, 7};
+  cfg.replicas = {1, 1, 1};
+  cfg.segment_of = {0, 0, 0};
+  cfg.segment_bits = {1024};
+  cfg.has_exact_layer = true;
+  // Exact level = 21, bitmap = 2^(32-21) = 2048 bits.
+  EXPECT_EQ(cfg.ExactBits(), 2048u);
+  EXPECT_EQ(cfg.TotalBits(), 1024u + 2048u);
+}
+
+TEST(ConfigTest, ValidateCatchesBadDelta) {
+  BloomRFConfig cfg = BloomRFConfig::Basic(1000, 10.0);
+  cfg.delta[0] = 8;
+  EXPECT_FALSE(cfg.Validate().empty());
+  cfg.delta[0] = 0;
+  EXPECT_FALSE(cfg.Validate().empty());
+}
+
+TEST(ConfigTest, ValidateCatchesSizeMismatch) {
+  BloomRFConfig cfg = BloomRFConfig::Basic(1000, 10.0);
+  cfg.replicas.push_back(1);
+  EXPECT_FALSE(cfg.Validate().empty());
+}
+
+TEST(ConfigTest, ValidateCatchesSegmentOutOfRange) {
+  BloomRFConfig cfg = BloomRFConfig::Basic(1000, 10.0);
+  cfg.segment_of[0] = 3;
+  EXPECT_FALSE(cfg.Validate().empty());
+}
+
+TEST(ConfigTest, ValidateCatchesLayersBeyondDomain) {
+  BloomRFConfig cfg;
+  cfg.domain_bits = 16;
+  cfg.delta = {7, 7, 7};  // bottom of layer 2 at level 14 < 16: ok
+  cfg.replicas = {1, 1, 1};
+  cfg.segment_of = {0, 0, 0};
+  cfg.segment_bits = {1024};
+  EXPECT_TRUE(cfg.Validate().empty());
+  cfg.delta = {7, 7, 7, 7};  // layer 3 at level 21 >= 16: invalid
+  cfg.replicas = {1, 1, 1, 1};
+  cfg.segment_of = {0, 0, 0, 0};
+  EXPECT_FALSE(cfg.Validate().empty());
+}
+
+TEST(ConfigTest, SmallDomainsClampLayers) {
+  BloomRFConfig cfg = BloomRFConfig::Basic(16, 10.0, 8, 4);
+  EXPECT_TRUE(cfg.Validate().empty()) << cfg.Validate();
+  EXPECT_LT(cfg.LevelOfLayer(cfg.num_layers() - 1), 8u);
+}
+
+TEST(ConfigTest, DebugStringMentionsShape) {
+  BloomRFConfig cfg = BloomRFConfig::Basic(1000, 10.0);
+  std::string s = cfg.DebugString();
+  EXPECT_NE(s.find("d=64"), std::string::npos);
+  EXPECT_NE(s.find("delta="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bloomrf

@@ -1,0 +1,127 @@
+#include "core/key_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/random.h"
+
+namespace bloomrf {
+namespace {
+
+TEST(Int64CodecTest, PreservesOrder) {
+  std::vector<int64_t> values = {std::numeric_limits<int64_t>::min(),
+                                 -1000000,
+                                 -1,
+                                 0,
+                                 1,
+                                 42,
+                                 std::numeric_limits<int64_t>::max()};
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    EXPECT_LT(OrderedFromInt64(values[i]), OrderedFromInt64(values[i + 1]));
+  }
+}
+
+TEST(Int64CodecTest, RoundTrips) {
+  Rng rng(71);
+  for (int i = 0; i < 100000; ++i) {
+    int64_t v = static_cast<int64_t>(rng.Next());
+    EXPECT_EQ(Int64FromOrdered(OrderedFromInt64(v)), v);
+  }
+}
+
+TEST(DoubleCodecTest, PreservesOrderOnSpecialValues) {
+  std::vector<double> values = {-std::numeric_limits<double>::infinity(),
+                                -1e300,
+                                -1.5,
+                                -1e-300,
+                                -0.0,
+                                0.0,
+                                1e-300,
+                                1.5,
+                                1e300,
+                                std::numeric_limits<double>::infinity()};
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    // -0.0 and +0.0 order adjacently (distinct codes).
+    EXPECT_LT(OrderedFromDouble(values[i]), OrderedFromDouble(values[i + 1]))
+        << values[i] << " vs " << values[i + 1];
+  }
+}
+
+TEST(DoubleCodecTest, MonotoneOnRandomPairs) {
+  Rng rng(72);
+  for (int i = 0; i < 100000; ++i) {
+    double a = (rng.NextDouble() - 0.5) * std::pow(10.0, rng.Uniform(20));
+    double b = (rng.NextDouble() - 0.5) * std::pow(10.0, rng.Uniform(20));
+    if (a == b) continue;
+    EXPECT_EQ(a < b, OrderedFromDouble(a) < OrderedFromDouble(b))
+        << a << " " << b;
+  }
+}
+
+TEST(DoubleCodecTest, RoundTrips) {
+  Rng rng(73);
+  for (int i = 0; i < 100000; ++i) {
+    double v = (rng.NextDouble() - 0.5) * 1e12;
+    EXPECT_EQ(DoubleFromOrdered(OrderedFromDouble(v)), v);
+  }
+  EXPECT_EQ(DoubleFromOrdered(OrderedFromDouble(0.0)), 0.0);
+  EXPECT_EQ(DoubleFromOrdered(OrderedFromDouble(-1.25)), -1.25);
+}
+
+TEST(DoubleCodecTest, RangeQuerySemantics) {
+  // phi maps value ranges to code ranges: a value inside [a, b] has a
+  // code inside [phi(a), phi(b)].
+  Rng rng(74);
+  for (int i = 0; i < 50000; ++i) {
+    double a = (rng.NextDouble() - 0.5) * 100;
+    double b = a + rng.NextDouble() * 10;
+    double x = a + (b - a) * rng.NextDouble();
+    EXPECT_GE(OrderedFromDouble(x), OrderedFromDouble(a));
+    EXPECT_LE(OrderedFromDouble(x), OrderedFromDouble(b));
+  }
+}
+
+TEST(FloatCodecTest, MonotoneAndHighAligned) {
+  std::vector<float> values = {-1e30f, -1.0f, -1e-30f, 0.0f,
+                               1e-30f, 1.0f,  1e30f};
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    EXPECT_LT(OrderedFromFloat(values[i]), OrderedFromFloat(values[i + 1]));
+  }
+  // Low 32 bits unused: dyadic levels below 32 are free.
+  EXPECT_EQ(OrderedFromFloat(1.5f) & 0xffffffffULL, 0u);
+}
+
+TEST(StringCodecTest, PrefixOrderPreserved) {
+  // 7-byte prefixes order strings; the hash byte only refines points.
+  EXPECT_LT(StringRangeHigh("apple"), StringRangeLow("banana"));
+  EXPECT_LT(StringRangeHigh("aaa"), StringRangeLow("aab"));
+}
+
+TEST(StringCodecTest, PointCodeWithinRangeBounds) {
+  for (std::string s : {"", "a", "apple", "applesauce", "zzzzzzzzzz"}) {
+    uint64_t code = OrderedFromString(s);
+    EXPECT_GE(code, StringRangeLow(s)) << s;
+    EXPECT_LE(code, StringRangeHigh(s)) << s;
+  }
+}
+
+TEST(StringCodecTest, TailsDistinguishedByHashByte) {
+  // Same 7-byte prefix, different tails: codes differ with high
+  // probability (255/256 per pair; these specific pairs must differ).
+  EXPECT_NE(OrderedFromString("applesauce"), OrderedFromString("applesXXX"));
+  EXPECT_NE(OrderedFromString("applesa"), OrderedFromString("applesab"));
+}
+
+TEST(StringCodecTest, LengthIncludedInHash) {
+  std::string a = "prefix_";   // exactly 7 chars: empty tail
+  std::string b = "prefix_";
+  b += '\0';                   // 8 chars: tail is one NUL byte
+  EXPECT_NE(OrderedFromString(a), OrderedFromString(b));
+}
+
+}  // namespace
+}  // namespace bloomrf

@@ -1,0 +1,95 @@
+#include "core/multi_attribute.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+#include "workload/synthetic_sdss.h"
+
+namespace bloomrf {
+namespace {
+
+MultiAttributeBloomRF MakeFilter(uint64_t pairs, double bits_per_key = 18.0) {
+  // Sized for 2x pairs: each pair inserts both orders.
+  return MultiAttributeBloomRF(BloomRFConfig::Basic(pairs * 2, bits_per_key));
+}
+
+TEST(MultiAttributeTest, PointPointNoFalseNegatives) {
+  auto filter = MakeFilter(10000);
+  Rng rng(81);
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  for (int i = 0; i < 10000; ++i) {
+    pairs.emplace_back(rng.Next(), rng.Next());
+    filter.Insert(pairs.back().first, pairs.back().second);
+  }
+  for (auto& [a, b] : pairs) {
+    EXPECT_TRUE(filter.MayMatchPointPoint(a, b));
+  }
+}
+
+TEST(MultiAttributeTest, RangePointNoFalseNegatives) {
+  auto filter = MakeFilter(10000);
+  Rng rng(82);
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  for (int i = 0; i < 10000; ++i) {
+    pairs.emplace_back(rng.Next(), rng.Next());
+    filter.Insert(pairs.back().first, pairs.back().second);
+  }
+  for (auto& [a, b] : pairs) {
+    uint64_t lo = a >= (uint64_t{1} << 40) ? a - (uint64_t{1} << 40) : 0;
+    uint64_t hi = a <= UINT64_MAX - (uint64_t{1} << 40)
+                      ? a + (uint64_t{1} << 40)
+                      : UINT64_MAX;
+    EXPECT_TRUE(filter.MayMatchRangePoint(lo, hi, b));
+    EXPECT_TRUE(filter.MayMatchPointRange(a, b, hi >= b ? hi : b));
+  }
+}
+
+TEST(MultiAttributeTest, ReductionIsMonotone) {
+  EXPECT_LE(MultiAttributeBloomRF::Reduce(100),
+            MultiAttributeBloomRF::Reduce(uint64_t{1} << 40));
+  EXPECT_LT(MultiAttributeBloomRF::Reduce(uint64_t{1} << 40),
+            MultiAttributeBloomRF::Reduce(uint64_t{1} << 50));
+}
+
+TEST(MultiAttributeTest, DiscriminatesUnrelatedPairs) {
+  auto filter = MakeFilter(20000, 20.0);
+  Rng rng(83);
+  for (int i = 0; i < 20000; ++i) {
+    // Attributes live in disjoint high-bit regions (1 and 2).
+    uint64_t a = (uint64_t{1} << 62) | (rng.Next() >> 8);
+    uint64_t b = (uint64_t{2} << 62) | (rng.Next() >> 8);
+    filter.Insert(a, b);
+  }
+  // Queries with B from region 3 (never inserted) must mostly miss.
+  // Vary B per query: after reduction each probe targets a distinct
+  // <B,A> range.
+  uint64_t fp = 0;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t bogus_b = (uint64_t{3} << 62) | (rng.Next() >> 2);
+    uint64_t a_lo = uint64_t{1} << 62;
+    uint64_t a_hi = a_lo + (rng.Next() >> 24);
+    if (filter.MayMatchRangePoint(a_lo, a_hi, bogus_b)) ++fp;
+  }
+  EXPECT_LT(fp, 1500u);
+}
+
+TEST(MultiAttributeTest, SdssShapedWorkload) {
+  // The Fig. 12.F scenario: filter(Run, ObjectID) probed with
+  // Run < 300 AND ObjectID = const.
+  SdssOptions options;
+  options.num_rows = 30000;
+  auto rows = GenerateSdssRows(options);
+  auto filter = MakeFilter(rows.size(), 20.0);
+  for (const auto& row : rows) filter.Insert(row.run, row.object_id);
+  // Every actual row with run < 300 must be found via its object id.
+  for (const auto& row : rows) {
+    if (row.run < 300) {
+      EXPECT_TRUE(filter.MayMatchRangePoint(0, 299, row.object_id));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bloomrf

@@ -1,0 +1,141 @@
+// Probe-semantics edge cases of the two-path range algorithm: domain
+// boundaries, conservative caps, early stopping, and the covering/
+// decomposition accounting exposed through ProbeStats.
+
+#include <gtest/gtest.h>
+
+#include "core/bloomrf.h"
+#include "tests/test_util.h"
+
+namespace bloomrf {
+namespace {
+
+using ::bloomrf::testing::RandomKeySet;
+
+TEST(ProbeSemanticsTest, DomainBoundaryRanges) {
+  BloomRF filter(BloomRFConfig::Basic(100, 16.0));
+  filter.Insert(0);
+  filter.Insert(UINT64_MAX);
+  EXPECT_TRUE(filter.MayContainRange(0, 0));
+  EXPECT_TRUE(filter.MayContainRange(UINT64_MAX, UINT64_MAX));
+  EXPECT_TRUE(filter.MayContainRange(0, 1));
+  EXPECT_TRUE(filter.MayContainRange(UINT64_MAX - 1, UINT64_MAX));
+  EXPECT_TRUE(filter.MayContainRange(0, UINT64_MAX));
+}
+
+TEST(ProbeSemanticsTest, TopLayerCapIsConservativeTrueOnly) {
+  // A tiny word cap forces huge spans to return true (never false):
+  // the cap must not introduce false negatives elsewhere.
+  BloomRFConfig cfg = BloomRFConfig::Basic(1000, 16.0);
+  cfg.max_top_layer_words = 1;
+  BloomRF filter(cfg);
+  auto keys = RandomKeySet(1000, 501);
+  for (uint64_t k : keys) filter.Insert(k);
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(filter.MayContainRange(k, k));
+    ASSERT_TRUE(filter.MayContainRange(0, UINT64_MAX));
+  }
+  // Small local ranges still resolve exactly (cap only affects spans
+  // wider than one top-layer word).
+  ProbeStats stats;
+  uint64_t anchor = *keys.begin();
+  filter.MayContainRange(anchor, anchor + 100, &stats);
+  EXPECT_GT(stats.bit_probes + stats.word_probes, 0u);
+}
+
+TEST(ProbeSemanticsTest, EarlyStopOnDeadCovering) {
+  // An empty filter kills the top covering immediately: exactly one
+  // bit probe for any single-covering interval.
+  BloomRF filter(BloomRFConfig::Basic(100000, 16.0));
+  ProbeStats stats;
+  EXPECT_FALSE(filter.MayContainRange(1000, 2000, &stats));
+  EXPECT_LE(stats.bit_probes, 2u);
+  EXPECT_EQ(stats.word_probes, 0u);
+}
+
+TEST(ProbeSemanticsTest, EarlyTrueStopsDescending) {
+  // A range fully containing an inserted key hits a decomposition word
+  // early; probes must stay well below the full-layer walk.
+  BloomRFConfig cfg = BloomRFConfig::Basic(1000, 16.0);
+  BloomRF filter(cfg);
+  filter.Insert(uint64_t{1} << 32);
+  ProbeStats stats;
+  EXPECT_TRUE(filter.MayContainRange(0, UINT64_MAX, &stats));
+  EXPECT_LE(stats.bit_probes + stats.word_probes,
+            6 * cfg.num_layers() + 8);
+}
+
+TEST(ProbeSemanticsTest, PointProbeLayerOrderTopDown) {
+  // The top layers saturate fastest, so negatives usually die high up:
+  // average bit probes on misses must be far below k for a loaded
+  // filter probed far from its keys.
+  auto keys = RandomKeySet(100000, 502);
+  BloomRFConfig cfg = BloomRFConfig::Basic(keys.size(), 12.0);
+  BloomRF filter(cfg);
+  for (uint64_t k : keys) filter.Insert(k);
+  Rng rng(503);
+  uint64_t total_probes = 0;
+  constexpr int kQueries = 20000;
+  for (int i = 0; i < kQueries; ++i) {
+    ProbeStats stats;
+    filter.MayContain(rng.Next(), &stats);
+    total_probes += stats.bit_probes;
+  }
+  double avg = static_cast<double>(total_probes) / kQueries;
+  EXPECT_LT(avg, static_cast<double>(cfg.num_layers()));
+  EXPECT_GE(avg, 1.0);
+}
+
+TEST(ProbeSemanticsTest, ExactScanCapConservative) {
+  BloomRFConfig cfg;
+  cfg.domain_bits = 64;
+  cfg.delta = {7, 7, 7, 7, 7, 7};
+  cfg.replicas = {1, 1, 1, 1, 1, 1};
+  cfg.segment_of = {0, 0, 0, 0, 0, 0};
+  cfg.segment_bits = {1 << 16};
+  cfg.has_exact_layer = true;
+  cfg.max_exact_scan_bits = 4;  // absurdly small: force the cap
+  ASSERT_TRUE(cfg.Validate().empty());
+  BloomRF filter(cfg);
+  // Empty filter + capped exact scan: wide ranges answer true
+  // (conservative), narrow ones answer false (exactly probed).
+  EXPECT_TRUE(filter.MayContainRange(0, UINT64_MAX / 2));
+  EXPECT_FALSE(filter.MayContainRange(1000, 2000));
+}
+
+TEST(ProbeSemanticsTest, RangeSubsetMonotonicity) {
+  // If the filter rejects an interval, it must reject all subsets.
+  auto keys = RandomKeySet(20000, 504);
+  BloomRF filter(BloomRFConfig::Basic(keys.size(), 14.0));
+  for (uint64_t k : keys) filter.Insert(k);
+  Rng rng(505);
+  int checked = 0;
+  for (int i = 0; i < 50000 && checked < 300; ++i) {
+    uint64_t lo = rng.Next();
+    uint64_t hi = lo + 0xffff > lo ? lo + 0xffff : lo;
+    if (filter.MayContainRange(lo, hi)) continue;
+    ++checked;
+    for (int j = 0; j < 8; ++j) {
+      uint64_t slo = lo + rng.Uniform(0x8000);
+      uint64_t shi = slo + rng.Uniform(0x7fff);
+      if (shi > hi) shi = hi;
+      ASSERT_FALSE(filter.MayContainRange(slo, shi))
+          << "[" << slo << "," << shi << "] inside rejected [" << lo << ","
+          << hi << "]";
+    }
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST(ProbeSemanticsTest, StatsAccumulateAcrossCalls) {
+  BloomRF filter(BloomRFConfig::Basic(1000, 16.0));
+  filter.Insert(42);
+  ProbeStats stats;
+  filter.MayContain(42, &stats);
+  uint64_t after_one = stats.bit_probes;
+  filter.MayContain(42, &stats);
+  EXPECT_EQ(stats.bit_probes, 2 * after_one);
+}
+
+}  // namespace
+}  // namespace bloomrf

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/bloomrf.h"
+#include "core/tuning_advisor.h"
+#include "tests/test_util.h"
+
+namespace bloomrf {
+namespace {
+
+using ::bloomrf::testing::RandomKeySet;
+
+TEST(SerializationTest, RoundTripBasic) {
+  auto keys = RandomKeySet(5000, 41);
+  BloomRF filter(BloomRFConfig::Basic(keys.size(), 14.0));
+  for (uint64_t k : keys) filter.Insert(k);
+
+  std::string data = filter.Serialize();
+  auto restored = BloomRF::Deserialize(data);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->config().DebugString(), filter.config().DebugString());
+  for (uint64_t k : keys) EXPECT_TRUE(restored->MayContain(k)) << k;
+
+  // Identical answers on arbitrary probes, positive or negative.
+  Rng rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t y = rng.Next();
+    EXPECT_EQ(restored->MayContain(y), filter.MayContain(y)) << y;
+    uint64_t hi = y | 0xffff;
+    EXPECT_EQ(restored->MayContainRange(y, hi), filter.MayContainRange(y, hi));
+  }
+}
+
+TEST(SerializationTest, RoundTripAdvisedConfigWithExactLayer) {
+  auto keys = RandomKeySet(20000, 43);
+  AdvisorParams params;
+  params.n = keys.size();
+  params.total_bits = 20 * keys.size();
+  params.max_range = 1e9;
+  BloomRF filter(AdviseConfig(params).config);
+  ASSERT_TRUE(filter.config().has_exact_layer);
+  for (uint64_t k : keys) filter.Insert(k);
+
+  auto restored = BloomRF::Deserialize(filter.Serialize());
+  ASSERT_TRUE(restored.has_value());
+  Rng rng(44);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t lo = rng.Next();
+    uint64_t hi = lo | 0xfffff;
+    EXPECT_EQ(restored->MayContainRange(lo, hi),
+              filter.MayContainRange(lo, hi));
+  }
+}
+
+TEST(SerializationTest, SizeMatchesMemory) {
+  BloomRF filter(BloomRFConfig::Basic(10000, 12.0));
+  std::string data = filter.Serialize();
+  // Header + bit arrays; header is small.
+  EXPECT_GE(data.size() * 8, filter.MemoryBits());
+  EXPECT_LT(data.size() * 8, filter.MemoryBits() + 1024);
+}
+
+TEST(SerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(BloomRF::Deserialize("").has_value());
+  EXPECT_FALSE(BloomRF::Deserialize("garbage").has_value());
+  EXPECT_FALSE(
+      BloomRF::Deserialize(std::string(200, '\xff')).has_value());
+}
+
+TEST(SerializationTest, RejectsTruncation) {
+  BloomRF filter(BloomRFConfig::Basic(1000, 12.0));
+  std::string data = filter.Serialize();
+  for (size_t cut : {data.size() - 1, data.size() / 2, size_t{13}}) {
+    EXPECT_FALSE(BloomRF::Deserialize(data.substr(0, cut)).has_value())
+        << cut;
+  }
+}
+
+TEST(SerializationTest, PermutedWordsFlagSurvives) {
+  BloomRFConfig cfg = BloomRFConfig::Basic(1000, 14.0);
+  cfg.permute_words = true;
+  BloomRF filter(cfg);
+  auto keys = RandomKeySet(1000, 45);
+  for (uint64_t k : keys) filter.Insert(k);
+  auto restored = BloomRF::Deserialize(filter.Serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->config().permute_words);
+  for (uint64_t k : keys) EXPECT_TRUE(restored->MayContain(k));
+}
+
+}  // namespace
+}  // namespace bloomrf

@@ -1,0 +1,108 @@
+#include "core/string_bloomrf.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "util/random.h"
+#include "workload/synthetic_strings.h"
+
+namespace bloomrf {
+namespace {
+
+StringBloomRF MakeLoaded(const std::vector<std::string>& keys,
+                         double bits_per_key = 16.0) {
+  StringBloomRF filter(BloomRFConfig::Basic(keys.size(), bits_per_key));
+  for (const auto& k : keys) filter.Insert(k);
+  return filter;
+}
+
+TEST(StringBloomRFTest, PointNoFalseNegatives) {
+  StringDatasetOptions options;
+  options.num_keys = 20000;
+  auto keys = GenerateStringKeys(options);
+  auto filter = MakeLoaded(keys);
+  for (const auto& k : keys) EXPECT_TRUE(filter.MayContain(k)) << k;
+}
+
+TEST(StringBloomRFTest, RangeNoFalseNegatives) {
+  StringDatasetOptions options;
+  options.num_keys = 10000;
+  auto keys = GenerateStringKeys(options);
+  auto filter = MakeLoaded(keys);
+  for (const auto& k : keys) {
+    EXPECT_TRUE(filter.MayContainRange(k, k)) << k;
+    EXPECT_TRUE(filter.MayContainRange(k.substr(0, k.size() - 1), k + "zz"))
+        << k;
+  }
+}
+
+TEST(StringBloomRFTest, PrefixProbeCoversMembers) {
+  std::vector<std::string> keys = {"alpha/1", "alpha/2", "beta/9"};
+  auto filter = MakeLoaded(keys, 20.0);
+  EXPECT_TRUE(filter.MayContainPrefix("alpha"));
+  EXPECT_TRUE(filter.MayContainPrefix("beta"));
+  EXPECT_TRUE(filter.MayContainPrefix("alp"));
+}
+
+TEST(StringBloomRFTest, DiscriminatesDistantStrings) {
+  StringDatasetOptions options;
+  options.num_keys = 20000;
+  auto keys = GenerateStringKeys(options);
+  auto filter = MakeLoaded(keys, 18.0);
+  // Strings from a totally different namespace: mostly excluded.
+  Rng rng(4);
+  uint64_t fp = 0;
+  for (int i = 0; i < 5000; ++i) {
+    std::string probe = "zzz" + std::to_string(rng.Next());
+    if (filter.MayContain(probe)) ++fp;
+  }
+  EXPECT_LT(fp, 500u);
+  EXPECT_FALSE(filter.MayContainPrefix("zzz") &&
+               filter.MayContainPrefix("yyy") &&
+               filter.MayContainPrefix("xxx"));
+}
+
+TEST(StringBloomRFTest, SevenBytePrefixGranularityDocumented) {
+  // Two strings sharing a 7-byte prefix are indistinguishable to range
+  // probes: the range between them always answers true.
+  std::vector<std::string> keys = {"sameprefix-A"};
+  auto filter = MakeLoaded(keys, 20.0);
+  EXPECT_TRUE(filter.MayContainRange("sameprefix-B", "sameprefix-C"));
+}
+
+TEST(StringBloomRFTest, InvertedRangeIsEmpty) {
+  std::vector<std::string> keys = {"m"};
+  auto filter = MakeLoaded(keys, 20.0);
+  EXPECT_FALSE(filter.MayContainRange("z", "a"));
+}
+
+TEST(SyntheticStringsTest, SortedUniqueAndShaped) {
+  StringDatasetOptions options;
+  options.num_keys = 5000;
+  auto keys = GenerateStringKeys(options);
+  EXPECT_EQ(keys.size(), 5000u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+  for (const auto& k : keys) {
+    EXPECT_EQ(k.compare(0, 4, "user"), 0) << k;
+    EXPECT_NE(k.find("/album"), std::string::npos) << k;
+  }
+}
+
+TEST(SyntheticStringsTest, ZipfianUserSkew) {
+  StringDatasetOptions options;
+  options.num_keys = 20000;
+  auto keys = GenerateStringKeys(options);
+  std::map<std::string, int> per_user;
+  for (const auto& k : keys) ++per_user[k.substr(0, 8)];
+  int hottest = 0;
+  for (auto& [user, count] : per_user) hottest = std::max(hottest, count);
+  // Hot users own far more than the uniform share.
+  EXPECT_GT(hottest, static_cast<int>(2 * options.num_keys /
+                                      options.num_users));
+}
+
+}  // namespace
+}  // namespace bloomrf

@@ -1,0 +1,129 @@
+#include "core/tuning_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bloomrf.h"
+#include "tests/test_util.h"
+#include "util/timer.h"
+
+namespace bloomrf {
+namespace {
+
+using ::bloomrf::testing::RandomKeySet;
+
+TEST(TuningAdvisorTest, ProducesValidConfigs) {
+  for (double bpk : {10.0, 14.0, 18.0, 22.0}) {
+    for (double range : {64.0, 1e4, 1e7, 1e10}) {
+      AdvisorParams params;
+      params.n = 1'000'000;
+      params.total_bits = static_cast<uint64_t>(bpk * 1e6);
+      params.max_range = range;
+      AdvisorResult result = AdviseConfig(params);
+      EXPECT_TRUE(result.config.Validate().empty())
+          << bpk << " " << range << ": " << result.config.Validate();
+      EXPECT_LE(result.expected_point_fpr, 1.0);
+      EXPECT_LE(result.expected_range_fpr, 1.0);
+    }
+  }
+}
+
+TEST(TuningAdvisorTest, StaysWithinBudget) {
+  AdvisorParams params;
+  params.n = 500'000;
+  params.total_bits = 16 * params.n;
+  params.max_range = 1e9;
+  AdvisorResult result = AdviseConfig(params);
+  // Allow rounding slack of one 64-bit word per segment.
+  EXPECT_LE(result.config.TotalBits(),
+            params.total_bits + 64 * result.config.segment_bits.size());
+}
+
+TEST(TuningAdvisorTest, PaperExampleShape50MKeys) {
+  // Sect. 7: n=50M, 14 bits/key, d=64 -> exact level around 36, delta
+  // ladder (7,7,7,7,4,2,2)-like, replicated hash on the top layer.
+  AdvisorParams params;
+  params.n = 50'000'000;
+  params.total_bits = 14 * params.n;
+  params.max_range = 1e10;
+  AdvisorResult result = AdviseConfig(params);
+  ASSERT_TRUE(result.config.has_exact_layer);
+  uint32_t exact_level = result.config.TopLevel();
+  EXPECT_GE(exact_level, 34u);
+  EXPECT_LE(exact_level, 38u);
+  // Bottom layers use delta 7.
+  EXPECT_EQ(result.config.delta[0], 7);
+  // Exact bitmap obeys the <= 60% heuristic.
+  EXPECT_LT(static_cast<double>(result.config.ExactBits()),
+            0.6 * static_cast<double>(params.total_bits) + 1);
+}
+
+TEST(TuningAdvisorTest, SmallBudgetFallsBackToBasic) {
+  AdvisorParams params;
+  params.n = 1000;
+  params.total_bits = 8 * params.n;  // too small for any exact bitmap
+  params.max_range = 16;
+  AdvisorResult result = AdviseConfig(params);
+  EXPECT_TRUE(result.config.Validate().empty());
+  EXPECT_EQ(result.config.segment_bits.size(),
+            result.config.has_exact_layer ? 2u : 1u);
+}
+
+TEST(TuningAdvisorTest, LargerRangeTargetsShiftTradeoff) {
+  AdvisorParams small;
+  small.n = 1'000'000;
+  small.total_bits = 18 * small.n;
+  small.max_range = 64;
+  AdvisorParams large = small;
+  large.max_range = 1e10;
+  double small_range_fpr = AdviseConfig(small).expected_range_fpr;
+  double large_range_fpr = AdviseConfig(large).expected_range_fpr;
+  // Larger ranges are strictly harder at equal budget.
+  EXPECT_LE(small_range_fpr, large_range_fpr + 1e-12);
+}
+
+TEST(TuningAdvisorTest, AdvisedBeatsBasicOnLargeRanges) {
+  // The whole point of Sect. 7: for R >= ~2^20 the segmented/exact
+  // configuration should beat tuning-free basic bloomRF.
+  auto keys = RandomKeySet(100000, 61);
+  AdvisorParams params;
+  params.n = keys.size();
+  params.total_bits = 20 * keys.size();
+  params.max_range = 1e9;
+  AdvisorResult advised = AdviseConfig(params);
+  ASSERT_TRUE(advised.config.has_exact_layer);
+
+  BloomRFConfig basic = BloomRFConfig::Basic(keys.size(), 20.0);
+  auto measure = [&](const BloomRFConfig& cfg) {
+    BloomRF filter(cfg);
+    for (uint64_t k : keys) filter.Insert(k);
+    Rng rng(62);
+    uint64_t fp = 0, neg = 0;
+    for (int i = 0; i < 20000; ++i) {
+      uint64_t lo = rng.Next();
+      uint64_t hi = lo > UINT64_MAX - 1000000000 ? UINT64_MAX
+                                                 : lo + 1000000000;
+      auto it = keys.lower_bound(lo);
+      if (it != keys.end() && *it <= hi) continue;
+      ++neg;
+      if (filter.MayContainRange(lo, hi)) ++fp;
+    }
+    return static_cast<double>(fp) / static_cast<double>(neg);
+  };
+  double advised_fpr = measure(advised.config);
+  double basic_fpr = measure(basic);
+  EXPECT_LT(advised_fpr, basic_fpr + 0.01);
+}
+
+TEST(TuningAdvisorTest, AdvisorIsFast) {
+  // Paper: "The auto-tuning process is inexpensive, ~8ms".
+  Timer timer;
+  AdvisorParams params;
+  params.n = 50'000'000;
+  params.total_bits = 16 * params.n;
+  params.max_range = 1e10;
+  AdviseConfig(params);
+  EXPECT_LT(timer.ElapsedSeconds(), 0.5);
+}
+
+}  // namespace
+}  // namespace bloomrf

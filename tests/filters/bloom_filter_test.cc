@@ -1,0 +1,83 @@
+#include "filters/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace bloomrf {
+namespace {
+
+using ::bloomrf::testing::RandomKeySet;
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  auto keys = RandomKeySet(50000, 1);
+  BloomFilter filter(keys.size(), 10.0);
+  for (uint64_t k : keys) filter.Insert(k);
+  for (uint64_t k : keys) EXPECT_TRUE(filter.MayContain(k));
+}
+
+TEST(BloomFilterTest, FprNearTheory) {
+  auto keys = RandomKeySet(100000, 2);
+  BloomFilter filter(keys.size(), 10.0);
+  for (uint64_t k : keys) filter.Insert(k);
+  Rng rng(3);
+  uint64_t fp = 0, neg = 0;
+  for (int i = 0; i < 300000; ++i) {
+    uint64_t y = rng.Next();
+    if (keys.count(y)) continue;
+    ++neg;
+    if (filter.MayContain(y)) ++fp;
+  }
+  double fpr = static_cast<double>(fp) / static_cast<double>(neg);
+  // Theory for 10 bits/key, k=6: ~0.84%.
+  EXPECT_GT(fpr, 0.002);
+  EXPECT_LT(fpr, 0.025);
+}
+
+TEST(BloomFilterTest, DerivesOptimalK) {
+  BloomFilter filter(1000, 10.0);
+  EXPECT_EQ(filter.num_hashes(), 6u);  // floor(10 ln2) = 6, RocksDB-style
+  BloomFilter filter16(1000, 16.0);
+  EXPECT_EQ(filter16.num_hashes(), 11u);
+}
+
+TEST(BloomFilterTest, ExplicitKRespected) {
+  BloomFilter filter(1000, 10.0, 3);
+  EXPECT_EQ(filter.num_hashes(), 3u);
+}
+
+TEST(BloomFilterTest, RangesAlwaysPositive) {
+  BloomFilter filter(100, 10.0);
+  EXPECT_TRUE(filter.MayContainRange(0, 1));  // point-only filter
+}
+
+TEST(BloomFilterTest, MemoryMatchesBudget) {
+  BloomFilter filter(100000, 12.0);
+  EXPECT_GE(filter.MemoryBits(), 1200000u);
+  EXPECT_LT(filter.MemoryBits(), 1200000u + 64);
+}
+
+TEST(BloomFilterTest, SerializeRoundTrip) {
+  auto keys = RandomKeySet(10000, 4);
+  BloomFilter filter(keys.size(), 12.0);
+  for (uint64_t k : keys) filter.Insert(k);
+  auto restored = BloomFilter::Deserialize(filter.Serialize());
+  ASSERT_TRUE(restored.has_value());
+  Rng rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t y = rng.Next();
+    EXPECT_EQ(restored->MayContain(y), filter.MayContain(y));
+  }
+}
+
+TEST(BloomFilterTest, DeserializeRejectsCorruption) {
+  EXPECT_FALSE(BloomFilter::Deserialize("").has_value());
+  EXPECT_FALSE(BloomFilter::Deserialize("too short").has_value());
+  BloomFilter filter(100, 10.0);
+  std::string data = filter.Serialize();
+  EXPECT_FALSE(BloomFilter::Deserialize(data.substr(0, data.size() - 1))
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace bloomrf

@@ -1,0 +1,130 @@
+// Cross-filter properties: every point-range filter in the library
+// obeys the same one-sided-error contract, and their relative FPR
+// ordering on characteristic workloads matches the paper's headline
+// observations (Problem 1 / Experiment 1).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/bloomrf.h"
+#include "core/tuning_advisor.h"
+#include "filters/rosetta.h"
+#include "filters/surf/surf.h"
+#include "tests/test_util.h"
+
+namespace bloomrf {
+namespace {
+
+using ::bloomrf::testing::GroundTruthRange;
+using ::bloomrf::testing::RandomKeySet;
+using ::bloomrf::testing::RangeEnd;
+
+struct Contenders {
+  std::unique_ptr<BloomRF> bloomrf;
+  std::unique_ptr<Rosetta> rosetta;
+  std::unique_ptr<Surf> surf;
+};
+
+Contenders BuildAll(const std::set<uint64_t>& keys, double bits_per_key,
+                    uint64_t max_range) {
+  Contenders c;
+  AdvisorParams params;
+  params.n = keys.size();
+  params.total_bits =
+      static_cast<uint64_t>(bits_per_key * static_cast<double>(keys.size()));
+  params.max_range = static_cast<double>(max_range);
+  c.bloomrf = std::make_unique<BloomRF>(AdviseConfig(params).config);
+  Rosetta::Options ropt;
+  ropt.expected_keys = keys.size();
+  ropt.bits_per_key = bits_per_key;
+  ropt.max_range = max_range;
+  c.rosetta = std::make_unique<Rosetta>(ropt);
+  for (uint64_t k : keys) {
+    c.bloomrf->Insert(k);
+    c.rosetta->Insert(k);
+  }
+  Surf::Options sopt;
+  sopt.suffix_type = SurfSuffixType::kReal;
+  sopt.suffix_bits = 8;
+  std::vector<uint64_t> sorted(keys.begin(), keys.end());
+  c.surf = std::make_unique<Surf>(Surf::BuildFromU64(sorted, sopt));
+  return c;
+}
+
+TEST(FilterComparisonTest, AllFiltersOneSidedError) {
+  auto keys = RandomKeySet(20000, 61);
+  Contenders c = BuildAll(keys, 18, 1 << 12);
+  Rng rng(62);
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t lo = rng.Next();
+    uint64_t hi = RangeEnd(lo, 1 + rng.Uniform(1 << 12));
+    if (!GroundTruthRange(keys, lo, hi)) continue;
+    ASSERT_TRUE(c.bloomrf->MayContainRange(lo, hi));
+    ASSERT_TRUE(c.rosetta->MayContainRange(lo, hi));
+    ASSERT_TRUE(c.surf->MayContainRange(lo, hi));
+  }
+  int checked = 0;
+  for (uint64_t k : keys) {
+    if (++checked > 3000) break;
+    ASSERT_TRUE(c.bloomrf->MayContain(k));
+    ASSERT_TRUE(c.rosetta->MayContain(k));
+    ASSERT_TRUE(c.surf->MayContain(k));
+  }
+}
+
+double RangeFpr(const std::set<uint64_t>& keys, uint64_t range_size,
+                uint64_t seed, auto&& probe) {
+  Rng rng(seed);
+  uint64_t fp = 0, neg = 0;
+  for (int i = 0; i < 8000; ++i) {
+    uint64_t lo = rng.Next();
+    uint64_t hi = RangeEnd(lo, range_size);
+    if (GroundTruthRange(keys, lo, hi)) continue;
+    ++neg;
+    if (probe(lo, hi)) ++fp;
+  }
+  return static_cast<double>(fp) / static_cast<double>(neg);
+}
+
+TEST(FilterComparisonTest, BloomRFCompetitiveOnMediumRanges) {
+  // Experiment 1 shape: for medium ranges (2^10..2^20) at 22 bits/key
+  // bloomRF beats Rosetta (whose doubting degrades) and SuRF-Real.
+  auto keys = RandomKeySet(50000, 63);
+  Contenders c = BuildAll(keys, 22, 1 << 16);
+  uint64_t range = 1 << 16;
+  double ours = RangeFpr(keys, range, 64,
+                         [&](uint64_t lo, uint64_t hi) {
+                           return c.bloomrf->MayContainRange(lo, hi);
+                         });
+  double rosetta = RangeFpr(keys, range, 64,
+                            [&](uint64_t lo, uint64_t hi) {
+                              return c.rosetta->MayContainRange(lo, hi);
+                            });
+  EXPECT_LE(ours, rosetta + 0.02);
+}
+
+TEST(FilterComparisonTest, SurfStrongOnVeryLargeRanges) {
+  // Experiment 1: SuRF's trie excels at very large ranges (2^40+).
+  auto keys = RandomKeySet(50000, 65);
+  Contenders c = BuildAll(keys, 22, uint64_t{1} << 24);
+  uint64_t huge = uint64_t{1} << 44;
+  double surf = RangeFpr(keys, huge, 66,
+                         [&](uint64_t lo, uint64_t hi) {
+                           return c.surf->MayContainRange(lo, hi);
+                         });
+  EXPECT_LT(surf, 0.2);
+}
+
+TEST(FilterComparisonTest, MemoryBudgetsComparable) {
+  auto keys = RandomKeySet(30000, 67);
+  Contenders c = BuildAll(keys, 18, 1 << 10);
+  double n = static_cast<double>(keys.size());
+  EXPECT_LT(static_cast<double>(c.bloomrf->MemoryBits()) / n, 19.5);
+  EXPECT_LT(static_cast<double>(c.rosetta->MemoryBits()) / n, 19.5);
+}
+
+}  // namespace
+}  // namespace bloomrf

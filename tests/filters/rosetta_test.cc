@@ -1,0 +1,227 @@
+#include "filters/rosetta.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace bloomrf {
+namespace {
+
+using ::bloomrf::testing::GroundTruthRange;
+using ::bloomrf::testing::RandomKeySet;
+using ::bloomrf::testing::RangeEnd;
+
+TEST(DyadicDecomposeTest, SinglePoint) {
+  std::vector<std::pair<uint64_t, uint32_t>> pieces;
+  ASSERT_TRUE(DyadicDecompose(42, 42, 16, 64, &pieces));
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], std::make_pair(uint64_t{42}, 0u));
+}
+
+TEST(DyadicDecomposeTest, AlignedBlock) {
+  std::vector<std::pair<uint64_t, uint32_t>> pieces;
+  ASSERT_TRUE(DyadicDecompose(64, 127, 16, 64, &pieces));
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], std::make_pair(uint64_t{1}, 6u));
+}
+
+TEST(DyadicDecomposeTest, CoversExactlyOnce) {
+  Rng rng(31);
+  for (int iter = 0; iter < 500; ++iter) {
+    uint64_t lo = rng.Uniform(1 << 16);
+    uint64_t hi = lo + rng.Uniform(1 << 12);
+    std::vector<std::pair<uint64_t, uint32_t>> pieces;
+    ASSERT_TRUE(DyadicDecompose(lo, hi, 20, 4096, &pieces));
+    // Pieces tile [lo, hi] contiguously.
+    uint64_t cursor = lo;
+    for (auto [prefix, level] : pieces) {
+      EXPECT_EQ(prefix << level, cursor);
+      cursor += uint64_t{1} << level;
+    }
+    EXPECT_EQ(cursor, hi + 1);
+  }
+}
+
+TEST(DyadicDecomposeTest, MaxLevelRespected) {
+  std::vector<std::pair<uint64_t, uint32_t>> pieces;
+  ASSERT_TRUE(DyadicDecompose(0, (1 << 12) - 1, 8, 4096, &pieces));
+  EXPECT_EQ(pieces.size(), 16u);  // 2^12 split into 2^8-sized blocks
+  for (auto [prefix, level] : pieces) EXPECT_LE(level, 8u);
+}
+
+TEST(DyadicDecomposeTest, CapReturnsFalse) {
+  std::vector<std::pair<uint64_t, uint32_t>> pieces;
+  EXPECT_FALSE(DyadicDecompose(0, (1 << 20) - 1, 2, 64, &pieces));
+}
+
+TEST(DyadicDecomposeTest, DomainExtremes) {
+  std::vector<std::pair<uint64_t, uint32_t>> pieces;
+  ASSERT_TRUE(DyadicDecompose(UINT64_MAX - 3, UINT64_MAX, 63, 64, &pieces));
+  uint64_t total = 0;
+  for (auto [prefix, level] : pieces) total += uint64_t{1} << level;
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(RosettaTest, PointNoFalseNegatives) {
+  auto keys = RandomKeySet(30000, 32);
+  Rosetta::Options options;
+  options.expected_keys = keys.size();
+  options.bits_per_key = 18;
+  options.max_range = 256;
+  Rosetta filter(options);
+  for (uint64_t k : keys) filter.Insert(k);
+  for (uint64_t k : keys) EXPECT_TRUE(filter.MayContain(k));
+}
+
+TEST(RosettaTest, RangeNoFalseNegatives) {
+  auto keys = RandomKeySet(20000, 33);
+  Rosetta::Options options;
+  options.expected_keys = keys.size();
+  options.bits_per_key = 20;
+  options.max_range = 1 << 10;
+  Rosetta filter(options);
+  for (uint64_t k : keys) filter.Insert(k);
+  Rng rng(34);
+  for (uint64_t k : keys) {
+    uint64_t span = rng.Uniform(1 << 10);
+    uint64_t lo = k >= span ? k - span : 0;
+    ASSERT_TRUE(filter.MayContainRange(lo, RangeEnd(lo, 1 + 2 * span)));
+  }
+}
+
+TEST(RosettaTest, SmallRangeFprIsLowAtPaperBudget) {
+  // Paper Sect. 6: Rosetta at ~17 bits/key handles R=2^6 with ~2% FPR.
+  auto keys = RandomKeySet(50000, 35);
+  Rosetta::Options options;
+  options.expected_keys = keys.size();
+  options.bits_per_key = 18;
+  options.max_range = 64;
+  Rosetta filter(options);
+  for (uint64_t k : keys) filter.Insert(k);
+  Rng rng(36);
+  uint64_t fp = 0, neg = 0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t lo = rng.Next();
+    uint64_t hi = RangeEnd(lo, 64);
+    if (GroundTruthRange(keys, lo, hi)) continue;
+    ++neg;
+    if (filter.MayContainRange(lo, hi)) ++fp;
+  }
+  // Our bottom-heavy allocation is a simplification of Rosetta's
+  // optimized variants; allow some slack over the paper's ~2%.
+  EXPECT_LT(static_cast<double>(fp) / static_cast<double>(neg), 0.15);
+}
+
+TEST(RosettaTest, DoubtingCostGrowsWithRange) {
+  // Rosetta's probe cost is logarithmic-to-linear in R (paper Sect. 6)
+  // — the structural contrast to bloomRF's O(k).
+  auto keys = RandomKeySet(20000, 37);
+  Rosetta::Options options;
+  options.expected_keys = keys.size();
+  options.bits_per_key = 16;
+  options.max_range = 1 << 14;
+  Rosetta filter(options);
+  for (uint64_t k : keys) filter.Insert(k);
+  Rng rng(38);
+  auto avg_probes = [&](uint64_t range) {
+    uint64_t total = 0;
+    for (int i = 0; i < 300; ++i) {
+      uint64_t lo = rng.Next();
+      filter.MayContainRange(lo, RangeEnd(lo, range));
+      total += filter.last_probe_count();
+    }
+    return static_cast<double>(total) / 300.0;
+  };
+  double small = avg_probes(8);
+  double large = avg_probes(1 << 14);
+  EXPECT_GT(large, small * 1.5);
+}
+
+TEST(RosettaTest, RangesBeyondConfiguredRAreConservative) {
+  Rosetta::Options options;
+  options.expected_keys = 1000;
+  options.bits_per_key = 16;
+  options.max_range = 64;
+  Rosetta filter(options);
+  // Empty filter, but a range vastly exceeding R cannot be decomposed
+  // within the cap: conservative positive.
+  EXPECT_TRUE(filter.MayContainRange(0, UINT64_MAX / 2));
+  // In-budget ranges on an empty filter are definite negatives.
+  EXPECT_FALSE(filter.MayContainRange(1000, 1063));
+}
+
+TEST(RosettaTest, OptimizedVariantAllocatesBottomHeavy) {
+  Rosetta::Options options;
+  options.expected_keys = 100000;
+  options.bits_per_key = 20;
+  options.max_range = 1 << 8;
+  options.variant = Rosetta::Variant::kOptimized;
+  Rosetta filter(options);
+  // Budget respected and the filter behaves correctly.
+  EXPECT_LT(filter.MemoryBits(), 22 * options.expected_keys);
+  auto keys = RandomKeySet(50000, 40);
+  for (uint64_t k : keys) filter.Insert(k);
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(filter.MayContain(k));
+    ASSERT_TRUE(filter.MayContainRange(k, RangeEnd(k, 100)));
+  }
+}
+
+TEST(RosettaTest, OptimizedBeatsFirstCutOnPoints) {
+  auto keys = RandomKeySet(50000, 41);
+  auto point_fpr = [&](Rosetta::Variant variant) {
+    Rosetta::Options options;
+    options.expected_keys = keys.size();
+    options.bits_per_key = 16;
+    options.max_range = 1 << 10;
+    options.variant = variant;
+    Rosetta filter(options);
+    for (uint64_t k : keys) filter.Insert(k);
+    Rng rng(42);
+    uint64_t fp = 0, neg = 0;
+    for (int i = 0; i < 100000; ++i) {
+      uint64_t y = rng.Next();
+      if (keys.count(y)) continue;
+      ++neg;
+      if (filter.MayContain(y)) ++fp;
+    }
+    return static_cast<double>(fp) / static_cast<double>(neg);
+  };
+  // The optimized allocation shifts bits to the bottom filter, the one
+  // point queries (and doubting chains) hit.
+  EXPECT_LE(point_fpr(Rosetta::Variant::kOptimized),
+            point_fpr(Rosetta::Variant::kFirstCut) + 1e-6);
+}
+
+TEST(RosettaTest, VariantsAllCorrect) {
+  auto keys = RandomKeySet(5000, 39);
+  for (auto variant : {Rosetta::Variant::kFirstCut,
+                       Rosetta::Variant::kBottomHeavy,
+                       Rosetta::Variant::kOptimized,
+                       Rosetta::Variant::kSingleLevel}) {
+    Rosetta::Options options;
+    options.expected_keys = keys.size();
+    options.bits_per_key = 18;
+    options.max_range = 128;
+    options.variant = variant;
+    Rosetta filter(options);
+    for (uint64_t k : keys) filter.Insert(k);
+    for (uint64_t k : keys) {
+      ASSERT_TRUE(filter.MayContain(k));
+      ASSERT_TRUE(filter.MayContainRange(k, RangeEnd(k, 100)));
+    }
+  }
+}
+
+TEST(RosettaTest, MemoryWithinBudget) {
+  Rosetta::Options options;
+  options.expected_keys = 100000;
+  options.bits_per_key = 20;
+  options.max_range = 1024;
+  Rosetta filter(options);
+  EXPECT_LT(filter.MemoryBits(), 22 * options.expected_keys);
+  EXPECT_GT(filter.MemoryBits(), 16 * options.expected_keys);
+}
+
+}  // namespace
+}  // namespace bloomrf

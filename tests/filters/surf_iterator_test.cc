@@ -1,0 +1,130 @@
+// Targeted tests of SuRF's lower-bound iterator (SeekGE) through the
+// range API on crafted key sets: backtracking across nodes, leftmost
+// descents, dense/sparse boundary crossings, and truncation semantics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "filters/surf/surf.h"
+#include "util/coding.h"
+
+namespace bloomrf {
+namespace {
+
+Surf Build(std::vector<uint64_t> keys, SurfSuffixType suffix_type,
+           uint32_t suffix_bits = 56, uint32_t dense_ratio = 16) {
+  Surf::Options options;
+  options.suffix_type = suffix_type;
+  options.suffix_bits = suffix_bits;
+  options.dense_size_ratio = dense_ratio;
+  return Surf::BuildFromU64(keys, options);
+}
+
+TEST(SurfIteratorTest, SuccessorWithinNode) {
+  // Keys differ in the last byte only: one node at the bottom level.
+  Surf surf = Build({0x1000, 0x1005, 0x100a}, SurfSuffixType::kReal);
+  EXPECT_TRUE(surf.MayContainRange(0x1001, 0x1005));   // successor 0x1005
+  EXPECT_FALSE(surf.MayContainRange(0x1001, 0x1004));  // gap
+  EXPECT_TRUE(surf.MayContainRange(0x1006, 0x100a));
+  EXPECT_FALSE(surf.MayContainRange(0x100b, 0x2000));  // past the last
+}
+
+TEST(SurfIteratorTest, BacktrackToAncestorSibling) {
+  // Successor of a probe inside the left subtree lies in the right
+  // subtree: requires popping to the root and descending leftmost.
+  Surf surf = Build({0x0100000000000000ULL, 0x0200000000000000ULL},
+                    SurfSuffixType::kReal);
+  // Probe between the two top-level branches.
+  EXPECT_TRUE(
+      surf.MayContainRange(0x0100000000000001ULL, 0x0200000000000000ULL));
+  EXPECT_FALSE(
+      surf.MayContainRange(0x0100000000000001ULL, 0x01ffffffffffffffULL));
+}
+
+TEST(SurfIteratorTest, MultiLevelBacktrack) {
+  // Deep chain on the left, shallow key on the right: the successor
+  // search must unwind several frames.
+  std::vector<uint64_t> keys = {0x1111111111111111ULL,
+                                0x1111111111111112ULL,
+                                0x9000000000000000ULL};
+  Surf surf = Build(keys, SurfSuffixType::kReal);
+  EXPECT_TRUE(
+      surf.MayContainRange(0x1111111111111113ULL, 0x9000000000000000ULL));
+  EXPECT_FALSE(
+      surf.MayContainRange(0x1111111111111113ULL, 0x8fffffffffffffffULL));
+  EXPECT_TRUE(surf.MayContainRange(0, 0x1111111111111111ULL));
+}
+
+TEST(SurfIteratorTest, LeftmostDescentAfterMismatch) {
+  // Probe label below the smallest edge label: descend leftmost.
+  Surf surf = Build({0x5555000000000000ULL, 0x5555ff0000000000ULL},
+                    SurfSuffixType::kReal);
+  EXPECT_TRUE(surf.MayContainRange(0x5555000000000000ULL,
+                                   0x5555000000000000ULL));
+  EXPECT_TRUE(surf.MayContainRange(0x5554000000000000ULL,
+                                   0x5555000000000001ULL));
+  EXPECT_FALSE(surf.MayContainRange(0x5555000000000001ULL,
+                                    0x5555fe0000000000ULL));
+}
+
+TEST(SurfIteratorTest, DenseSparseBoundaryConsistency) {
+  // Force the cutoff into the middle of the trie and compare against
+  // an all-sparse twin on adjacent probes around every key.
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    keys.push_back(i * 0x10203040506ULL + 17);
+  }
+  Surf mixed = Build(keys, SurfSuffixType::kReal, 16, /*dense_ratio=*/2);
+  Surf sparse = Build(keys, SurfSuffixType::kReal, 16, /*dense_ratio=*/1000000);
+  ASSERT_GT(mixed.dense_levels(), 0u);
+  ASSERT_EQ(sparse.dense_levels(), 0u);
+  for (uint64_t k : keys) {
+    for (int64_t d : {-2, -1, 0, 1, 2}) {
+      uint64_t lo = k + static_cast<uint64_t>(d);
+      uint64_t hi = lo + 3;
+      ASSERT_EQ(mixed.MayContainRange(lo, hi),
+                sparse.MayContainRange(lo, hi))
+          << k << " " << d;
+      ASSERT_EQ(mixed.MayContain(lo), sparse.MayContain(lo)) << k << " " << d;
+    }
+  }
+}
+
+TEST(SurfIteratorTest, SeekExactlyAtKeyIsInclusive) {
+  Surf surf = Build({500, 1000, 1500}, SurfSuffixType::kReal);
+  EXPECT_TRUE(surf.MayContainRange(1000, 1000));
+  EXPECT_TRUE(surf.MayContainRange(1000, 1001));
+  EXPECT_TRUE(surf.MayContainRange(999, 1000));
+}
+
+TEST(SurfIteratorTest, TruncationConservatismWithoutSuffix) {
+  // SuRF-Base truncates and keeps no suffix: probes that agree with a
+  // stored key on the truncated prefix must answer true (conservative)
+  // even when the actual key is absent.
+  Surf surf = Build({0xAABB000000000000ULL, 0xAACC000000000000ULL},
+                    SurfSuffixType::kNone, 0);
+  // Stored paths truncate after the second byte (0xBB vs 0xCC).
+  EXPECT_TRUE(surf.MayContain(0xAABB123456789ABCULL));  // same prefix: FP
+  EXPECT_FALSE(surf.MayContain(0xAADD000000000000ULL));
+  EXPECT_TRUE(surf.MayContainRange(0xAABB000000000001ULL,
+                                   0xAABB000000000002ULL));  // conservative
+}
+
+TEST(SurfIteratorTest, FullDomainSweepAgainstGroundTruth) {
+  std::vector<uint64_t> keys = {3, 9, 27, 81, 243, 729, 2187, 6561};
+  Surf surf = Build(keys, SurfSuffixType::kReal);
+  for (uint64_t lo = 0; lo < 7000; lo += 13) {
+    for (uint64_t len : {1ULL, 5ULL, 50ULL, 500ULL}) {
+      uint64_t hi = lo + len - 1;
+      bool truth = false;
+      for (uint64_t k : keys) truth |= (k >= lo && k <= hi);
+      if (truth) {
+        ASSERT_TRUE(surf.MayContainRange(lo, hi)) << lo << " " << hi;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bloomrf

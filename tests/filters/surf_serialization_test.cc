@@ -1,0 +1,79 @@
+// SuRF succinct-structure serialization round trips.
+
+#include <gtest/gtest.h>
+
+#include "filters/surf/surf.h"
+#include "tests/test_util.h"
+
+namespace bloomrf {
+namespace {
+
+using ::bloomrf::testing::RandomKeySet;
+
+Surf::Options Opt(SurfSuffixType type, uint32_t bits) {
+  Surf::Options options;
+  options.suffix_type = type;
+  options.suffix_bits = bits;
+  return options;
+}
+
+TEST(SurfSerializationTest, RoundTripAllSuffixTypes) {
+  auto keyset = RandomKeySet(20000, 401);
+  std::vector<uint64_t> keys(keyset.begin(), keyset.end());
+  for (auto type : {SurfSuffixType::kNone, SurfSuffixType::kHash,
+                    SurfSuffixType::kReal}) {
+    Surf original = Surf::BuildFromU64(keys, Opt(type, 8));
+    auto restored = Surf::Deserialize(original.Serialize());
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_EQ(restored->height(), original.height());
+    EXPECT_EQ(restored->dense_levels(), original.dense_levels());
+    EXPECT_EQ(restored->num_keys(), original.num_keys());
+    EXPECT_EQ(restored->MemoryBits(), original.MemoryBits());
+    Rng rng(402);
+    for (int i = 0; i < 30000; ++i) {
+      uint64_t y = rng.Next();
+      ASSERT_EQ(restored->MayContain(y), original.MayContain(y)) << y;
+      uint64_t hi = y | 0xffffffULL;
+      ASSERT_EQ(restored->MayContainRange(y, hi),
+                original.MayContainRange(y, hi))
+          << y;
+    }
+  }
+}
+
+TEST(SurfSerializationTest, RoundTripStrings) {
+  std::vector<std::string> keys = {"alpha", "beta", "gamma", "gammaray"};
+  Surf original =
+      Surf::BuildFromStrings(keys, Opt(SurfSuffixType::kReal, 16));
+  auto restored = Surf::Deserialize(original.Serialize());
+  ASSERT_TRUE(restored.has_value());
+  for (const auto& k : keys) {
+    EXPECT_TRUE(restored->MayContainString(k)) << k;
+  }
+  EXPECT_EQ(restored->MayContainString("delta"),
+            original.MayContainString("delta"));
+  EXPECT_EQ(restored->MayContainStringRange("a", "b"),
+            original.MayContainStringRange("a", "b"));
+}
+
+TEST(SurfSerializationTest, RejectsCorruption) {
+  auto keyset = RandomKeySet(1000, 403);
+  std::vector<uint64_t> keys(keyset.begin(), keyset.end());
+  Surf original = Surf::BuildFromU64(keys, Opt(SurfSuffixType::kHash, 8));
+  std::string blob = original.Serialize();
+  EXPECT_FALSE(Surf::Deserialize("").has_value());
+  EXPECT_FALSE(Surf::Deserialize("bogus").has_value());
+  EXPECT_FALSE(
+      Surf::Deserialize(blob.substr(0, blob.size() / 2)).has_value());
+  EXPECT_FALSE(Surf::Deserialize(blob.substr(0, blob.size() - 4)).has_value());
+}
+
+TEST(SurfSerializationTest, EmptyFilterRoundTrips) {
+  Surf empty = Surf::BuildFromU64({}, Opt(SurfSuffixType::kHash, 8));
+  auto restored = Surf::Deserialize(empty.Serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_FALSE(restored->MayContain(42));
+}
+
+}  // namespace
+}  // namespace bloomrf

@@ -1,0 +1,51 @@
+#include "lsm/block.h"
+
+#include <gtest/gtest.h>
+
+namespace bloomrf {
+namespace {
+
+TEST(BlockTest, RoundTrip) {
+  BlockBuilder builder;
+  builder.Add(1, "one");
+  builder.Add(2, "");
+  builder.Add(300, std::string(1000, 'x'));
+  EXPECT_EQ(builder.NumEntries(), 3u);
+  EXPECT_EQ(builder.last_key(), 300u);
+
+  std::string data = builder.Finish();
+  std::vector<BlockEntry> entries;
+  ASSERT_TRUE(ParseBlock(data, &entries));
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].key, 1u);
+  EXPECT_EQ(entries[0].value, "one");
+  EXPECT_EQ(entries[1].value, "");
+  EXPECT_EQ(entries[2].value.size(), 1000u);
+}
+
+TEST(BlockTest, FinishResets) {
+  BlockBuilder builder;
+  builder.Add(1, "a");
+  builder.Finish();
+  EXPECT_TRUE(builder.empty());
+  EXPECT_EQ(builder.SizeBytes(), 0u);
+}
+
+TEST(BlockTest, ParseRejectsCorruption) {
+  std::vector<BlockEntry> entries;
+  EXPECT_FALSE(ParseBlock("tooshort", &entries));
+  BlockBuilder builder;
+  builder.Add(1, "value");
+  std::string data = builder.Finish();
+  EXPECT_FALSE(ParseBlock(std::string_view(data).substr(0, data.size() - 2),
+                          &entries));
+}
+
+TEST(BlockTest, EmptyBlockParses) {
+  std::vector<BlockEntry> entries;
+  EXPECT_TRUE(ParseBlock("", &entries));
+  EXPECT_TRUE(entries.empty());
+}
+
+}  // namespace
+}  // namespace bloomrf

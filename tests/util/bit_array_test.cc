@@ -1,0 +1,134 @@
+#include "util/bit_array.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace bloomrf {
+namespace {
+
+TEST(BitArrayTest, StartsZeroed) {
+  BitArray bits(1000);
+  for (uint64_t i = 0; i < 1000; ++i) EXPECT_FALSE(bits.TestBit(i));
+  EXPECT_EQ(bits.CountOnes(), 0u);
+}
+
+TEST(BitArrayTest, RoundsUpTo64) {
+  BitArray bits(1);
+  EXPECT_EQ(bits.size_bits(), 64u);
+  BitArray bits2(65);
+  EXPECT_EQ(bits2.size_bits(), 128u);
+}
+
+TEST(BitArrayTest, SetAndTest) {
+  BitArray bits(256);
+  bits.SetBit(0);
+  bits.SetBit(63);
+  bits.SetBit(64);
+  bits.SetBit(255);
+  EXPECT_TRUE(bits.TestBit(0));
+  EXPECT_TRUE(bits.TestBit(63));
+  EXPECT_TRUE(bits.TestBit(64));
+  EXPECT_TRUE(bits.TestBit(255));
+  EXPECT_FALSE(bits.TestBit(1));
+  EXPECT_FALSE(bits.TestBit(128));
+  EXPECT_EQ(bits.CountOnes(), 4u);
+}
+
+TEST(BitArrayTest, WordAccessAllSizes) {
+  for (uint32_t word_bits : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    BitArray bits(1024);
+    uint64_t pattern = word_bits == 64 ? 0xdeadbeefcafef00dULL
+                                       : ((1ULL << word_bits) - 1) & 0x5aa5;
+    if (pattern == 0) pattern = 1;
+    uint64_t idx = 1024 / word_bits - 1;  // last word
+    bits.OrWord(idx, word_bits, pattern);
+    EXPECT_EQ(bits.LoadWord(idx, word_bits), pattern) << word_bits;
+    EXPECT_EQ(bits.LoadWord(0, word_bits), 0u) << word_bits;
+  }
+}
+
+TEST(BitArrayTest, WordOrAccumulates) {
+  BitArray bits(128);
+  bits.OrWord(2, 8, 0b0001);
+  bits.OrWord(2, 8, 0b1000);
+  EXPECT_EQ(bits.LoadWord(2, 8), 0b1001u);
+}
+
+TEST(BitArrayTest, WordsMatchBits) {
+  BitArray bits(512);
+  bits.OrWord(3, 8, 1ULL << 5);  // word 3 of 8 bits = bits 24..31
+  EXPECT_TRUE(bits.TestBit(24 + 5));
+  EXPECT_EQ(bits.CountOnes(), 1u);
+}
+
+TEST(BitArrayTest, AnyInRangeSingleBlock) {
+  BitArray bits(256);
+  bits.SetBit(70);
+  EXPECT_TRUE(bits.AnyInRange(70, 70));
+  EXPECT_TRUE(bits.AnyInRange(64, 127));
+  EXPECT_FALSE(bits.AnyInRange(0, 69));
+  EXPECT_FALSE(bits.AnyInRange(71, 255));
+}
+
+TEST(BitArrayTest, AnyInRangeCrossBlocks) {
+  BitArray bits(512);
+  bits.SetBit(200);
+  EXPECT_TRUE(bits.AnyInRange(0, 511));
+  EXPECT_TRUE(bits.AnyInRange(199, 201));
+  EXPECT_TRUE(bits.AnyInRange(128, 256));
+  EXPECT_FALSE(bits.AnyInRange(0, 199));
+  EXPECT_FALSE(bits.AnyInRange(201, 511));
+}
+
+TEST(BitArrayTest, AnyInRangeBoundaries) {
+  BitArray bits(128);
+  bits.SetBit(0);
+  bits.SetBit(127);
+  EXPECT_TRUE(bits.AnyInRange(0, 0));
+  EXPECT_TRUE(bits.AnyInRange(127, 127));
+  EXPECT_FALSE(bits.AnyInRange(1, 126));
+  // Clamped out-of-range queries.
+  EXPECT_TRUE(bits.AnyInRange(100, 100000));
+  EXPECT_FALSE(bits.AnyInRange(128, 100000));
+  EXPECT_FALSE(bits.AnyInRange(5, 4));
+}
+
+TEST(BitArrayTest, SerializeRoundTrip) {
+  BitArray bits(320);
+  for (uint64_t i = 0; i < 320; i += 7) bits.SetBit(i);
+  std::string data;
+  bits.SerializeTo(&data);
+  EXPECT_EQ(data.size(), 320u / 8);
+
+  BitArray restored;
+  ASSERT_TRUE(restored.DeserializeFrom(320, data));
+  for (uint64_t i = 0; i < 320; ++i) {
+    EXPECT_EQ(restored.TestBit(i), bits.TestBit(i)) << i;
+  }
+}
+
+TEST(BitArrayTest, DeserializeRejectsBadSize) {
+  BitArray bits;
+  EXPECT_FALSE(bits.DeserializeFrom(320, "short"));
+}
+
+TEST(BitArrayTest, ConcurrentSetsAreAllVisible) {
+  BitArray bits(1 << 16);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bits, t] {
+      for (uint64_t i = static_cast<uint64_t>(t); i < (1 << 16);
+           i += kThreads) {
+        bits.SetBit(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bits.CountOnes(), uint64_t{1} << 16);
+}
+
+}  // namespace
+}  // namespace bloomrf

@@ -1,0 +1,138 @@
+#include "util/bit_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace bloomrf {
+namespace {
+
+TEST(BitVectorTest, PushAndGet) {
+  BitVector bv;
+  bv.PushBack(true);
+  bv.PushBack(false);
+  bv.PushBack(true);
+  bv.Build();
+  EXPECT_EQ(bv.size(), 3u);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_FALSE(bv.Get(1));
+  EXPECT_TRUE(bv.Get(2));
+  EXPECT_EQ(bv.ones(), 2u);
+}
+
+TEST(BitVectorTest, AppendBits) {
+  BitVector bv;
+  bv.AppendBits(0b1011, 4);
+  bv.Build();
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(1));
+  EXPECT_FALSE(bv.Get(2));
+  EXPECT_TRUE(bv.Get(3));
+}
+
+TEST(BitVectorTest, SetBitGrows) {
+  BitVector bv;
+  bv.SetBit(100);
+  bv.EnsureSize(200);
+  bv.Build();
+  EXPECT_EQ(bv.size(), 200u);
+  EXPECT_TRUE(bv.Get(100));
+  EXPECT_FALSE(bv.Get(99));
+  EXPECT_EQ(bv.ones(), 1u);
+}
+
+TEST(BitVectorTest, RankAgainstNaive) {
+  Rng rng(42);
+  BitVector bv;
+  std::vector<bool> naive;
+  for (int i = 0; i < 5000; ++i) {
+    bool bit = rng.Next() & 1;
+    bv.PushBack(bit);
+    naive.push_back(bit);
+  }
+  bv.Build();
+  uint64_t rank = 0;
+  for (size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_EQ(bv.Rank1(i), rank) << i;
+    EXPECT_EQ(bv.Rank0(i), i - rank) << i;
+    if (naive[i]) ++rank;
+  }
+  EXPECT_EQ(bv.Rank1(naive.size()), rank);
+  EXPECT_EQ(bv.Rank1(naive.size() + 1000), rank);  // clamped
+}
+
+TEST(BitVectorTest, SelectAgainstNaive) {
+  Rng rng(7);
+  BitVector bv;
+  std::vector<uint64_t> one_positions;
+  for (uint64_t i = 0; i < 8000; ++i) {
+    bool bit = rng.Uniform(5) == 0;
+    bv.PushBack(bit);
+    if (bit) one_positions.push_back(i);
+  }
+  bv.Build();
+  ASSERT_EQ(bv.ones(), one_positions.size());
+  for (size_t i = 0; i < one_positions.size(); ++i) {
+    EXPECT_EQ(bv.Select1(i), one_positions[i]) << i;
+  }
+}
+
+TEST(BitVectorTest, SelectRankInverse) {
+  Rng rng(9);
+  BitVector bv;
+  for (int i = 0; i < 3000; ++i) bv.PushBack(rng.Next() & 1);
+  bv.Build();
+  for (uint64_t i = 0; i < bv.ones(); i += 17) {
+    uint64_t pos = bv.Select1(i);
+    EXPECT_TRUE(bv.Get(pos));
+    EXPECT_EQ(bv.Rank1(pos), i);
+  }
+}
+
+TEST(BitVectorTest, NextOnePrevOne) {
+  BitVector bv;
+  bv.EnsureSize(300);
+  bv.SetBit(10);
+  bv.SetBit(100);
+  bv.SetBit(299);
+  bv.Build();
+  EXPECT_EQ(bv.NextOne(0), 10u);
+  EXPECT_EQ(bv.NextOne(10), 10u);
+  EXPECT_EQ(bv.NextOne(11), 100u);
+  EXPECT_EQ(bv.NextOne(101), 299u);
+  EXPECT_EQ(bv.NextOne(300), 300u);  // size() when none
+  EXPECT_EQ(bv.PrevOne(299), 299u);
+  EXPECT_EQ(bv.PrevOne(298), 100u);
+  EXPECT_EQ(bv.PrevOne(9), UINT64_MAX);
+}
+
+TEST(BitVectorTest, DensePattern) {
+  BitVector bv;
+  for (int i = 0; i < 1024; ++i) bv.PushBack(true);
+  bv.Build();
+  EXPECT_EQ(bv.ones(), 1024u);
+  EXPECT_EQ(bv.Rank1(512), 512u);
+  EXPECT_EQ(bv.Select1(511), 511u);
+}
+
+TEST(BitVectorTest, EmptyVector) {
+  BitVector bv;
+  bv.Build();
+  EXPECT_EQ(bv.size(), 0u);
+  EXPECT_EQ(bv.ones(), 0u);
+  EXPECT_EQ(bv.Rank1(0), 0u);
+  EXPECT_EQ(bv.NextOne(0), 0u);
+}
+
+TEST(BitVectorTest, SlackBitsClearedAtBuild) {
+  BitVector bv;
+  bv.PushBack(true);
+  bv.PushBack(true);
+  bv.Build();
+  EXPECT_EQ(bv.ones(), 2u);  // no phantom bits from the backing word
+}
+
+}  // namespace
+}  // namespace bloomrf

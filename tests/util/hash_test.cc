@@ -1,0 +1,99 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace bloomrf {
+namespace {
+
+TEST(Mix64Test, IsDeterministic) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_EQ(Mix64(0), Mix64(0));
+}
+
+TEST(Mix64Test, IsBijectiveOnSample) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 100000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 100000u);
+}
+
+TEST(Mix64Test, AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits.
+  for (int bit = 0; bit < 64; bit += 7) {
+    uint64_t a = Mix64(0x1234567890abcdefULL);
+    uint64_t b = Mix64(0x1234567890abcdefULL ^ (1ULL << bit));
+    int flipped = __builtin_popcountll(a ^ b);
+    EXPECT_GT(flipped, 16) << "bit " << bit;
+    EXPECT_LT(flipped, 48) << "bit " << bit;
+  }
+}
+
+TEST(SplitMix64Test, ProducesDistinctStream) {
+  uint64_t state = 7;
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(SplitMix64(state));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Hash64Test, SeedChangesOutput) {
+  EXPECT_NE(Hash64(42, 1), Hash64(42, 2));
+  EXPECT_EQ(Hash64(42, 1), Hash64(42, 1));
+}
+
+TEST(HashBytesTest, MatchesAcrossCalls) {
+  std::string s = "hello world, this is a filter library";
+  EXPECT_EQ(HashBytes(s, 1), HashBytes(s, 1));
+  EXPECT_NE(HashBytes(s, 1), HashBytes(s, 2));
+}
+
+TEST(HashBytesTest, LengthMatters) {
+  std::string a(8, 'x');
+  std::string b(9, 'x');
+  EXPECT_NE(HashBytes(a, 0), HashBytes(b, 0));
+}
+
+TEST(HashBytesTest, EmptyInputIsValid) {
+  EXPECT_EQ(HashBytes(nullptr, 0, 5), HashBytes(nullptr, 0, 5));
+}
+
+TEST(HashBytesTest, TailBytesAreSignificant) {
+  // Differences beyond the last full 8-byte chunk must change the hash.
+  std::string a = "0123456789abcdeX";
+  std::string b = "0123456789abcdeY";
+  EXPECT_NE(HashBytes(a, 0), HashBytes(b, 0));
+}
+
+TEST(FastRange64Test, StaysInRange) {
+  for (uint64_t n : {1ULL, 2ULL, 3ULL, 1000ULL, 1ULL << 40}) {
+    for (uint64_t h : {0ULL, 1ULL, ~0ULL, 0x8000000000000000ULL}) {
+      EXPECT_LT(FastRange64(h, n), n);
+    }
+  }
+}
+
+TEST(FastRange64Test, IsRoughlyUniform) {
+  constexpr uint64_t kBuckets = 16;
+  std::vector<uint64_t> counts(kBuckets, 0);
+  for (uint64_t i = 0; i < 160000; ++i) {
+    ++counts[FastRange64(Mix64(i), kBuckets)];
+  }
+  for (uint64_t c : counts) {
+    EXPECT_GT(c, 9000u);
+    EXPECT_LT(c, 11000u);
+  }
+}
+
+TEST(DoubleHashProbeTest, OddStrideVisitsAllSlotsPow2) {
+  // With an odd stride all 2^k residues are visited.
+  uint64_t h1 = 12345, h2 = 6789;
+  std::set<uint64_t> seen;
+  for (uint32_t i = 0; i < 64; ++i) {
+    seen.insert(DoubleHashProbe(h1, h2, i) % 64);
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+}  // namespace
+}  // namespace bloomrf

@@ -1,0 +1,123 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace bloomrf {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(5), b(6);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(3);
+  double sum = 0, sum_sq = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / kSamples;
+  double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(ZipfianTest, RankZeroMostPopular) {
+  ZipfianGenerator zipf(1000, 0.99, 4);
+  std::map<uint64_t, uint64_t> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Next()];
+  // Rank 0 must dominate rank 10 which dominates rank 100.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(ZipfianTest, StaysInRange) {
+  ZipfianGenerator zipf(50, 0.99, 5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(), 50u);
+}
+
+TEST(ZipfianTest, LargeDomainConstructible) {
+  // Zeta approximation keeps construction fast for 2^40 ranks.
+  ZipfianGenerator zipf(uint64_t{1} << 40, 0.99, 6);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Next(), uint64_t{1} << 40);
+}
+
+TEST(GenerateDistinctKeysTest, CountsAndUniqueness) {
+  for (Distribution dist : {Distribution::kUniform, Distribution::kNormal,
+                            Distribution::kZipfian}) {
+    auto keys = GenerateDistinctKeys(20000, dist, 7);
+    std::set<uint64_t> unique(keys.begin(), keys.end());
+    EXPECT_EQ(keys.size(), 20000u) << DistributionName(dist);
+    EXPECT_EQ(unique.size(), 20000u) << DistributionName(dist);
+  }
+}
+
+TEST(GenerateDistinctKeysTest, NormalIsCentered) {
+  auto keys = GenerateDistinctKeys(20000, Distribution::kNormal, 8);
+  // Most mass within mean +- 3 sigma = 2^63 +- 3*2^59.
+  uint64_t center = uint64_t{1} << 63;
+  uint64_t three_sigma = 3 * (uint64_t{1} << 59);
+  size_t inside = 0;
+  for (uint64_t k : keys) {
+    if (k >= center - three_sigma && k <= center + three_sigma) ++inside;
+  }
+  EXPECT_GT(inside, keys.size() * 99 / 100);
+}
+
+TEST(GenerateDistinctKeysTest, ZipfianIsClustered) {
+  auto keys = GenerateDistinctKeys(20000, Distribution::kZipfian, 9);
+  // Zipfian keys concentrate in hot 2^16-aligned blocks: the hottest
+  // block holds many distinct keys (uniform data: ~1 key per block).
+  std::map<uint64_t, uint64_t> blocks;
+  for (uint64_t k : keys) ++blocks[k >> 16];
+  uint64_t hottest = 0;
+  for (auto& [block, count] : blocks) hottest = std::max(hottest, count);
+  EXPECT_GE(hottest, 20u);
+  EXPECT_LT(blocks.size(), keys.size());
+}
+
+TEST(GenerateDistinctKeysTest, SeedsGiveDifferentSets) {
+  auto a = GenerateDistinctKeys(1000, Distribution::kUniform, 1);
+  auto b = GenerateDistinctKeys(1000, Distribution::kUniform, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(DistributionNameTest, AllNamed) {
+  EXPECT_STREQ(DistributionName(Distribution::kUniform), "uniform");
+  EXPECT_STREQ(DistributionName(Distribution::kNormal), "normal");
+  EXPECT_STREQ(DistributionName(Distribution::kZipfian), "zipfian");
+}
+
+}  // namespace
+}  // namespace bloomrf

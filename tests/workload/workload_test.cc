@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/key_generator.h"
+#include "workload/query_generator.h"
+#include "workload/synthetic_kepler.h"
+#include "workload/synthetic_sdss.h"
+
+namespace bloomrf {
+namespace {
+
+TEST(DatasetTest, SortedAndDistinct) {
+  Dataset data = MakeDataset(10000, Distribution::kUniform, 1);
+  EXPECT_EQ(data.keys.size(), 10000u);
+  EXPECT_TRUE(std::is_sorted(data.sorted_keys.begin(),
+                             data.sorted_keys.end()));
+  EXPECT_EQ(std::adjacent_find(data.sorted_keys.begin(),
+                               data.sorted_keys.end()),
+            data.sorted_keys.end());
+}
+
+TEST(DatasetTest, GroundTruthQueries) {
+  Dataset data = MakeDataset(1000, Distribution::kUniform, 2);
+  for (uint64_t k : data.sorted_keys) {
+    EXPECT_TRUE(data.Contains(k));
+    EXPECT_TRUE(data.RangeNonEmpty(k, k));
+  }
+  EXPECT_FALSE(data.RangeNonEmpty(5, 4));
+}
+
+TEST(MakeValueTest, DeterministicAndSized) {
+  EXPECT_EQ(MakeValue(42, 512).size(), 512u);
+  EXPECT_EQ(MakeValue(42, 512), MakeValue(42, 512));
+  EXPECT_NE(MakeValue(42, 512), MakeValue(43, 512));
+}
+
+TEST(QueryWorkloadTest, PointQueriesAreMisses) {
+  Dataset data = MakeDataset(50000, Distribution::kUniform, 3);
+  QueryWorkload workload =
+      MakeQueryWorkload(data, 5000, 100, Distribution::kUniform, 4);
+  EXPECT_EQ(workload.point_queries.size(), 5000u);
+  uint64_t hits = 0;
+  for (uint64_t y : workload.point_queries) hits += data.Contains(y);
+  EXPECT_EQ(hits, 0u);  // uniform over 2^64: redraws always succeed
+}
+
+TEST(QueryWorkloadTest, RangesHaveExactSize) {
+  Dataset data = MakeDataset(10000, Distribution::kUniform, 5);
+  QueryWorkload workload =
+      MakeQueryWorkload(data, 1000, 4096, Distribution::kNormal, 6);
+  for (const RangeQuery& q : workload.range_queries) {
+    EXPECT_EQ(q.hi - q.lo + 1, 4096u);
+  }
+}
+
+TEST(QueryWorkloadTest, EmptinessFlagMatchesGroundTruth) {
+  Dataset data = MakeDataset(30000, Distribution::kNormal, 7);
+  QueryWorkload workload =
+      MakeQueryWorkload(data, 2000, 1 << 20, Distribution::kNormal, 8);
+  for (const RangeQuery& q : workload.range_queries) {
+    EXPECT_EQ(q.empty, !data.RangeNonEmpty(q.lo, q.hi));
+  }
+}
+
+TEST(QueryWorkloadTest, HugeRangesMayStayNonEmpty) {
+  // Mirrors the paper's note: ~1% non-empty ranges at |R|=1e11 because
+  // redraws cannot find empty space.
+  Dataset data = MakeDataset(50000, Distribution::kUniform, 9);
+  QueryWorkload workload = MakeQueryWorkload(
+      data, 500, uint64_t{1} << 50, Distribution::kUniform, 10);
+  EXPECT_GT(workload.non_empty_ranges, 0u);
+}
+
+TEST(SyntheticKeplerTest, ShapeMatchesFluxSeries) {
+  KeplerOptions options;
+  options.num_stars = 8;
+  options.samples_per_star = 1000;
+  auto flux = GenerateKeplerFlux(options);
+  ASSERT_EQ(flux.size(), 8000u);
+  // Both signs occur (mean-shifted flux).
+  bool has_positive = false, has_negative = false;
+  for (double f : flux) {
+    has_positive |= f > 0;
+    has_negative |= f < 0;
+  }
+  EXPECT_TRUE(has_positive);
+  EXPECT_TRUE(has_negative);
+  // Values are clustered (std of diffs << std of values across stars).
+  double mean = 0;
+  for (double f : flux) mean += f;
+  mean /= static_cast<double>(flux.size());
+  double var = 0;
+  for (double f : flux) var += (f - mean) * (f - mean);
+  var /= static_cast<double>(flux.size());
+  double diff_var = 0;
+  for (size_t i = 1; i < 1000; ++i) {
+    double d = flux[i] - flux[i - 1];
+    diff_var += d * d;
+  }
+  diff_var /= 999.0;
+  EXPECT_LT(diff_var, var);  // autocorrelation
+}
+
+TEST(SyntheticKeplerTest, DeterministicBySeed) {
+  KeplerOptions options;
+  options.num_stars = 2;
+  options.samples_per_star = 100;
+  EXPECT_EQ(GenerateKeplerFlux(options), GenerateKeplerFlux(options));
+}
+
+TEST(SyntheticSdssTest, RoughlyNormalRuns) {
+  SdssOptions options;
+  options.num_rows = 50000;
+  auto rows = GenerateSdssRows(options);
+  ASSERT_EQ(rows.size(), 50000u);
+  double mean = 0;
+  for (const auto& row : rows) mean += static_cast<double>(row.run);
+  mean /= static_cast<double>(rows.size());
+  EXPECT_NEAR(mean, static_cast<double>(options.mean_run), 60.0);
+  // Run < 300 selects a minority but non-trivial slice.
+  uint64_t below = 0;
+  for (const auto& row : rows) below += row.run < 300;
+  EXPECT_GT(below, rows.size() / 50);
+  EXPECT_LT(below, rows.size() / 2);
+}
+
+TEST(SyntheticSdssTest, ObjectIdsClusterByRun) {
+  SdssOptions options;
+  options.num_rows = 20000;
+  auto rows = GenerateSdssRows(options);
+  // Same-run rows have closer object ids than cross-run rows on
+  // average: verify correlation sign via covariance.
+  double mean_run = 0, mean_id = 0;
+  for (const auto& row : rows) {
+    mean_run += static_cast<double>(row.run);
+    mean_id += static_cast<double>(row.object_id);
+  }
+  mean_run /= static_cast<double>(rows.size());
+  mean_id /= static_cast<double>(rows.size());
+  double cov = 0;
+  for (const auto& row : rows) {
+    cov += (static_cast<double>(row.run) - mean_run) *
+           (static_cast<double>(row.object_id) - mean_id);
+  }
+  EXPECT_GT(cov, 0.0);
+}
+
+}  // namespace
+}  // namespace bloomrf
