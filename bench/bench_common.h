@@ -6,6 +6,8 @@
 //   --keys=N       dataset size (paper: 5e7 for the LSM experiments)
 //   --queries=N    query count (paper: 1e5)
 //   --full         paper-scale defaults
+//   --filter=a,b   restrict to these FilterRegistry backends
+//   list-filters   print every registered backend and exit
 // or the environment variable BLOOMRF_BENCH_FULL=1.
 
 #ifndef BLOOMRF_BENCH_BENCH_COMMON_H_
@@ -16,6 +18,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
+
+#include "filters/registry.h"
 
 namespace bloomrf::bench {
 
@@ -23,13 +28,34 @@ struct Scale {
   uint64_t keys = 1'000'000;
   uint64_t queries = 20'000;
   bool full = false;
+  /// Registry names from --filter=; empty means the bench's default
+  /// contender set.
+  std::vector<std::string> filters;
+  /// Whether this bench consumes scale.filters (set by ParseScale).
+  bool filter_aware = false;
 };
 
+inline void PrintRegisteredFilters() {
+  std::printf("registered filters (--filter=<name>[,<name>...]):\n");
+  auto& registry = FilterRegistry::Instance();
+  for (const std::string& name : registry.Names()) {
+    const FilterRegistry::Entry* entry = registry.Find(name);
+    std::printf("  %-16s %-14s ranges=%s online=%s\n", name.c_str(),
+                entry->display_name.c_str(),
+                entry->supports_ranges ? "yes" : "no",
+                entry->online ? "yes" : "no");
+  }
+}
+
+/// `filter_aware` marks benches that consume scale.filters; the others
+/// warn instead of silently ignoring a --filter= selection.
 inline Scale ParseScale(int argc, char** argv, uint64_t default_keys = 1'000'000,
-                        uint64_t default_queries = 20'000) {
+                        uint64_t default_queries = 20'000,
+                        bool filter_aware = false) {
   Scale scale;
   scale.keys = default_keys;
   scale.queries = default_queries;
+  scale.filter_aware = filter_aware;
   const char* env = std::getenv("BLOOMRF_BENCH_FULL");
   if (env != nullptr && env[0] == '1') scale.full = true;
   for (int i = 1; i < argc; ++i) {
@@ -39,6 +65,33 @@ inline Scale ParseScale(int argc, char** argv, uint64_t default_keys = 1'000'000
       scale.queries = std::strtoull(argv[i] + 10, nullptr, 10);
     } else if (std::strcmp(argv[i], "--full") == 0) {
       scale.full = true;
+    } else if (std::strcmp(argv[i], "list-filters") == 0 ||
+               std::strcmp(argv[i], "--list-filters") == 0) {
+      PrintRegisteredFilters();
+      std::exit(0);
+    } else if (std::strncmp(argv[i], "--filter=", 9) == 0) {
+      if (!filter_aware) {
+        std::fprintf(stderr,
+                     "warning: this bench uses a fixed contender set; "
+                     "--filter= is ignored\n");
+        continue;
+      }
+      std::string list = argv[i] + 9;
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        std::string name = list.substr(start, comma - start);
+        if (!name.empty()) {
+          if (FilterRegistry::Instance().Find(name) == nullptr) {
+            std::fprintf(stderr, "unknown filter '%s'\n", name.c_str());
+            PrintRegisteredFilters();
+            std::exit(1);
+          }
+          scale.filters.push_back(std::move(name));
+        }
+        start = comma + 1;
+      }
     }
   }
   if (scale.full) {
@@ -48,11 +101,20 @@ inline Scale ParseScale(int argc, char** argv, uint64_t default_keys = 1'000'000
   return scale;
 }
 
+/// The bench's contender set: --filter= selections, or `defaults`.
+inline std::vector<std::string> FiltersOrDefault(
+    const Scale& scale, std::initializer_list<const char*> defaults) {
+  if (!scale.filters.empty()) return scale.filters;
+  return {defaults.begin(), defaults.end()};
+}
+
 inline void Header(const char* figure, const char* title, const Scale& scale) {
   std::printf("\n=== %s: %s ===\n", figure, title);
-  std::printf("(keys=%llu queries=%llu; --full for paper scale)\n",
+  std::printf("(keys=%llu queries=%llu; --full for paper scale%s)\n",
               static_cast<unsigned long long>(scale.keys),
-              static_cast<unsigned long long>(scale.queries));
+              static_cast<unsigned long long>(scale.queries),
+              scale.filter_aware ? ", --filter=<names> to choose backends"
+                                 : "");
 }
 
 /// Formats a rate as million ops per second.

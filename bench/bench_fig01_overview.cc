@@ -2,19 +2,43 @@
 // per (bits/key, number-of-keys) cell for small/medium/large ranges,
 // normal data and query distribution, standalone. A flattened version
 // of Fig. 11.E averaged over key counts.
+//
+// Contenders come from the FilterRegistry: default bloomRF / Rosetta /
+// SuRF (the paper's Fig. 1 cast), overridable with --filter=.
 
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "bench/standalone_bench_util.h"
+#include "filters/registry.h"
 
 using namespace bloomrf;
 using namespace bloomrf::bench;
 
 int main(int argc, char** argv) {
-  Scale scale = ParseScale(argc, argv, 100'000, 3'000);
+  Scale scale = ParseScale(argc, argv, 100'000, 3'000, /*filter_aware=*/true);
   Header("Fig. 1", "best-FPR positioning map (normal data/queries)", scale);
+  std::vector<std::string> contenders =
+      FiltersOrDefault(scale, {"bloomrf", "rosetta", "surf"});
+  auto& registry = FilterRegistry::Instance();
+  // This is a *range*-FPR positioning map: point-only backends answer
+  // every range probe with true (FPR 1.0) and cannot meaningfully win.
+  for (auto it = contenders.begin(); it != contenders.end();) {
+    if (!registry.Find(*it)->supports_ranges) {
+      std::printf("note: %s is point-only; excluded from the range map\n",
+                  it->c_str());
+      it = contenders.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (contenders.empty()) {
+    std::fprintf(stderr, "no range-capable contenders selected\n");
+    return 1;
+  }
 
   struct RangeClass {
     const char* name;
@@ -26,10 +50,17 @@ int main(int argc, char** argv) {
   std::vector<uint64_t> key_counts = {1'000, 10'000, scale.keys};
   std::vector<double> budgets = {8, 10, 12, 14, 16, 18, 20, 22};
 
+  // Column width that fits the longest selected display name.
+  int col = 10;
+  for (const std::string& name : contenders) {
+    int len = static_cast<int>(registry.Find(name)->display_name.size()) + 1;
+    if (len > col) col = len;
+  }
+
   for (const RangeClass& rc : classes) {
     std::printf("\n[%s] winner per (keys x bits/key)\n%-10s", rc.name,
                 "keys\\bpk");
-    for (double bpk : budgets) std::printf("%10.0f", bpk);
+    for (double bpk : budgets) std::printf("%*.0f", col, bpk);
     std::printf("\n");
     for (uint64_t n : key_counts) {
       std::printf("%-10llu", static_cast<unsigned long long>(n));
@@ -37,33 +68,39 @@ int main(int argc, char** argv) {
       QueryWorkload workload = MakeQueryWorkload(
           data, scale.queries, rc.size, Distribution::kNormal, 0x0f + rc.size);
       for (double bpk : budgets) {
-        StandaloneContenders c = BuildContenders(data, bpk, rc.size);
-        auto probe_fpr = [&](auto&& fn) {
+        // Build every contender through its registry factory and keep
+        // the lowest empty-range FPR. Online filters are budget-sized
+        // by construction and always compete; offline structures
+        // (SuRF, fences) may overshoot the budget and are dropped
+        // beyond 2 bits/key slack, as the paper does for SuRF.
+        const char* winner = "-";
+        double best_fpr = 2.0;
+        for (const std::string& name : contenders) {
+          const FilterRegistry::Entry* entry = registry.Find(name);
+          FilterBuildParams params;
+          params.bits_per_key = bpk;
+          params.max_range = static_cast<double>(rc.size);
+          params.suffix_bits = bpk <= 12 ? 4 : 8;
+          std::unique_ptr<PointRangeFilter> filter =
+              entry->build_from_sorted_keys(data.sorted_keys, params);
+          if (filter == nullptr) continue;
+          double actual_bpk = static_cast<double>(filter->MemoryBits()) /
+                              static_cast<double>(n);
+          if (!entry->online && actual_bpk > bpk + 2.0) continue;
           uint64_t fp = 0, empties = 0;
           for (const RangeQuery& q : workload.range_queries) {
             if (!q.empty) continue;
             ++empties;
-            if (fn(q.lo, q.hi)) ++fp;
+            if (filter->MayContainRange(q.lo, q.hi)) ++fp;
           }
-          return empties ? static_cast<double>(fp) / empties : 0.0;
-        };
-        double ours = probe_fpr([&](uint64_t lo, uint64_t hi) {
-          return c.bloomrf->MayContainRange(lo, hi);
-        });
-        double rosetta = probe_fpr([&](uint64_t lo, uint64_t hi) {
-          return c.rosetta->MayContainRange(lo, hi);
-        });
-        double surf = probe_fpr([&](uint64_t lo, uint64_t hi) {
-          return c.surf->MayContainRange(lo, hi);
-        });
-        bool surf_fits =
-            static_cast<double>(c.surf->MemoryBits()) /
-                static_cast<double>(n) <=
-            bpk + 2.0;
-        const char* tag = "bRF";
-        if (rosetta < ours && (!surf_fits || rosetta <= surf)) tag = "Ros";
-        if (surf_fits && surf < ours && surf < rosetta) tag = "SuR";
-        std::printf("%10s", tag);
+          double fpr =
+              empties ? static_cast<double>(fp) / empties : 0.0;
+          if (fpr < best_fpr) {
+            best_fpr = fpr;
+            winner = entry->display_name.c_str();
+          }
+        }
+        std::printf("%*s", col, winner);
       }
       std::printf("\n");
     }

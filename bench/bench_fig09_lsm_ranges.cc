@@ -3,20 +3,43 @@
 // uniform / normal / zipfian *workload* distributions and query range
 // sizes from 2 to 1e11 (A1-C1); point-query FPR per workload (A2-C2);
 // Prefix-Bloom and fence-pointer latency (D).
+//
+// Backends are selected by FilterRegistry name (default the paper's
+// bloomRF / Rosetta / SuRF cast; override with --filter=) and wired in
+// through the one generic registry policy.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "bench/lsm_bench_util.h"
+#include "filters/registry.h"
 
 using namespace bloomrf;
 using namespace bloomrf::bench;
 
+namespace {
+
+// Registry-name policy tuned like the paper's Fig. 9 setup.
+std::shared_ptr<FilterPolicy> MakePolicy(const std::string& name,
+                                         double bits_per_key,
+                                         uint64_t range) {
+  FilterBuildParams params;
+  params.bits_per_key = bits_per_key;
+  params.max_range = static_cast<double>(range);
+  params.prefix_level = 20;
+  return NewRegistryPolicy(name, params);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  Scale scale = ParseScale(argc, argv, 200'000, 5'000);
+  Scale scale = ParseScale(argc, argv, 200'000, 5'000, /*filter_aware=*/true);
   Header("Fig. 9", "LSM range/point queries at 22 bits/key", scale);
   const double kBitsPerKey = 22.0;
+  std::vector<std::string> contenders =
+      FiltersOrDefault(scale, {"bloomrf", "rosetta", "surf"});
 
   Dataset data = MakeDataset(scale.keys, Distribution::kUniform, 0xf19);
   std::vector<uint64_t> ranges = {2,       16,        64,       1000,
@@ -28,48 +51,51 @@ int main(int argc, char** argv) {
         Distribution::kZipfian}) {
     std::printf("\n[workload=%s] range queries (FPR | seconds)\n",
                 DistributionName(workload_dist));
-    std::printf("%-14s %-22s %-22s %-22s\n", "range", "bloomRF", "Rosetta",
-                "SuRF");
-    double point_fpr[3] = {0, 0, 0};
+    std::printf("%-14s", "range");
+    for (const std::string& name : contenders) {
+      std::printf(" %-22s", name.c_str());
+    }
+    std::printf("\n");
+    std::vector<double> point_fpr(contenders.size(), 0.0);
     for (uint64_t range : ranges) {
       QueryWorkload workload = MakeQueryWorkload(
           data, scale.queries, range, workload_dist, 0x91e + range);
-      LsmRunResult ours = RunLsmWorkload(
-          data, NewBloomRFPolicy(kBitsPerKey, static_cast<double>(range)),
-          workload, "/tmp/bench_fig09_brf");
-      LsmRunResult rosetta = RunLsmWorkload(
-          data, NewRosettaPolicy(kBitsPerKey, range), workload,
-          "/tmp/bench_fig09_ros");
-      LsmRunResult surf = RunLsmWorkload(data, NewSurfPolicy(2, 8), workload,
-                                         "/tmp/bench_fig09_surf");
-      std::printf("%-14llu %8.4f | %9.3fs %8.4f | %9.3fs %8.4f | %9.3fs\n",
-                  static_cast<unsigned long long>(range), ours.range_fpr,
-                  ours.range_seconds, rosetta.range_fpr,
-                  rosetta.range_seconds, surf.range_fpr, surf.range_seconds);
-      if (range == 64) {  // point panel uses moderate-range filters
-        point_fpr[0] = ours.point_fpr;
-        point_fpr[1] = rosetta.point_fpr;
-        point_fpr[2] = surf.point_fpr;
+      std::printf("%-14llu", static_cast<unsigned long long>(range));
+      for (size_t c = 0; c < contenders.size(); ++c) {
+        LsmRunResult result = RunLsmWorkload(
+            data, MakePolicy(contenders[c], kBitsPerKey, range), workload,
+            "/tmp/bench_fig09_" + contenders[c]);
+        std::printf(" %8.4f | %9.3fs", result.range_fpr,
+                    result.range_seconds);
+        if (range == 64) {  // point panel uses moderate-range filters
+          point_fpr[c] = result.point_fpr;
+        }
       }
+      std::printf("\n");
     }
-    std::printf("(A2/B2/C2) point-query FPR: bloomRF=%.6f Rosetta=%.6f "
-                "SuRF=%.6f\n",
-                point_fpr[0], point_fpr[1], point_fpr[2]);
+    std::printf("(A2/B2/C2) point-query FPR:");
+    for (size_t c = 0; c < contenders.size(); ++c) {
+      std::printf(" %s=%.6f", contenders[c].c_str(), point_fpr[c]);
+    }
+    std::printf("\n");
   }
 
   // (D) Prefix Bloom filters and fence pointers, uniform workload.
   std::printf("\n(D) PrefixBloom / FencePointers latency (uniform)\n");
-  std::printf("%-14s %-24s %-24s\n", "range", "PrefixBloom(fpr|s)",
-              "Fence(fpr|s)");
+  std::printf("%-14s %-24s %-24s\n", "range", "prefix_bloom(fpr|s)",
+              "fence_pointers(fpr|s)");
   for (uint64_t range : ranges) {
     QueryWorkload workload = MakeQueryWorkload(data, scale.queries, range,
                                                Distribution::kUniform,
                                                0xd00 + range);
     LsmRunResult prefix = RunLsmWorkload(
-        data, NewPrefixBloomPolicy(kBitsPerKey, 20), workload,
+        data, MakePolicy("prefix_bloom", kBitsPerKey, range), workload,
         "/tmp/bench_fig09_pb");
+    FilterBuildParams fence_params;
+    fence_params.bits_per_key = 4.0;
     LsmRunResult fence = RunLsmWorkload(
-        data, NewFencePointerPolicy(4.0), workload, "/tmp/bench_fig09_fp");
+        data, NewRegistryPolicy("fence_pointers", fence_params), workload,
+        "/tmp/bench_fig09_fp");
     std::printf("%-14llu %8.4f | %9.3fs    %8.4f | %9.3fs\n",
                 static_cast<unsigned long long>(range), prefix.range_fpr,
                 prefix.range_seconds, fence.range_fpr, fence.range_seconds);

@@ -1,6 +1,13 @@
 // Figure 12.G: probe-cost breakdown in the LSM store at 22 bits/key —
 // filter-probe time, residual CPU, deserialization and I/O wait per
 // policy, for range sizes 1..1000.
+//
+// Note (registry refactor): every backend now has a native
+// serialization, so deser_s measures a real parse for all policies.
+// Pre-registry, Rosetta/PrefixBloom/Fence blocks stored raw keys and
+// rebuilt the structure at load time, which inflated deser_s with
+// construction cost; that cost is still visible on the build side
+// (Fig. 12.C, filter_create_seconds).
 
 #include <cstdio>
 #include <vector>

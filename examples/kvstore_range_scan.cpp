@@ -1,25 +1,51 @@
 // KV-store scenario (the paper's RocksDB integration): a mini-LSM
-// store with a bloomRF filter block per SST answers range scans while
+// store with one filter block per SST answers range scans while
 // skipping irrelevant files, with a live probe-cost readout.
 //
-//   $ ./examples/kvstore_range_scan
+// The filter backend is selected by FilterRegistry name:
+//   $ ./examples/kvstore_range_scan                      # bloomRF
+//   $ ./examples/kvstore_range_scan --filter=rosetta
+//   $ ./examples/kvstore_range_scan list-filters
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <string>
 
+#include "filters/registry.h"
 #include "lsm/db.h"
 #include "workload/key_generator.h"
 
 using namespace bloomrf;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string filter_name = "bloomrf";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--filter=", 9) == 0) {
+      filter_name = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "list-filters") == 0) {
+      for (const std::string& name : FilterRegistry::Instance().Names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+  }
+  if (FilterRegistry::Instance().Find(filter_name) == nullptr) {
+    std::fprintf(stderr, "unknown filter '%s' (try list-filters)\n",
+                 filter_name.c_str());
+    return 1;
+  }
+  std::printf("filter backend: %s\n", filter_name.c_str());
+
   std::string dir = "/tmp/bloomrf_example_kv";
   std::filesystem::remove_all(dir);
 
+  FilterBuildParams params;
+  params.bits_per_key = 20.0;
+  params.max_range = 1e6;
   DbOptions options;
   options.dir = dir;
-  options.filter_policy = NewBloomRFPolicy(/*bits_per_key=*/20.0,
-                                           /*max_range=*/1e6);
+  options.filter_policy = NewRegistryPolicy(filter_name, params);
   options.memtable_bytes = 1 << 20;
   Db db(options);
 

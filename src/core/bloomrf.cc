@@ -280,15 +280,20 @@ std::string BloomRF::Serialize() const {
 }
 
 std::optional<BloomRF> BloomRF::Deserialize(std::string_view data) {
+  // Every read is bounds-checked, and all bit-array sizes are validated
+  // against the remaining payload BEFORE any allocation, so corrupt or
+  // truncated input can neither over-read nor trigger huge allocations.
   size_t pos = 0;
-  auto need = [&](size_t n) { return pos + n <= data.size(); };
+  auto need = [&](uint64_t n) {
+    return n <= data.size() && pos <= data.size() - static_cast<size_t>(n);
+  };
   if (!need(12)) return std::nullopt;
   if (DecodeFixed32(data.data()) != 0xb100f001) return std::nullopt;
   BloomRFConfig cfg;
   cfg.domain_bits = DecodeFixed32(data.data() + 4);
   uint32_t k = DecodeFixed32(data.data() + 8);
   pos = 12;
-  if (k == 0 || k > 64 || !need(3 * k)) return std::nullopt;
+  if (k == 0 || k > 64 || !need(3 * uint64_t{k})) return std::nullopt;
   for (uint32_t i = 0; i < k; ++i) {
     cfg.delta.push_back(static_cast<uint8_t>(data[pos++]));
     cfg.replicas.push_back(static_cast<uint8_t>(data[pos++]));
@@ -297,7 +302,9 @@ std::optional<BloomRF> BloomRF::Deserialize(std::string_view data) {
   if (!need(4)) return std::nullopt;
   uint32_t nseg = DecodeFixed32(data.data() + pos);
   pos += 4;
-  if (nseg == 0 || nseg > 16 || !need(8 * nseg)) return std::nullopt;
+  if (nseg == 0 || nseg > 16 || !need(8 * uint64_t{nseg})) {
+    return std::nullopt;
+  }
   for (uint32_t j = 0; j < nseg; ++j) {
     cfg.segment_bits.push_back(DecodeFixed64(data.data() + pos));
     pos += 8;
@@ -309,19 +316,37 @@ std::optional<BloomRF> BloomRF::Deserialize(std::string_view data) {
   pos += 8;
   if (!cfg.Validate().empty()) return std::nullopt;
 
+  // The payload must hold exactly the bit arrays the config describes
+  // (segments rounded up to 64-bit blocks, as the constructor does).
+  uint64_t expected_bytes = 0;
+  for (uint64_t m : cfg.segment_bits) {
+    if (m > (uint64_t{1} << 48)) return std::nullopt;  // absurd claim
+    expected_bytes += ((m + 63) & ~63ULL) / 8;
+  }
+  if (cfg.has_exact_layer) {
+    expected_bytes += ((cfg.ExactBits() + 63) & ~63ULL) / 8;
+  }
+  if (!need(expected_bytes) || data.size() - pos != expected_bytes) {
+    return std::nullopt;
+  }
+
   BloomRF filter(cfg);
   for (size_t j = 0; j < filter.segments_.size(); ++j) {
     uint64_t bytes = filter.segments_[j].size_bytes();
-    if (!need(bytes)) return std::nullopt;
-    filter.segments_[j].DeserializeFrom(filter.segments_[j].size_bits(),
-                                        data.substr(pos, bytes));
+    if (!need(bytes) ||
+        !filter.segments_[j].DeserializeFrom(filter.segments_[j].size_bits(),
+                                             data.substr(pos, bytes))) {
+      return std::nullopt;
+    }
     pos += bytes;
   }
   if (cfg.has_exact_layer) {
     uint64_t bytes = filter.exact_.size_bytes();
-    if (!need(bytes)) return std::nullopt;
-    filter.exact_.DeserializeFrom(filter.exact_.size_bits(),
-                                  data.substr(pos, bytes));
+    if (!need(bytes) ||
+        !filter.exact_.DeserializeFrom(filter.exact_.size_bits(),
+                                       data.substr(pos, bytes))) {
+      return std::nullopt;
+    }
     pos += bytes;
   }
   return filter;

@@ -38,7 +38,7 @@ class BloomFilter : public OnlineFilter {
   uint64_t Blocks() const { return bits_.size_blocks(); }
 
   /// Serializes k, seed and the bit array (LSM filter blocks).
-  std::string Serialize() const;
+  std::string Serialize() const override;
   static std::optional<BloomFilter> Deserialize(std::string_view data);
 
  private:

@@ -1,0 +1,61 @@
+// bloomRF as a PointRangeFilter: a thin adapter over core/bloomrf.h so
+// the unified filter stack (registry, LSM policy, benches) can treat
+// bloomRF like every baseline. The core BloomRF class stays
+// vtable-free for the hot standalone benchmarks.
+
+#ifndef BLOOMRF_FILTERS_BLOOMRF_FILTER_H_
+#define BLOOMRF_FILTERS_BLOOMRF_FILTER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/bloomrf.h"
+#include "filters/filter.h"
+
+namespace bloomrf {
+
+class BloomRFFilter : public OnlineFilter {
+ public:
+  explicit BloomRFFilter(BloomRF filter) : impl_(std::move(filter)) {}
+
+  /// Advisor-tuned construction from the (n, space budget, max range)
+  /// triple — the configuration path the LSM policy and benches use.
+  /// `seed` == 0 keeps the advisor's default hash seed.
+  static BloomRFFilter Advised(uint64_t n, double bits_per_key,
+                               double max_range, uint32_t domain_bits = 64,
+                               uint64_t seed = 0);
+
+  std::string Name() const override { return "bloomRF"; }
+
+  void Insert(uint64_t key) override { impl_.Insert(key); }
+  bool MayContain(uint64_t key) const override {
+    return impl_.MayContain(key);
+  }
+  bool MayContainRange(uint64_t lo, uint64_t hi) const override {
+    return impl_.MayContainRange(lo, hi);
+  }
+  /// Devirtualized batch probe: one virtual call per batch instead of
+  /// one per key.
+  void MayContainBatch(std::span<const uint64_t> keys,
+                       bool* out) const override {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      out[i] = impl_.MayContain(keys[i]);
+    }
+  }
+
+  uint64_t MemoryBits() const override { return impl_.MemoryBits(); }
+  std::string Serialize() const override { return impl_.Serialize(); }
+
+  static std::optional<BloomRFFilter> Deserialize(std::string_view data);
+
+  const BloomRF& impl() const { return impl_; }
+  BloomRF& impl() { return impl_; }
+
+ private:
+  BloomRF impl_;
+};
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_FILTERS_BLOOMRF_FILTER_H_

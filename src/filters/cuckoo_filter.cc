@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "util/coding.h"
 #include "util/hash.h"
 
 namespace bloomrf {
@@ -92,6 +93,65 @@ bool CuckooFilter::Delete(uint64_t key) {
   uint16_t fp = Fingerprint(key);
   uint64_t i1 = IndexHash(key);
   return BucketDelete(i1, fp) || BucketDelete(AltIndex(i1, fp), fp);
+}
+
+std::string CuckooFilter::Serialize() const {
+  std::string out;
+  PutFixed32(&out, fp_bits_);
+  PutFixed64(&out, seed_);
+  PutFixed64(&out, num_buckets_);
+  PutFixed64(&out, occupied_);
+  PutFixed64(&out, failed_inserts_);
+  out.push_back(saturated_ ? 1 : 0);
+  out.reserve(out.size() + table_.size() * 2);
+  for (uint16_t slot : table_) {
+    out.push_back(static_cast<char>(slot & 0xff));
+    out.push_back(static_cast<char>(slot >> 8));
+  }
+  return out;
+}
+
+std::optional<CuckooFilter> CuckooFilter::Deserialize(std::string_view data) {
+  constexpr size_t kHeader = 37;
+  if (data.size() < kHeader) return std::nullopt;
+  uint32_t fp_bits = DecodeFixed32(data.data());
+  uint64_t seed = DecodeFixed64(data.data() + 4);
+  uint64_t num_buckets = DecodeFixed64(data.data() + 12);
+  uint64_t occupied = DecodeFixed64(data.data() + 20);
+  uint64_t failed = DecodeFixed64(data.data() + 28);
+  bool saturated = data[36] != 0;
+  if (fp_bits < 2 || fp_bits > 16 || num_buckets < 2 ||
+      !std::has_single_bit(num_buckets) ||
+      num_buckets > data.size() / (kSlotsPerBucket * 2)) {
+    return std::nullopt;
+  }
+  uint64_t slots = num_buckets * kSlotsPerBucket;
+  if (data.size() != kHeader + slots * 2) return std::nullopt;
+  CuckooFilter filter;
+  filter.fp_bits_ = fp_bits;
+  filter.seed_ = seed;
+  filter.num_buckets_ = num_buckets;
+  filter.occupied_ = occupied;
+  filter.failed_inserts_ = failed;
+  filter.saturated_ = saturated;
+  filter.table_.resize(slots);
+  const char* p = data.data() + kHeader;
+  uint64_t nonzero = 0;
+  for (uint64_t i = 0; i < slots; ++i) {
+    uint16_t fp = static_cast<uint16_t>(
+        static_cast<uint8_t>(p[2 * i]) |
+        (static_cast<uint16_t>(static_cast<uint8_t>(p[2 * i + 1])) << 8));
+    if (fp >= (1u << fp_bits)) return std::nullopt;  // out-of-width fp
+    if (fp != 0) ++nonzero;
+    filter.table_[i] = fp;
+  }
+  // Invariants maintained by Insert/Delete: every successful insert
+  // fills exactly one slot, and saturation is flagged iff an insert
+  // failed. Reject counters a corrupt block cannot have produced.
+  if (occupied != nonzero || (failed != 0) != saturated) {
+    return std::nullopt;
+  }
+  return filter;
 }
 
 }  // namespace bloomrf

@@ -9,6 +9,8 @@
 #define BLOOMRF_FILTERS_CUCKOO_FILTER_H_
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "filters/filter.h"
@@ -47,7 +49,14 @@ class CuckooFilter : public OnlineFilter {
            static_cast<double>(num_buckets_ * kSlotsPerBucket);
   }
 
+  /// Serializes the fingerprint table verbatim (answers survive the
+  /// round trip bit-exactly, including the saturation flag).
+  std::string Serialize() const override;
+  static std::optional<CuckooFilter> Deserialize(std::string_view data);
+
  private:
+  CuckooFilter() : num_buckets_(0), fp_bits_(2), seed_(0) {}
+
   static constexpr uint32_t kSlotsPerBucket = 4;
   static constexpr uint32_t kMaxKicks = 500;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/coding.h"
+
 namespace bloomrf {
 
 FencePointers::FencePointers(const std::vector<uint64_t>& sorted_keys,
@@ -26,6 +28,38 @@ bool FencePointers::MayContainRange(uint64_t lo, uint64_t hi) const {
   if (it == maxs_.end()) return false;
   size_t idx = static_cast<size_t>(it - maxs_.begin());
   return mins_[idx] <= hi;
+}
+
+std::string FencePointers::Serialize() const {
+  std::string out;
+  PutFixed64(&out, mins_.size());
+  out.reserve(out.size() + mins_.size() * 16);
+  for (size_t i = 0; i < mins_.size(); ++i) {
+    PutFixed64(&out, mins_[i]);
+    PutFixed64(&out, maxs_[i]);
+  }
+  return out;
+}
+
+std::optional<FencePointers> FencePointers::Deserialize(
+    std::string_view data) {
+  if (data.size() < 8) return std::nullopt;
+  uint64_t n = DecodeFixed64(data.data());
+  if (n > (data.size() - 8) / 16 || data.size() != 8 + n * 16) {
+    return std::nullopt;
+  }
+  FencePointers fences;
+  fences.mins_.reserve(n);
+  fences.maxs_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t lo = DecodeFixed64(data.data() + 8 + i * 16);
+    uint64_t hi = DecodeFixed64(data.data() + 16 + i * 16);
+    if (lo > hi) return std::nullopt;
+    if (i > 0 && fences.maxs_.back() > lo) return std::nullopt;  // unsorted
+    fences.mins_.push_back(lo);
+    fences.maxs_.push_back(hi);
+  }
+  return fences;
 }
 
 }  // namespace bloomrf

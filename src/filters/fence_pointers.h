@@ -11,6 +11,8 @@
 #define BLOOMRF_FILTERS_FENCE_POINTERS_H_
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "filters/filter.h"
@@ -36,7 +38,13 @@ class FencePointers : public Filter {
 
   size_t num_blocks() const { return mins_.size(); }
 
+  /// Serializes the [min, max] fence pairs.
+  std::string Serialize() const override;
+  static std::optional<FencePointers> Deserialize(std::string_view data);
+
  private:
+  FencePointers() = default;
+
   std::vector<uint64_t> mins_;
   std::vector<uint64_t> maxs_;
 };

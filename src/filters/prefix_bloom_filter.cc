@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/coding.h"
 #include "util/hash.h"
 
 namespace bloomrf {
@@ -10,7 +11,9 @@ namespace bloomrf {
 PrefixBloomFilter::PrefixBloomFilter(uint64_t expected_keys,
                                      double bits_per_key,
                                      uint32_t prefix_level, uint64_t seed)
-    : prefix_level_(prefix_level), seed_(seed) {
+    // Clamp below the key width: `key >> prefix_level_` must stay
+    // defined, and Deserialize rejects levels >= 64.
+    : prefix_level_(std::min<uint32_t>(prefix_level, 63)), seed_(seed) {
   uint64_t m = static_cast<uint64_t>(
       bits_per_key * static_cast<double>(std::max<uint64_t>(expected_keys, 1)));
   m = std::max<uint64_t>(64, (m + 63) & ~63ULL);
@@ -59,6 +62,37 @@ bool PrefixBloomFilter::MayContainRange(uint64_t lo, uint64_t hi) const {
     if (p == rp) break;
   }
   return false;
+}
+
+std::string PrefixBloomFilter::Serialize() const {
+  std::string out;
+  PutFixed32(&out, k_);
+  PutFixed32(&out, prefix_level_);
+  PutFixed64(&out, seed_);
+  PutFixed64(&out, bits_.size_bits());
+  bits_.SerializeTo(&out);
+  return out;
+}
+
+std::optional<PrefixBloomFilter> PrefixBloomFilter::Deserialize(
+    std::string_view data) {
+  if (data.size() < 24) return std::nullopt;
+  uint32_t k = DecodeFixed32(data.data());
+  uint32_t prefix_level = DecodeFixed32(data.data() + 4);
+  uint64_t seed = DecodeFixed64(data.data() + 8);
+  uint64_t nbits = DecodeFixed64(data.data() + 16);
+  if (k == 0 || k > 64 || prefix_level >= 64 || nbits == 0 ||
+      data.size() != 24 + nbits / 8) {
+    return std::nullopt;
+  }
+  PrefixBloomFilter filter;
+  filter.k_ = k;
+  filter.prefix_level_ = prefix_level;
+  filter.seed_ = seed;
+  if (!filter.bits_.DeserializeFrom(nbits, data.substr(24))) {
+    return std::nullopt;
+  }
+  return filter;
 }
 
 }  // namespace bloomrf

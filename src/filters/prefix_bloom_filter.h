@@ -10,6 +10,8 @@
 #define BLOOMRF_FILTERS_PREFIX_BLOOM_FILTER_H_
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 #include "filters/filter.h"
 #include "util/bit_array.h"
@@ -31,7 +33,15 @@ class PrefixBloomFilter : public OnlineFilter {
 
   uint64_t MemoryBits() const override { return bits_.size_bits(); }
 
+  uint32_t prefix_level() const { return prefix_level_; }
+
+  /// Serializes k, prefix level, seed and the bit array.
+  std::string Serialize() const override;
+  static std::optional<PrefixBloomFilter> Deserialize(std::string_view data);
+
  private:
+  PrefixBloomFilter() : k_(1), prefix_level_(0), seed_(0) {}
+
   void InsertValue(uint64_t v, uint64_t domain_tag);
   bool TestValue(uint64_t v, uint64_t domain_tag) const;
 

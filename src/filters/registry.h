@@ -1,0 +1,131 @@
+// FilterRegistry: one name-keyed catalogue of every point/range filter
+// backend, replacing the per-backend wiring the LSM policy layer and
+// the benchmark harness used to duplicate.
+//
+// Each backend registers three factories:
+//   - BuildFromSortedKeys: offline construction over an SST's sorted
+//     unique keys (every backend),
+//   - BuildOnline: incremental construction for streaming workloads
+//     (null for offline-only structures such as SuRF, fence pointers),
+//   - Deserialize: payload -> filter (the inverse of
+//     PointRangeFilter::Serialize).
+//
+// Serialized blocks use a common length-prefixed framing
+//   magic | len(name) | name | payload
+// so any block round-trips through the registry regardless of which
+// component stored it. Registration is either explicit
+// (FilterRegistry::Instance().Register(...)) or via the
+// BLOOMRF_REGISTER_FILTER macro at namespace scope.
+
+#ifndef BLOOMRF_FILTERS_REGISTRY_H_
+#define BLOOMRF_FILTERS_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "filters/filter.h"
+
+namespace bloomrf {
+
+/// Union of the per-backend construction knobs. Backends read the
+/// fields they understand and ignore the rest; `expected_keys` is
+/// filled from the key count on BuildFromSortedKeys.
+struct FilterBuildParams {
+  uint64_t expected_keys = 0;      ///< n, for sizing BuildOnline calls
+                                   ///< (BuildFromSortedKeys sizes from
+                                   ///< the key count itself)
+  double bits_per_key = 16.0;      ///< space budget (most backends)
+  double max_range = 1 << 16;      ///< R: largest supported query range
+  uint32_t prefix_level = 16;      ///< prefix_bloom: bits dropped per key
+  uint32_t suffix_type = 2;        ///< surf: 0 none, 1 hash, 2 real
+  uint32_t suffix_bits = 8;        ///< surf suffix length
+  uint32_t fingerprint_bits = 12;  ///< cuckoo fingerprint width
+  uint64_t seed = 0;               ///< 0 = backend default seed
+};
+
+class FilterRegistry {
+ public:
+  using BuildFromSortedKeysFn = std::function<std::unique_ptr<PointRangeFilter>(
+      const std::vector<uint64_t>& sorted_keys, const FilterBuildParams&)>;
+  using BuildOnlineFn =
+      std::function<std::unique_ptr<OnlineFilter>(const FilterBuildParams&)>;
+  using DeserializeFn =
+      std::function<std::unique_ptr<PointRangeFilter>(std::string_view payload)>;
+
+  struct Entry {
+    std::string name;          ///< registry key, e.g. "prefix_bloom"
+    std::string display_name;  ///< canonical name, e.g. "PrefixBloom"
+    bool supports_ranges = false;  ///< range probes can exclude intervals
+    bool online = false;           ///< build_online available
+    BuildFromSortedKeysFn build_from_sorted_keys;
+    BuildOnlineFn build_online;  ///< null for offline-only backends
+    DeserializeFn deserialize;
+  };
+
+  /// Global registry, pre-populated with the built-in backends.
+  static FilterRegistry& Instance();
+
+  /// Adds a backend. Returns false (and changes nothing) if the name or
+  /// display name is already taken or the entry is incomplete.
+  bool Register(Entry entry);
+
+  /// Looks up a backend by registry key or display name; null if absent.
+  const Entry* Find(std::string_view name) const;
+
+  /// Sorted registry keys of all backends.
+  std::vector<std::string> Names() const;
+
+  /// Frames a payload as `magic | len(name) | name | payload`.
+  static std::string Frame(std::string_view name, std::string_view payload);
+
+  /// Splits a framed block; false on malformed framing.
+  static bool ParseFrame(std::string_view framed, std::string_view* name,
+                         std::string_view* payload);
+
+  /// Serializes `filter` with framing, resolving the registry name via
+  /// filter.Name(). Returns "" if the filter is not registered.
+  std::string Serialize(const PointRangeFilter& filter) const;
+
+  /// Reconstructs a filter from a framed block; null on unknown name or
+  /// corrupt payload.
+  std::unique_ptr<PointRangeFilter> Deserialize(std::string_view framed) const;
+
+ private:
+  FilterRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;         // key: name
+  std::map<std::string, std::string, std::less<>> by_display_;  // display->name
+};
+
+/// Registers the built-in backends into `registry` (defined in
+/// builtin_filters.cc). Called once by FilterRegistry::Instance()
+/// while constructing the singleton, so built-ins are present — with
+/// deterministic precedence — before any external registration runs.
+void RegisterBuiltinFilters(FilterRegistry& registry);
+
+/// Registers an external backend at static-initialization time:
+///   BLOOMRF_REGISTER_FILTER(my_filter, MakeMyFilterEntry());
+/// Collisions with existing names are rejected (and logged), never
+/// silently replaced.
+///
+/// Linker caveat: a static initializer only runs if its object file is
+/// linked into the binary. An otherwise-unreferenced TU inside a
+/// static archive is dead-stripped and the registration silently never
+/// happens — put the macro in a TU the binary already references (or
+/// force-link it). In-tree backends avoid this entirely by registering
+/// through RegisterBuiltinFilters in builtin_filters.cc.
+#define BLOOMRF_REGISTER_FILTER(ident, ...)                        \
+  namespace {                                                      \
+  const bool bloomrf_filter_registered_##ident =                   \
+      ::bloomrf::FilterRegistry::Instance().Register(__VA_ARGS__); \
+  }
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_FILTERS_REGISTRY_H_

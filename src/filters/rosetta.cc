@@ -4,6 +4,8 @@
 #include <bit>
 #include <cmath>
 
+#include "util/coding.h"
+
 namespace bloomrf {
 
 bool DyadicDecompose(uint64_t lo, uint64_t hi, uint32_t max_level,
@@ -110,31 +112,86 @@ bool Rosetta::MayContain(uint64_t key) const {
   return levels_[0]->MayContain(key);
 }
 
-bool Rosetta::Doubt(uint64_t prefix, uint32_t level) const {
-  ++last_probes_;
+bool Rosetta::Doubt(uint64_t prefix, uint32_t level,
+                    uint64_t& probes) const {
+  // Work cap: doubting fans out two children per level, so saturated
+  // upper filters (tiny budgets, or a hostile deserialized block with
+  // all-ones levels) would otherwise probe 2^level descendants. Past
+  // the cap the filter answers a conservative true, preserving the
+  // no-false-negative contract while bounding a query's probe count.
+  // The counter is query-local, so concurrent probes stay independent.
+  if (probes >= kMaxDoubtProbes) return true;
+  ++probes;
   if (!levels_[level]->MayContain(prefix)) return false;
   if (level == 0) return true;
-  return Doubt(prefix << 1, level - 1) || Doubt((prefix << 1) | 1, level - 1);
+  return Doubt(prefix << 1, level - 1, probes) ||
+         Doubt((prefix << 1) | 1, level - 1, probes);
 }
 
 bool Rosetta::MayContainRange(uint64_t lo, uint64_t hi) const {
   if (lo > hi) return false;
-  last_probes_ = 0;
   uint32_t max_level = static_cast<uint32_t>(levels_.size()) - 1;
   std::vector<std::pair<uint64_t, uint32_t>> pieces;
   if (!DyadicDecompose(lo, hi, max_level, kMaxDecomposition, &pieces)) {
+    last_probes_ = 0;  // answered without probing
     return true;  // range too large for the configured R: cannot exclude
   }
+  uint64_t probes = 0;
+  bool result = false;
   for (const auto& [prefix, level] : pieces) {
-    if (Doubt(prefix, level)) return true;
+    if (Doubt(prefix, level, probes)) {
+      result = true;
+      break;
+    }
   }
-  return false;
+  last_probes_ = probes;  // stats only; racy writes cannot affect probing
+  return result;
 }
 
 uint64_t Rosetta::MemoryBits() const {
   uint64_t total = 0;
   for (const auto& bf : levels_) total += bf->MemoryBits();
   return total;
+}
+
+std::string Rosetta::Serialize() const {
+  std::string out;
+  PutFixed64(&out, options_.expected_keys);
+  PutFixed64(&out, std::bit_cast<uint64_t>(options_.bits_per_key));
+  PutFixed64(&out, options_.max_range);
+  PutFixed32(&out, static_cast<uint32_t>(options_.variant));
+  PutFixed64(&out, options_.seed);
+  PutFixed32(&out, static_cast<uint32_t>(levels_.size()));
+  for (const auto& bf : levels_) PutLengthPrefixed(&out, bf->Serialize());
+  return out;
+}
+
+std::optional<Rosetta> Rosetta::Deserialize(std::string_view data) {
+  if (data.size() < 40) return std::nullopt;
+  Rosetta filter;
+  filter.options_.expected_keys = DecodeFixed64(data.data());
+  filter.options_.bits_per_key =
+      std::bit_cast<double>(DecodeFixed64(data.data() + 8));
+  filter.options_.max_range = DecodeFixed64(data.data() + 16);
+  uint32_t variant = DecodeFixed32(data.data() + 24);
+  if (variant > static_cast<uint32_t>(Variant::kSingleLevel)) {
+    return std::nullopt;
+  }
+  filter.options_.variant = static_cast<Variant>(variant);
+  filter.options_.seed = DecodeFixed64(data.data() + 28);
+  uint32_t num_levels = DecodeFixed32(data.data() + 36);
+  if (num_levels == 0 || num_levels > 64) return std::nullopt;
+  size_t pos = 40;
+  filter.levels_.reserve(num_levels);
+  for (uint32_t l = 0; l < num_levels; ++l) {
+    std::string_view blob;
+    if (!GetLengthPrefixed(data, &pos, &blob)) return std::nullopt;
+    std::optional<BloomFilter> bf = BloomFilter::Deserialize(blob);
+    if (!bf) return std::nullopt;
+    filter.levels_.push_back(std::make_unique<BloomFilter>(std::move(*bf)));
+  }
+  if (pos != data.size()) return std::nullopt;
+  return filter;
 }
 
 }  // namespace bloomrf

@@ -25,6 +25,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "filters/bloom_filter.h"
@@ -61,13 +63,22 @@ class Rosetta : public OnlineFilter {
   /// breakdowns).
   uint64_t last_probe_count() const { return last_probes_; }
 
+  /// Serializes the options and every per-level Bloom filter.
+  std::string Serialize() const override;
+  static std::optional<Rosetta> Deserialize(std::string_view data);
+
  private:
-  bool Doubt(uint64_t prefix, uint32_t level) const;
+  Rosetta() = default;
+
+  bool Doubt(uint64_t prefix, uint32_t level, uint64_t& probes) const;
 
   Options options_;
   std::vector<std::unique_ptr<BloomFilter>> levels_;  // index = level
   mutable uint64_t last_probes_ = 0;
   static constexpr uint64_t kMaxDecomposition = 1ULL << 14;
+  /// Per-query bound on doubting probes; beyond it range probes answer
+  /// a conservative true (bounds hostile/saturated filters).
+  static constexpr uint64_t kMaxDoubtProbes = 1ULL << 20;
 };
 
 /// Canonical dyadic decomposition of the inclusive interval [lo, hi]

@@ -65,7 +65,7 @@ class Surf : public Filter {
 
   /// Serializes the succinct structure (LSM filter blocks); rank/
   /// select directories are rebuilt on load.
-  std::string Serialize() const;
+  std::string Serialize() const override;
   static std::optional<Surf> Deserialize(std::string_view data);
 
   uint64_t num_keys() const { return num_keys_; }

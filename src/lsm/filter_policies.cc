@@ -1,342 +1,108 @@
-// Concrete filter policies wiring every evaluated filter into the
-// mini-LSM store.
-//
-// Serialization formats: bloomRF and Bloom have native bit-array
-// serializations. Rosetta serializes its per-level Bloom filters.
-// SuRF and fence pointers are rebuilt from the SST's key set at load
-// time (their construction *is* the dominant cost the paper reports in
-// Fig. 12.C, so the rebuild faithfully reproduces that behaviour); the
-// filter block stores the raw keys, while MemoryBits() reports the
-// logical structure size that bits/key accounting charges.
+// The one concrete FilterPolicy: a thin generic adapter over the
+// FilterRegistry. Backend-specific wiring (construction, serialization
+// framing, probe objects) lives behind the registry; what used to be
+// seven hand-written policy/probe class pairs is now this file.
 
 #include "lsm/filter_policy.h"
 
-#include <algorithm>
-
-#include "core/bloomrf.h"
-#include "core/tuning_advisor.h"
-#include "filters/bloom_filter.h"
-#include "filters/fence_pointers.h"
-#include "filters/prefix_bloom_filter.h"
-#include "filters/rosetta.h"
-#include "filters/surf/surf.h"
-#include "util/coding.h"
+#include <utility>
 
 namespace bloomrf {
 
 namespace {
 
-// ---------------------------------------------------------------- bloomRF
-
-class BloomRFProbe : public FilterProbe {
+class RegistryFilterPolicy : public FilterPolicy {
  public:
-  explicit BloomRFProbe(BloomRF filter) : filter_(std::move(filter)) {}
-  bool KeyMayMatch(uint64_t key) const override {
-    return filter_.MayContain(key);
+  // Entry pointers are stable (map nodes, never erased), so the
+  // backend is resolved once instead of per flush/probe.
+  RegistryFilterPolicy(std::string_view name, FilterBuildParams params)
+      : name_(name),
+        entry_(FilterRegistry::Instance().Find(name)),
+        params_(params) {}
+
+  std::string Name() const override {
+    return entry_ != nullptr ? entry_->display_name : name_;
   }
-  bool RangeMayMatch(uint64_t lo, uint64_t hi) const override {
-    return filter_.MayContainRange(lo, hi);
-  }
-  uint64_t MemoryBits() const override { return filter_.MemoryBits(); }
-
- private:
-  BloomRF filter_;
-};
-
-class BloomRFPolicy : public FilterPolicy {
- public:
-  BloomRFPolicy(double bits_per_key, double max_range)
-      : bits_per_key_(bits_per_key), max_range_(max_range) {}
-
-  std::string Name() const override { return "bloomRF"; }
 
   std::string CreateFilter(
-      const std::vector<uint64_t>& keys) const override {
-    AdvisorParams params;
-    params.n = keys.size();
-    params.total_bits =
-        static_cast<uint64_t>(bits_per_key_ * static_cast<double>(keys.size()));
-    params.max_range = max_range_;
-    BloomRF filter(AdviseConfig(params).config);
-    for (uint64_t k : keys) filter.Insert(k);
-    return filter.Serialize();
+      const std::vector<uint64_t>& sorted_keys) const override {
+    if (entry_ == nullptr) return "";
+    // Sizing from the key count is the factory's job (see
+    // OfflineViaOnline in builtin_filters.cc).
+    std::unique_ptr<PointRangeFilter> filter =
+        entry_->build_from_sorted_keys(sorted_keys, params_);
+    if (filter == nullptr) return "";
+    return FilterRegistry::Frame(entry_->name, filter->Serialize());
   }
 
-  std::unique_ptr<FilterProbe> LoadFilter(
+  std::unique_ptr<PointRangeFilter> LoadFilter(
       std::string_view data) const override {
-    std::optional<BloomRF> filter = BloomRF::Deserialize(data);
-    if (!filter) return nullptr;
-    return std::make_unique<BloomRFProbe>(std::move(*filter));
+    // Blocks are self-describing: the framed name, not this policy's
+    // configured backend, selects the deserializer.
+    return FilterRegistry::Instance().Deserialize(data);
   }
 
  private:
-  double bits_per_key_;
-  double max_range_;
-};
-
-// ------------------------------------------------------------------ Bloom
-
-class BloomProbe : public FilterProbe {
- public:
-  explicit BloomProbe(BloomFilter filter) : filter_(std::move(filter)) {}
-  bool KeyMayMatch(uint64_t key) const override {
-    return filter_.MayContain(key);
-  }
-  bool RangeMayMatch(uint64_t, uint64_t) const override { return true; }
-  uint64_t MemoryBits() const override { return filter_.MemoryBits(); }
-
- private:
-  BloomFilter filter_;
-};
-
-class BloomPolicy : public FilterPolicy {
- public:
-  explicit BloomPolicy(double bits_per_key) : bits_per_key_(bits_per_key) {}
-  std::string Name() const override { return "Bloom"; }
-
-  std::string CreateFilter(
-      const std::vector<uint64_t>& keys) const override {
-    BloomFilter filter(keys.size(), bits_per_key_);
-    for (uint64_t k : keys) filter.Insert(k);
-    return filter.Serialize();
-  }
-
-  std::unique_ptr<FilterProbe> LoadFilter(
-      std::string_view data) const override {
-    std::optional<BloomFilter> filter = BloomFilter::Deserialize(data);
-    if (!filter) return nullptr;
-    return std::make_unique<BloomProbe>(std::move(*filter));
-  }
-
- private:
-  double bits_per_key_;
-};
-
-// ----------------------------------------------------------- Prefix Bloom
-
-class PrefixBloomProbe : public FilterProbe {
- public:
-  PrefixBloomProbe(PrefixBloomFilter filter) : filter_(std::move(filter)) {}
-  bool KeyMayMatch(uint64_t key) const override {
-    return filter_.MayContain(key);
-  }
-  bool RangeMayMatch(uint64_t lo, uint64_t hi) const override {
-    return filter_.MayContainRange(lo, hi);
-  }
-  uint64_t MemoryBits() const override { return filter_.MemoryBits(); }
-
- private:
-  PrefixBloomFilter filter_;
-};
-
-class PrefixBloomPolicy : public FilterPolicy {
- public:
-  PrefixBloomPolicy(double bits_per_key, uint32_t prefix_level)
-      : bits_per_key_(bits_per_key), prefix_level_(prefix_level) {}
-  std::string Name() const override { return "PrefixBloom"; }
-
-  std::string CreateFilter(
-      const std::vector<uint64_t>& keys) const override {
-    // Rebuild-from-keys serialization: prefix-Bloom state is cheap to
-    // reconstruct and this keeps the format self-describing.
-    std::string out;
-    PutFixed32(&out, prefix_level_);
-    PutFixed64(&out, keys.size());
-    out.reserve(out.size() + keys.size() * 8);
-    for (uint64_t k : keys) PutFixed64(&out, k);
-    return out;
-  }
-
-  std::unique_ptr<FilterProbe> LoadFilter(
-      std::string_view data) const override {
-    if (data.size() < 12) return nullptr;
-    uint32_t prefix_level = DecodeFixed32(data.data());
-    uint64_t n = DecodeFixed64(data.data() + 4);
-    if (data.size() != 12 + n * 8) return nullptr;
-    PrefixBloomFilter filter(n, bits_per_key_, prefix_level);
-    for (uint64_t i = 0; i < n; ++i) {
-      filter.Insert(DecodeFixed64(data.data() + 12 + i * 8));
-    }
-    return std::make_unique<PrefixBloomProbe>(std::move(filter));
-  }
-
- private:
-  double bits_per_key_;
-  uint32_t prefix_level_;
-};
-
-// ---------------------------------------------------------------- Rosetta
-
-class RosettaProbe : public FilterProbe {
- public:
-  explicit RosettaProbe(std::unique_ptr<Rosetta> filter)
-      : filter_(std::move(filter)) {}
-  bool KeyMayMatch(uint64_t key) const override {
-    return filter_->MayContain(key);
-  }
-  bool RangeMayMatch(uint64_t lo, uint64_t hi) const override {
-    return filter_->MayContainRange(lo, hi);
-  }
-  uint64_t MemoryBits() const override { return filter_->MemoryBits(); }
-
- private:
-  std::unique_ptr<Rosetta> filter_;
-};
-
-class RosettaPolicy : public FilterPolicy {
- public:
-  RosettaPolicy(double bits_per_key, uint64_t max_range)
-      : bits_per_key_(bits_per_key), max_range_(max_range) {}
-  std::string Name() const override { return "Rosetta"; }
-
-  std::string CreateFilter(
-      const std::vector<uint64_t>& keys) const override {
-    std::string out;
-    PutFixed64(&out, keys.size());
-    out.reserve(out.size() + keys.size() * 8);
-    for (uint64_t k : keys) PutFixed64(&out, k);
-    return out;
-  }
-
-  std::unique_ptr<FilterProbe> LoadFilter(
-      std::string_view data) const override {
-    if (data.size() < 8) return nullptr;
-    uint64_t n = DecodeFixed64(data.data());
-    if (data.size() != 8 + n * 8) return nullptr;
-    Rosetta::Options options;
-    options.expected_keys = n;
-    options.bits_per_key = bits_per_key_;
-    options.max_range = max_range_;
-    auto filter = std::make_unique<Rosetta>(options);
-    for (uint64_t i = 0; i < n; ++i) {
-      filter->Insert(DecodeFixed64(data.data() + 8 + i * 8));
-    }
-    return std::make_unique<RosettaProbe>(std::move(filter));
-  }
-
- private:
-  double bits_per_key_;
-  uint64_t max_range_;
-};
-
-// ------------------------------------------------------------------- SuRF
-
-class SurfProbe : public FilterProbe {
- public:
-  explicit SurfProbe(Surf filter) : filter_(std::move(filter)) {}
-  bool KeyMayMatch(uint64_t key) const override {
-    return filter_.MayContain(key);
-  }
-  bool RangeMayMatch(uint64_t lo, uint64_t hi) const override {
-    return filter_.MayContainRange(lo, hi);
-  }
-  uint64_t MemoryBits() const override { return filter_.MemoryBits(); }
-
- private:
-  Surf filter_;
-};
-
-class SurfPolicy : public FilterPolicy {
- public:
-  SurfPolicy(uint32_t suffix_type, uint32_t suffix_bits)
-      : suffix_type_(static_cast<SurfSuffixType>(suffix_type)),
-        suffix_bits_(suffix_bits) {}
-  std::string Name() const override { return "SuRF"; }
-
-  std::string CreateFilter(
-      const std::vector<uint64_t>& keys) const override {
-    // SuRF is offline: the (expensive) trie build happens here, and
-    // the succinct LOUDS structure itself is stored; loading only
-    // rebuilds rank/select directories.
-    Surf::Options options;
-    options.suffix_type = suffix_type_;
-    options.suffix_bits = suffix_bits_;
-    return Surf::BuildFromU64(keys, options).Serialize();
-  }
-
-  std::unique_ptr<FilterProbe> LoadFilter(
-      std::string_view data) const override {
-    std::optional<Surf> surf = Surf::Deserialize(data);
-    if (!surf) return nullptr;
-    return std::make_unique<SurfProbe>(std::move(*surf));
-  }
-
- private:
-  SurfSuffixType suffix_type_;
-  uint32_t suffix_bits_;
-};
-
-// --------------------------------------------------------- Fence pointers
-
-class FenceProbe : public FilterProbe {
- public:
-  explicit FenceProbe(FencePointers filter) : filter_(std::move(filter)) {}
-  bool KeyMayMatch(uint64_t key) const override {
-    return filter_.MayContain(key);
-  }
-  bool RangeMayMatch(uint64_t lo, uint64_t hi) const override {
-    return filter_.MayContainRange(lo, hi);
-  }
-  uint64_t MemoryBits() const override { return filter_.MemoryBits(); }
-
- private:
-  FencePointers filter_;
-};
-
-class FencePolicy : public FilterPolicy {
- public:
-  explicit FencePolicy(double bits_per_key) : bits_per_key_(bits_per_key) {}
-  std::string Name() const override { return "FencePointers"; }
-
-  std::string CreateFilter(
-      const std::vector<uint64_t>& keys) const override {
-    FencePointers fences(keys, bits_per_key_);
-    std::string out;
-    PutFixed64(&out, keys.size());
-    for (uint64_t k : keys) PutFixed64(&out, k);
-    return out;
-  }
-
-  std::unique_ptr<FilterProbe> LoadFilter(
-      std::string_view data) const override {
-    if (data.size() < 8) return nullptr;
-    uint64_t n = DecodeFixed64(data.data());
-    if (data.size() != 8 + n * 8) return nullptr;
-    std::vector<uint64_t> keys;
-    keys.reserve(n);
-    for (uint64_t i = 0; i < n; ++i) {
-      keys.push_back(DecodeFixed64(data.data() + 8 + i * 8));
-    }
-    return std::make_unique<FenceProbe>(FencePointers(keys, bits_per_key_));
-  }
-
- private:
-  double bits_per_key_;
+  std::string name_;
+  const FilterRegistry::Entry* entry_;  // null for unknown backends
+  FilterBuildParams params_;
 };
 
 }  // namespace
 
+std::unique_ptr<FilterPolicy> NewRegistryPolicy(std::string_view name,
+                                                FilterBuildParams params) {
+  return std::make_unique<RegistryFilterPolicy>(name, params);
+}
+
 std::unique_ptr<FilterPolicy> NewBloomRFPolicy(double bits_per_key,
                                                double max_range) {
-  return std::make_unique<BloomRFPolicy>(bits_per_key, max_range);
+  FilterBuildParams params;
+  params.bits_per_key = bits_per_key;
+  params.max_range = max_range;
+  return NewRegistryPolicy("bloomrf", params);
 }
+
 std::unique_ptr<FilterPolicy> NewBloomPolicy(double bits_per_key) {
-  return std::make_unique<BloomPolicy>(bits_per_key);
+  FilterBuildParams params;
+  params.bits_per_key = bits_per_key;
+  return NewRegistryPolicy("bloom", params);
 }
+
 std::unique_ptr<FilterPolicy> NewPrefixBloomPolicy(double bits_per_key,
                                                    uint32_t prefix_level) {
-  return std::make_unique<PrefixBloomPolicy>(bits_per_key, prefix_level);
+  FilterBuildParams params;
+  params.bits_per_key = bits_per_key;
+  params.prefix_level = prefix_level;
+  return NewRegistryPolicy("prefix_bloom", params);
 }
+
 std::unique_ptr<FilterPolicy> NewRosettaPolicy(double bits_per_key,
                                                uint64_t max_range) {
-  return std::make_unique<RosettaPolicy>(bits_per_key, max_range);
+  FilterBuildParams params;
+  params.bits_per_key = bits_per_key;
+  params.max_range = static_cast<double>(max_range);
+  return NewRegistryPolicy("rosetta", params);
 }
+
 std::unique_ptr<FilterPolicy> NewSurfPolicy(uint32_t suffix_type,
                                             uint32_t suffix_bits) {
-  return std::make_unique<SurfPolicy>(suffix_type, suffix_bits);
+  FilterBuildParams params;
+  params.suffix_type = suffix_type;
+  params.suffix_bits = suffix_bits;
+  return NewRegistryPolicy("surf", params);
 }
+
 std::unique_ptr<FilterPolicy> NewFencePointerPolicy(double bits_per_key) {
-  return std::make_unique<FencePolicy>(bits_per_key);
+  FilterBuildParams params;
+  params.bits_per_key = bits_per_key;
+  return NewRegistryPolicy("fence_pointers", params);
+}
+
+std::unique_ptr<FilterPolicy> NewCuckooPolicy(uint32_t fingerprint_bits) {
+  FilterBuildParams params;
+  params.fingerprint_bits = fingerprint_bits;
+  return NewRegistryPolicy("cuckoo", params);
 }
 
 }  // namespace bloomrf

@@ -5,7 +5,12 @@
 //
 // A policy builds a filter over the sorted keys of an SST at flush time
 // (CreateFilter) and reconstitutes a probe object from the stored
-// filter block at open time (LoadFilter).
+// filter block at open time (LoadFilter). Since the registry refactor
+// there is exactly one policy implementation — a generic adapter that
+// resolves the backend by FilterRegistry name — and the probe side IS
+// the unified PointRangeFilter interface; filter blocks are
+// registry-framed (`name | payload`), so any policy instance can load
+// any backend's block.
 
 #ifndef BLOOMRF_LSM_FILTER_POLICY_H_
 #define BLOOMRF_LSM_FILTER_POLICY_H_
@@ -16,33 +21,35 @@
 #include <string_view>
 #include <vector>
 
-namespace bloomrf {
+#include "filters/filter.h"
+#include "filters/registry.h"
 
-/// Probe side of a deserialized per-SST filter.
-class FilterProbe {
- public:
-  virtual ~FilterProbe() = default;
-  virtual bool KeyMayMatch(uint64_t key) const = 0;
-  virtual bool RangeMayMatch(uint64_t lo, uint64_t hi) const = 0;
-  virtual uint64_t MemoryBits() const = 0;
-};
+namespace bloomrf {
 
 class FilterPolicy {
  public:
   virtual ~FilterPolicy() = default;
   virtual std::string Name() const = 0;
 
-  /// Builds and serializes a filter for one SST's sorted unique keys.
+  /// Builds and serializes (registry-framed) a filter for one SST's
+  /// sorted unique keys. Returns "" when no filter can be built (e.g.
+  /// unknown backend); the table then stores no filter block.
   virtual std::string CreateFilter(
       const std::vector<uint64_t>& sorted_keys) const = 0;
 
   /// Reconstructs the probe object from a filter block. Returns null
   /// on corruption (the table then probes nothing and scans).
-  virtual std::unique_ptr<FilterProbe> LoadFilter(
+  virtual std::unique_ptr<PointRangeFilter> LoadFilter(
       std::string_view data) const = 0;
 };
 
-/// Factory helpers for every policy used in the evaluation.
+/// The generic policy: backend selected by registry name ("bloomrf",
+/// "rosetta", ...), construction tuned via `params`.
+std::unique_ptr<FilterPolicy> NewRegistryPolicy(
+    std::string_view name, FilterBuildParams params = {});
+
+/// One-line shims for every backend used in the evaluation (legacy
+/// spellings; all forward to NewRegistryPolicy).
 std::unique_ptr<FilterPolicy> NewBloomRFPolicy(double bits_per_key,
                                                double max_range);
 std::unique_ptr<FilterPolicy> NewBloomPolicy(double bits_per_key);
@@ -53,6 +60,7 @@ std::unique_ptr<FilterPolicy> NewRosettaPolicy(double bits_per_key,
 std::unique_ptr<FilterPolicy> NewSurfPolicy(uint32_t suffix_type,
                                             uint32_t suffix_bits);
 std::unique_ptr<FilterPolicy> NewFencePointerPolicy(double bits_per_key);
+std::unique_ptr<FilterPolicy> NewCuckooPolicy(uint32_t fingerprint_bits);
 
 }  // namespace bloomrf
 

@@ -29,14 +29,15 @@ bool TableBuilder::WriteTo(const std::string& path, TableBuildStats* stats) {
   uint64_t index_size = index_.size();
   file_data_ += index_;
 
+  // The filter block is stored exactly as CreateFilter emits it: the
+  // registry framing (`name | payload`) already makes it
+  // self-describing. An empty result means no filter for this SST.
   std::string filter_block;
   double filter_seconds = 0;
   if (policy_ != nullptr) {
     Timer timer;
-    std::string filter_data = policy_->CreateFilter(keys_);
+    filter_block = policy_->CreateFilter(keys_);
     filter_seconds = timer.ElapsedSeconds();
-    PutLengthPrefixed(&filter_block, policy_->Name());
-    PutLengthPrefixed(&filter_block, filter_data);
   }
   uint64_t filter_off = file_data_.size();
   uint64_t filter_size = filter_block.size();

@@ -59,14 +59,10 @@ std::unique_ptr<TableReader> TableReader::Open(const std::string& path,
   if (policy != nullptr && filter_size > 0) {
     std::string filter_data;
     if (!ReadAt(f, filter_off, filter_size, &filter_data)) return nullptr;
-    size_t pos = 0;
-    std::string_view name, data;
-    if (!GetLengthPrefixed(filter_data, &pos, &name) ||
-        !GetLengthPrefixed(filter_data, &pos, &data)) {
-      return nullptr;
-    }
     Timer timer;
-    reader->filter_ = policy->LoadFilter(data);
+    // The block is registry-framed; a corrupt or unknown block loads as
+    // null and the table falls back to scanning.
+    reader->filter_ = policy->LoadFilter(filter_data);
     if (stats != nullptr) stats->deser_nanos += timer.ElapsedNanos();
   }
 
@@ -105,7 +101,7 @@ bool TableReader::Get(uint64_t key, std::string* value,
                       LsmStats* stats) const {
   if (filter_ != nullptr) {
     Timer timer;
-    bool may_match = filter_->KeyMayMatch(key);
+    bool may_match = filter_->MayContain(key);
     if (stats != nullptr) {
       stats->filter_probe_nanos += timer.ElapsedNanos();
       ++stats->filter_probes;
@@ -134,7 +130,7 @@ bool TableReader::RangeScan(uint64_t lo, uint64_t hi, size_t limit,
                             LsmStats* stats) const {
   if (filter_ != nullptr) {
     Timer timer;
-    bool may_match = filter_->RangeMayMatch(lo, hi);
+    bool may_match = filter_->MayContainRange(lo, hi);
     if (stats != nullptr) {
       stats->filter_probe_nanos += timer.ElapsedNanos();
       ++stats->filter_probes;

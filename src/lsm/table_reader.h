@@ -53,7 +53,7 @@ class TableReader {
   uint64_t filter_memory_bits() const {
     return filter_ ? filter_->MemoryBits() : 0;
   }
-  const FilterProbe* filter() const { return filter_.get(); }
+  const PointRangeFilter* filter() const { return filter_.get(); }
 
  private:
   TableReader() = default;
@@ -71,7 +71,7 @@ class TableReader {
 
   std::FILE* file_ = nullptr;
   std::vector<IndexEntry> index_;
-  std::unique_ptr<FilterProbe> filter_;
+  std::unique_ptr<PointRangeFilter> filter_;
   uint64_t min_key_ = 0;
   uint64_t max_key_ = 0;
 };

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/bloomrf.h"
 #include "core/tuning_advisor.h"
 #include "tests/test_util.h"
+#include "util/coding.h"
 
 namespace bloomrf {
 namespace {
@@ -73,6 +76,71 @@ TEST(SerializationTest, RejectsTruncation) {
     EXPECT_FALSE(BloomRF::Deserialize(data.substr(0, cut)).has_value())
         << cut;
   }
+}
+
+TEST(SerializationTest, EveryTruncationRejected) {
+  // Fuzz-ish sweep: every proper prefix of a serialized filter (with
+  // exact layer, multiple segments where the advisor picks them) must
+  // be rejected — never over-read, never crash.
+  auto keys = RandomKeySet(500, 46);
+  AdvisorParams params;
+  params.n = keys.size();
+  params.total_bits = 20 * keys.size();
+  params.max_range = 1e9;
+  BloomRF filter(AdviseConfig(params).config);
+  for (uint64_t k : keys) filter.Insert(k);
+  std::string data = filter.Serialize();
+  ASSERT_TRUE(BloomRF::Deserialize(data).has_value());
+  for (size_t cut = 0; cut < data.size(); ++cut) {
+    ASSERT_FALSE(BloomRF::Deserialize(data.substr(0, cut)).has_value())
+        << "prefix of length " << cut << " accepted";
+  }
+}
+
+TEST(SerializationTest, TrailingGarbageRejected) {
+  BloomRF filter(BloomRFConfig::Basic(1000, 12.0));
+  std::string data = filter.Serialize();
+  EXPECT_FALSE(BloomRF::Deserialize(data + '\0').has_value());
+  EXPECT_FALSE(BloomRF::Deserialize(data + "extra").has_value());
+}
+
+TEST(SerializationTest, HeaderByteFlipsNeverCrash) {
+  auto keys = RandomKeySet(300, 47);
+  BloomRF filter(BloomRFConfig::Basic(keys.size(), 14.0));
+  for (uint64_t k : keys) filter.Insert(k);
+  std::string data = filter.Serialize();
+  size_t header = std::min<size_t>(data.size(), 128);
+  for (size_t i = 0; i < header; ++i) {
+    for (uint8_t flip : {uint8_t{0x01}, uint8_t{0x80}, uint8_t{0xff}}) {
+      std::string corrupt = data;
+      corrupt[i] = static_cast<char>(corrupt[i] ^ flip);
+      auto restored = BloomRF::Deserialize(corrupt);
+      if (restored.has_value()) {
+        // A surviving parse must still be safe to probe.
+        restored->MayContain(42);
+        restored->MayContainRange(1, 1000);
+      }
+    }
+  }
+}
+
+TEST(SerializationTest, HugeSegmentClaimRejectedWithoutAllocating) {
+  // Hand-craft a header claiming a 2^50-bit segment with no payload:
+  // must be rejected by the size pre-check, not by an allocation
+  // attempt.
+  std::string evil;
+  PutFixed32(&evil, 0xb100f001);           // magic
+  PutFixed32(&evil, 64);                   // domain_bits
+  PutFixed32(&evil, 1);                    // one layer
+  evil.push_back(7);                       // delta
+  evil.push_back(1);                       // replicas
+  evil.push_back(0);                       // segment_of
+  PutFixed32(&evil, 1);                    // one segment
+  PutFixed64(&evil, uint64_t{1} << 50);    // absurd segment_bits
+  evil.push_back(0);                       // no exact layer
+  evil.push_back(0);                       // no permutation
+  PutFixed64(&evil, 0x5eed);               // seed
+  EXPECT_FALSE(BloomRF::Deserialize(evil).has_value());
 }
 
 TEST(SerializationTest, PermutedWordsFlagSurvives) {

@@ -1,12 +1,14 @@
 // Direct FilterPolicy-level tests: serialization round trips through
-// the filter-block format, corruption rejection, and per-policy
-// semantics outside the full DB.
+// the registry-framed filter-block format, corruption rejection, and
+// per-backend semantics outside the full DB. Every policy is an
+// instance of the one generic RegistryFilterPolicy adapter.
 
 #include "lsm/filter_policy.h"
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 
 #include "tests/test_util.h"
 
@@ -34,6 +36,7 @@ std::vector<PolicyCase> AllPolicies() {
   cases.push_back({"Rosetta", NewRosettaPolicy(18.0, 1 << 10), true});
   cases.push_back({"SuRF", NewSurfPolicy(2, 8), true});
   cases.push_back({"Fence", NewFencePointerPolicy(4.0), true});
+  cases.push_back({"Cuckoo", NewCuckooPolicy(12), false});
   return cases;
 }
 
@@ -44,8 +47,8 @@ TEST(FilterPolicyTest, RoundTripNoFalseNegatives) {
     auto probe = pc.policy->LoadFilter(blob);
     ASSERT_NE(probe, nullptr) << pc.label;
     for (uint64_t k : keys) {
-      ASSERT_TRUE(probe->KeyMayMatch(k)) << pc.label << " " << k;
-      ASSERT_TRUE(probe->RangeMayMatch(k, k + 100 > k ? k + 100 : k))
+      ASSERT_TRUE(probe->MayContain(k)) << pc.label << " " << k;
+      ASSERT_TRUE(probe->MayContainRange(k, k + 100 > k ? k + 100 : k))
           << pc.label;
     }
     EXPECT_GT(probe->MemoryBits(), 0u) << pc.label;
@@ -61,7 +64,7 @@ TEST(FilterPolicyTest, CorruptBlocksRejectedOrSafe) {
                        blob.size() - 1}) {
       auto probe = pc.policy->LoadFilter(blob.substr(0, cut));
       if (probe != nullptr) {
-        probe->KeyMayMatch(42);  // must be safe to call
+        probe->MayContain(42);  // must be safe to call
       }
     }
   }
@@ -74,10 +77,29 @@ TEST(FilterPolicyTest, EmptyKeySetProducesWorkingFilter) {
     auto probe = pc.policy->LoadFilter(blob);
     if (probe != nullptr) {
       // An empty filter may answer anything, but must not crash.
-      probe->KeyMayMatch(42);
-      probe->RangeMayMatch(1, 100);
+      probe->MayContain(42);
+      probe->MayContainRange(1, 100);
     }
   }
+}
+
+TEST(FilterPolicyTest, BlocksSelfDescribeAcrossPolicies) {
+  // Registry framing makes any block loadable through any policy
+  // instance: the frame's name, not the loading policy, selects the
+  // backend.
+  auto keys = SortedKeys(2000, 206);
+  std::string blob = NewBloomRFPolicy(18.0, 1e6)->CreateFilter(keys);
+  auto probe = NewBloomPolicy(10.0)->LoadFilter(blob);
+  ASSERT_NE(probe, nullptr);
+  EXPECT_EQ(probe->Name(), "bloomRF");
+  for (uint64_t k : keys) ASSERT_TRUE(probe->MayContain(k));
+}
+
+TEST(FilterPolicyTest, UnknownBackendYieldsNoFilter) {
+  auto policy = NewRegistryPolicy("definitely_not_registered");
+  EXPECT_EQ(policy->Name(), "definitely_not_registered");
+  EXPECT_EQ(policy->CreateFilter(SortedKeys(10, 207)), "");
+  EXPECT_EQ(policy->LoadFilter("garbage"), nullptr);
 }
 
 TEST(FilterPolicyTest, BloomRFPolicyExcludesEmptyRanges) {
@@ -94,7 +116,7 @@ TEST(FilterPolicyTest, BloomRFPolicyExcludesEmptyRanges) {
     auto it = keyset.lower_bound(lo);
     if (it != keyset.end() && *it <= hi) continue;
     ++empties;
-    if (!probe->RangeMayMatch(lo, hi)) ++excluded;
+    if (!probe->MayContainRange(lo, hi)) ++excluded;
   }
   ASSERT_GT(empties, 1000u);
   EXPECT_GT(excluded, empties * 9 / 10);
@@ -107,6 +129,10 @@ TEST(FilterPolicyTest, NamesAreStable) {
   EXPECT_EQ(NewSurfPolicy(1, 8)->Name(), "SuRF");
   EXPECT_EQ(NewPrefixBloomPolicy(10, 8)->Name(), "PrefixBloom");
   EXPECT_EQ(NewFencePointerPolicy(4)->Name(), "FencePointers");
+  EXPECT_EQ(NewCuckooPolicy(12)->Name(), "Cuckoo");
+  // Registry keys and display names both resolve.
+  EXPECT_EQ(NewRegistryPolicy("bloomrf")->Name(), "bloomRF");
+  EXPECT_EQ(NewRegistryPolicy("bloomRF")->Name(), "bloomRF");
 }
 
 TEST(FilterPolicyTest, MemoryBitsTrackBudget) {
