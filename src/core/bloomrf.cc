@@ -1,11 +1,29 @@
 #include "core/bloomrf.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/coding.h"
 #include "util/hash.h"
 
 namespace bloomrf {
+
+namespace {
+
+// Serialized format tags. V2 adds the hash-scheme byte (hash-once
+// replica derivation); V1 blocks predate it and always probe with the
+// legacy per-replica scheme.
+constexpr uint32_t kFormatTagV1 = 0xb100f001;
+constexpr uint32_t kFormatTagV2 = 0xb100f002;
+
+// Replica r's slot from the base hash (kDoubleHash scheme). r == 0
+// reduces to FastRange64(h, n), so single-replica layers lay out bits
+// identically to the legacy scheme.
+inline uint64_t SlotFromHash(uint64_t h, uint32_t r, uint64_t num_slots) {
+  return FastRange64(h + r * DeriveStride(h), num_slots);
+}
+
+}  // namespace
 
 BloomRF::BloomRF(BloomRFConfig config) : config_(std::move(config)) {
   std::string problem = config_.Validate();
@@ -43,8 +61,12 @@ BloomRF::BloomRF(BloomRFConfig config) : config_(std::move(config)) {
 
 uint64_t BloomRF::SlotOf(const Layer& layer, uint64_t word_key,
                          uint32_t replica) const {
-  return FastRange64(Hash64(word_key, layer.seed_base + replica),
-                     layer.num_slots);
+  if (config_.hash_scheme == HashScheme::kLegacyPerReplica) {
+    return FastRange64(Hash64(word_key, layer.seed_base + replica),
+                       layer.num_slots);
+  }
+  return SlotFromHash(Hash64(word_key, layer.seed_base), replica,
+                      layer.num_slots);
 }
 
 bool BloomRF::WordReversed(const Layer& layer, uint64_t word_key) const {
@@ -69,8 +91,15 @@ void BloomRF::Insert(uint64_t key) {
     }
     uint64_t bit = uint64_t{1} << offset;
     BitArray& seg = segments_[layer.segment];
-    for (uint32_t r = 0; r < layer.replicas; ++r) {
-      seg.OrWord(SlotOf(layer, word_key, r), layer.word_bits, bit);
+    if (config_.hash_scheme == HashScheme::kDoubleHash) {
+      uint64_t h = Hash64(word_key, layer.seed_base);
+      for (uint32_t r = 0; r < layer.replicas; ++r) {
+        seg.OrWord(SlotFromHash(h, r, layer.num_slots), layer.word_bits, bit);
+      }
+    } else {
+      for (uint32_t r = 0; r < layer.replicas; ++r) {
+        seg.OrWord(SlotOf(layer, word_key, r), layer.word_bits, bit);
+      }
     }
   }
   if (config_.has_exact_layer) {
@@ -79,10 +108,25 @@ void BloomRF::Insert(uint64_t key) {
 }
 
 uint64_t BloomRF::LoadWordAnd(const Layer& layer, uint64_t word_key) const {
+  if (config_.hash_scheme == HashScheme::kDoubleHash) {
+    return LoadWordAndFromHash(layer, Hash64(word_key, layer.seed_base));
+  }
   const BitArray& seg = segments_[layer.segment];
   uint64_t word = seg.LoadWord(SlotOf(layer, word_key, 0), layer.word_bits);
   for (uint32_t r = 1; r < layer.replicas && word != 0; ++r) {
     word &= seg.LoadWord(SlotOf(layer, word_key, r), layer.word_bits);
+  }
+  return word;
+}
+
+uint64_t BloomRF::LoadWordAndFromHash(const Layer& layer,
+                                      uint64_t hash) const {
+  const BitArray& seg = segments_[layer.segment];
+  uint64_t word =
+      seg.LoadWord(SlotFromHash(hash, 0, layer.num_slots), layer.word_bits);
+  for (uint32_t r = 1; r < layer.replicas && word != 0; ++r) {
+    word &= seg.LoadWord(SlotFromHash(hash, r, layer.num_slots),
+                         layer.word_bits);
   }
   return word;
 }
@@ -133,6 +177,95 @@ bool BloomRF::MayContain(uint64_t key, ProbeStats* stats) const {
     }
   }
   return true;
+}
+
+void BloomRF::MayContainBatch(std::span<const uint64_t> keys,
+                              bool* out) const {
+  if (keys.empty()) return;
+  if (config_.hash_scheme == HashScheme::kLegacyPerReplica) {
+    // Pre-bump blocks: the probe pass below derives replica slots from
+    // the stored base hash, which only matches the hash-once layout.
+    for (size_t i = 0; i < keys.size(); ++i) out[i] = MayContain(keys[i]);
+    return;
+  }
+  const size_t num_layers = layers_.size();
+  std::vector<PlannedProbe> plan(kProbeStripe * num_layers);
+  for (size_t base = 0; base < keys.size(); base += kProbeStripe) {
+    const size_t stripe = std::min(kProbeStripe, keys.size() - base);
+    // Pass 1: hash every (key, layer) word key once and start pulling
+    // each replica's 64-bit block into cache.
+    for (size_t j = 0; j < stripe; ++j) {
+      uint64_t key = keys[base + j];
+      if (config_.has_exact_layer) exact_.PrefetchBit(Shr(key, top_level_));
+      for (size_t i = 0; i < num_layers; ++i) {
+        const Layer& layer = layers_[i];
+        uint64_t word_key = Shr(key, layer.level + layer.offset_bits);
+        uint64_t h = Hash64(word_key, layer.seed_base);
+        plan[j * num_layers + i] = {h, word_key};
+        const BitArray& seg = segments_[layer.segment];
+        for (uint32_t r = 0; r < layer.replicas; ++r) {
+          seg.PrefetchWord(SlotFromHash(h, r, layer.num_slots),
+                           layer.word_bits);
+        }
+      }
+    }
+    // Pass 2: the same tests the scalar MayContain runs (exact layer,
+    // then layers top-down with early exit), on lines already in
+    // flight.
+    for (size_t j = 0; j < stripe; ++j) {
+      uint64_t key = keys[base + j];
+      bool alive =
+          !config_.has_exact_layer || exact_.TestBit(Shr(key, top_level_));
+      for (size_t i = num_layers; alive && i-- > 0;) {
+        const Layer& layer = layers_[i];
+        const PlannedProbe& probe = plan[j * num_layers + i];
+        uint64_t offset = Shr(key, layer.level) & (layer.word_bits - 1);
+        if (WordReversed(layer, probe.word_key)) {
+          offset = layer.word_bits - 1 - offset;
+        }
+        alive = (LoadWordAndFromHash(layer, probe.hash) >> offset) & 1ULL;
+      }
+      out[base + j] = alive;
+    }
+  }
+}
+
+void BloomRF::MayContainRangeBatch(std::span<const uint64_t> los,
+                                   std::span<const uint64_t> his,
+                                   bool* out) const {
+  assert(los.size() == his.size());
+  for (size_t base = 0; base < los.size(); base += kProbeStripe) {
+    const size_t stripe = std::min(kProbeStripe, los.size() - base);
+    // Pass 1: the descent of Algorithm 1 is dominated by the covering
+    // probes of the two endpoints; prefetch those words (all replicas)
+    // at every layer, plus the endpoints' exact-layer bits.
+    for (size_t j = 0; j < stripe; ++j) {
+      for (uint64_t endpoint : {los[base + j], his[base + j]}) {
+        if (config_.has_exact_layer) {
+          exact_.PrefetchBit(Shr(endpoint, top_level_));
+        }
+        for (const Layer& layer : layers_) {
+          uint64_t word_key = Shr(endpoint, layer.level + layer.offset_bits);
+          const BitArray& seg = segments_[layer.segment];
+          if (config_.hash_scheme == HashScheme::kDoubleHash) {
+            uint64_t h = Hash64(word_key, layer.seed_base);
+            for (uint32_t r = 0; r < layer.replicas; ++r) {
+              seg.PrefetchWord(SlotFromHash(h, r, layer.num_slots),
+                               layer.word_bits);
+            }
+          } else {
+            for (uint32_t r = 0; r < layer.replicas; ++r) {
+              seg.PrefetchWord(SlotOf(layer, word_key, r), layer.word_bits);
+            }
+          }
+        }
+      }
+    }
+    // Pass 2: scalar descents, early exits intact.
+    for (size_t j = 0; j < stripe; ++j) {
+      out[base + j] = MayContainRange(los[base + j], his[base + j]);
+    }
+  }
 }
 
 bool BloomRF::ExactRangeProbe(uint64_t lp, uint64_t rp,
@@ -223,9 +356,11 @@ bool BloomRF::MayContainRange(uint64_t lo, uint64_t hi,
     if (right_alive) {
       uint64_t parent = Shr(hi, parent_level);
       uint64_t start = parent << span;
+      // rp >= start always (start just clears rp's low `span` bits) and
+      // rp >= 1 below a split, so `end` cannot underflow; the range is
+      // empty exactly when rp == start at a non-bottom level.
       uint64_t end = (level == 0) ? rp : rp - 1;
-      if (start <= end && end >= start &&
-          TestPrefixRange(layer, start, end, 4, stats)) {
+      if (start <= end && TestPrefixRange(layer, start, end, 4, stats)) {
         return true;
       }
       if (level != 0) right_alive = TestPrefix(layer, rp, stats);
@@ -261,7 +396,10 @@ std::vector<double> BloomRF::ZeroBitFractions() const {
 
 std::string BloomRF::Serialize() const {
   std::string out;
-  PutFixed32(&out, 0xb100f001);  // format tag
+  // Legacy-scheme filters write the V1 layout byte for byte, so a
+  // round trip through Deserialize preserves pre-bump blocks exactly.
+  const bool legacy = config_.hash_scheme == HashScheme::kLegacyPerReplica;
+  PutFixed32(&out, legacy ? kFormatTagV1 : kFormatTagV2);
   PutFixed32(&out, config_.domain_bits);
   PutFixed32(&out, static_cast<uint32_t>(config_.num_layers()));
   for (size_t i = 0; i < config_.num_layers(); ++i) {
@@ -273,6 +411,9 @@ std::string BloomRF::Serialize() const {
   for (uint64_t m : config_.segment_bits) PutFixed64(&out, m);
   out.push_back(config_.has_exact_layer ? 1 : 0);
   out.push_back(config_.permute_words ? 1 : 0);
+  if (!legacy) {
+    out.push_back(static_cast<char>(config_.hash_scheme));
+  }
   PutFixed64(&out, config_.seed);
   for (const BitArray& seg : segments_) seg.SerializeTo(&out);
   if (config_.has_exact_layer) exact_.SerializeTo(&out);
@@ -288,7 +429,8 @@ std::optional<BloomRF> BloomRF::Deserialize(std::string_view data) {
     return n <= data.size() && pos <= data.size() - static_cast<size_t>(n);
   };
   if (!need(12)) return std::nullopt;
-  if (DecodeFixed32(data.data()) != 0xb100f001) return std::nullopt;
+  uint32_t tag = DecodeFixed32(data.data());
+  if (tag != kFormatTagV1 && tag != kFormatTagV2) return std::nullopt;
   BloomRFConfig cfg;
   cfg.domain_bits = DecodeFixed32(data.data() + 4);
   uint32_t k = DecodeFixed32(data.data() + 8);
@@ -309,9 +451,18 @@ std::optional<BloomRF> BloomRF::Deserialize(std::string_view data) {
     cfg.segment_bits.push_back(DecodeFixed64(data.data() + pos));
     pos += 8;
   }
-  if (!need(10)) return std::nullopt;
+  if (!need(tag == kFormatTagV2 ? 11 : 10)) return std::nullopt;
   cfg.has_exact_layer = data[pos++] != 0;
   cfg.permute_words = data[pos++] != 0;
+  if (tag == kFormatTagV2) {
+    uint8_t scheme = static_cast<uint8_t>(data[pos++]);
+    if (scheme > static_cast<uint8_t>(HashScheme::kDoubleHash)) {
+      return std::nullopt;
+    }
+    cfg.hash_scheme = static_cast<HashScheme>(scheme);
+  } else {
+    cfg.hash_scheme = HashScheme::kLegacyPerReplica;
+  }
   cfg.seed = DecodeFixed64(data.data() + pos);
   pos += 8;
   if (!cfg.Validate().empty()) return std::nullopt;

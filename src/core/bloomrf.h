@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -59,6 +60,21 @@ class BloomRF {
     return MayContainRange(lo, hi, nullptr);
   }
   bool MayContainRange(uint64_t lo, uint64_t hi, ProbeStats* stats) const;
+
+  /// Planned batch point probe: out[i] = MayContain(keys[i]), bit for
+  /// bit. Runs in two passes per stripe of keys — a planning pass that
+  /// hashes each word key once, derives replica slots by double
+  /// hashing, and prefetches every target 64-bit block; then a probe
+  /// pass that executes the word tests (top-down, early exit) on lines
+  /// already in flight.
+  void MayContainBatch(std::span<const uint64_t> keys, bool* out) const;
+
+  /// Planned batch range probe: out[i] = MayContainRange(los[i],
+  /// his[i]). A planning pass prefetches the covering-prefix words of
+  /// both endpoints at every layer before the scalar descents run.
+  /// `los` and `his` must have equal length.
+  void MayContainRangeBatch(std::span<const uint64_t> los,
+                            std::span<const uint64_t> his, bool* out) const;
 
   const BloomRFConfig& config() const { return config_; }
 
@@ -108,6 +124,23 @@ class BloomRF {
 
   /// Reads the AND of all replica words for `word_key` on `layer`.
   uint64_t LoadWordAnd(const Layer& layer, uint64_t word_key) const;
+
+  /// Same, but from an already-computed base hash (hash-once scheme
+  /// only) — the probe pass of the planned engine.
+  uint64_t LoadWordAndFromHash(const Layer& layer, uint64_t hash) const;
+
+  /// One planned coordinate of the batch engine: the base hash and
+  /// word key of one (key, layer) pair, computed in the planning pass
+  /// and consumed by the probe pass.
+  struct PlannedProbe {
+    uint64_t hash;
+    uint64_t word_key;
+  };
+
+  /// Keys per planning stripe: large enough that prefetches land
+  /// before the probe pass reads them, small enough that the planned
+  /// lines are still resident.
+  static constexpr size_t kProbeStripe = 32;
 
   /// Single-bit covering probe of prefix `p` at `layer`.
   bool TestPrefix(const Layer& layer, uint64_t p, ProbeStats* stats) const;

@@ -41,6 +41,34 @@ bool BloomFilter::MayContain(uint64_t key) const {
   return true;
 }
 
+void BloomFilter::MayContainBatch(std::span<const uint64_t> keys,
+                                  bool* out) const {
+  constexpr size_t kStripe = 32;
+  uint64_t h1s[kStripe];
+  uint64_t h2s[kStripe];
+  for (size_t base = 0; base < keys.size(); base += kStripe) {
+    const size_t stripe = std::min(kStripe, keys.size() - base);
+    // Plan: hash each key once, start the loads of all k probe blocks.
+    for (size_t j = 0; j < stripe; ++j) {
+      h1s[j] = Hash64(keys[base + j], seed_);
+      h2s[j] = Hash64(keys[base + j], seed_ ^ 0x5bd1e995);
+      for (uint32_t i = 0; i < k_; ++i) {
+        bits_.PrefetchBit(
+            FastRange64(DoubleHashProbe(h1s[j], h2s[j], i), bits_.size_bits()));
+      }
+    }
+    // Probe: same positions, early exit per key.
+    for (size_t j = 0; j < stripe; ++j) {
+      bool alive = true;
+      for (uint32_t i = 0; alive && i < k_; ++i) {
+        alive = bits_.TestBit(
+            FastRange64(DoubleHashProbe(h1s[j], h2s[j], i), bits_.size_bits()));
+      }
+      out[base + j] = alive;
+    }
+  }
+}
+
 std::string BloomFilter::Serialize() const {
   std::string out;
   PutFixed64(&out, bits_.size_bits());

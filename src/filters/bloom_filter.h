@@ -26,6 +26,11 @@ class BloomFilter : public OnlineFilter {
   void Insert(uint64_t key) override;
   bool MayContain(uint64_t key) const override;
 
+  /// Planned batch probe: hashes each key once per stripe, prefetches
+  /// all k probe blocks, then tests.
+  void MayContainBatch(std::span<const uint64_t> keys,
+                       bool* out) const override;
+
   /// Point-only filter: ranges cannot be excluded.
   bool MayContainRange(uint64_t, uint64_t) const override { return true; }
 

@@ -35,13 +35,16 @@ class BloomRFFilter : public OnlineFilter {
   bool MayContainRange(uint64_t lo, uint64_t hi) const override {
     return impl_.MayContainRange(lo, hi);
   }
-  /// Devirtualized batch probe: one virtual call per batch instead of
-  /// one per key.
+  /// Planned batch probes: one virtual call per batch, then the core
+  /// hash-once/prefetch engine (core/bloomrf.cc).
   void MayContainBatch(std::span<const uint64_t> keys,
                        bool* out) const override {
-    for (size_t i = 0; i < keys.size(); ++i) {
-      out[i] = impl_.MayContain(keys[i]);
-    }
+    impl_.MayContainBatch(keys, out);
+  }
+  void MayContainRangeBatch(std::span<const uint64_t> los,
+                            std::span<const uint64_t> his,
+                            bool* out) const override {
+    impl_.MayContainRangeBatch(los, his, out);
   }
 
   uint64_t MemoryBits() const override { return impl_.MemoryBits(); }

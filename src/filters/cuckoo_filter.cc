@@ -5,6 +5,7 @@
 
 #include "util/coding.h"
 #include "util/hash.h"
+#include "util/prefetch.h"
 
 namespace bloomrf {
 
@@ -76,6 +77,34 @@ bool CuckooFilter::MayContain(uint64_t key) const {
   uint16_t fp = Fingerprint(key);
   uint64_t i1 = IndexHash(key);
   return BucketContains(i1, fp) || BucketContains(AltIndex(i1, fp), fp);
+}
+
+void CuckooFilter::MayContainBatch(std::span<const uint64_t> keys,
+                                   bool* out) const {
+  if (saturated_) {
+    std::fill(out, out + keys.size(), true);
+    return;
+  }
+  constexpr size_t kStripe = 32;
+  uint16_t fps[kStripe];
+  uint64_t b1s[kStripe];
+  uint64_t b2s[kStripe];
+  for (size_t base = 0; base < keys.size(); base += kStripe) {
+    const size_t stripe = std::min(kStripe, keys.size() - base);
+    // Plan: both candidate buckets per key, prefetched up front (a
+    // 4-slot bucket is 8 contiguous bytes — one line each).
+    for (size_t j = 0; j < stripe; ++j) {
+      fps[j] = Fingerprint(keys[base + j]);
+      b1s[j] = IndexHash(keys[base + j]);
+      b2s[j] = AltIndex(b1s[j], fps[j]);
+      PrefetchRead(&table_[b1s[j] * kSlotsPerBucket]);
+      PrefetchRead(&table_[b2s[j] * kSlotsPerBucket]);
+    }
+    for (size_t j = 0; j < stripe; ++j) {
+      out[base + j] =
+          BucketContains(b1s[j], fps[j]) || BucketContains(b2s[j], fps[j]);
+    }
+  }
 }
 
 bool CuckooFilter::BucketDelete(uint64_t bucket, uint16_t fp) {

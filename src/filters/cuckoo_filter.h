@@ -34,6 +34,12 @@ class CuckooFilter : public OnlineFilter {
   void Insert(uint64_t key) override;
 
   bool MayContain(uint64_t key) const override;
+
+  /// Planned batch probe: computes fingerprint and both candidate
+  /// buckets per key, prefetches the bucket slots, then tests.
+  void MayContainBatch(std::span<const uint64_t> keys,
+                       bool* out) const override;
+
   bool MayContainRange(uint64_t, uint64_t) const override { return true; }
 
   /// Deletes one copy of `key`'s fingerprint; returns false if absent.

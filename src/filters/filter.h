@@ -44,6 +44,18 @@ class PointRangeFilter {
     for (size_t i = 0; i < keys.size(); ++i) out[i] = MayContain(keys[i]);
   }
 
+  /// Batched range probe: out[i] is the MayContainRange answer for
+  /// [los[i], his[i]]. `los` and `his` must have equal length. The
+  /// default loops; bloomRF overrides with a planned (prefetching)
+  /// probe.
+  virtual void MayContainRangeBatch(std::span<const uint64_t> los,
+                                    std::span<const uint64_t> his,
+                                    bool* out) const {
+    for (size_t i = 0; i < los.size(); ++i) {
+      out[i] = MayContainRange(los[i], his[i]);
+    }
+  }
+
   /// Logical filter size in bits (what the paper's bits/key accounting
   /// charges).
   virtual uint64_t MemoryBits() const = 0;

@@ -52,6 +52,33 @@ bool PrefixBloomFilter::MayContain(uint64_t key) const {
   return TestValue(key, 1);
 }
 
+void PrefixBloomFilter::MayContainBatch(std::span<const uint64_t> keys,
+                                        bool* out) const {
+  constexpr size_t kStripe = 32;
+  constexpr uint64_t kFullKeyTag = 1;  // domain tag of MayContain probes
+  uint64_t h1s[kStripe];
+  uint64_t h2s[kStripe];
+  for (size_t base = 0; base < keys.size(); base += kStripe) {
+    const size_t stripe = std::min(kStripe, keys.size() - base);
+    for (size_t j = 0; j < stripe; ++j) {
+      h1s[j] = Hash64(keys[base + j], seed_ ^ kFullKeyTag);
+      h2s[j] = Hash64(keys[base + j], seed_ ^ kFullKeyTag ^ 0x5bd1e995);
+      for (uint32_t i = 0; i < k_; ++i) {
+        bits_.PrefetchBit(
+            FastRange64(DoubleHashProbe(h1s[j], h2s[j], i), bits_.size_bits()));
+      }
+    }
+    for (size_t j = 0; j < stripe; ++j) {
+      bool alive = true;
+      for (uint32_t i = 0; alive && i < k_; ++i) {
+        alive = bits_.TestBit(
+            FastRange64(DoubleHashProbe(h1s[j], h2s[j], i), bits_.size_bits()));
+      }
+      out[base + j] = alive;
+    }
+  }
+}
+
 bool PrefixBloomFilter::MayContainRange(uint64_t lo, uint64_t hi) const {
   if (lo > hi) return false;
   uint64_t lp = lo >> prefix_level_;

@@ -31,6 +31,11 @@ class PrefixBloomFilter : public OnlineFilter {
   bool MayContain(uint64_t key) const override;
   bool MayContainRange(uint64_t lo, uint64_t hi) const override;
 
+  /// Planned batch probe over the full-key domain: hash once per key,
+  /// prefetch all k probe blocks, then test.
+  void MayContainBatch(std::span<const uint64_t> keys,
+                       bool* out) const override;
+
   uint64_t MemoryBits() const override { return bits_.size_bits(); }
 
   uint32_t prefix_level() const { return prefix_level_; }

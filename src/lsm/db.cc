@@ -12,6 +12,10 @@ namespace bloomrf {
 Db::Db(DbOptions options) : options_(std::move(options)) {
   std::error_code ec;
   std::filesystem::create_directories(options_.dir, ec);
+  if (options_.block_cache == nullptr && options_.block_cache_bytes > 0) {
+    options_.block_cache =
+        std::make_shared<BlockCache>(options_.block_cache_bytes);
+  }
 }
 
 bool Db::Put(uint64_t key, std::string_view value) {
@@ -33,8 +37,8 @@ bool Db::Flush() {
   // The memtable is cleared only once the SST is written and readable;
   // a failed flush keeps all data queryable in memory.
   if (!builder.WriteTo(path, &build_stats)) return false;
-  auto reader =
-      TableReader::Open(path, options_.filter_policy.get(), &stats_);
+  auto reader = TableReader::Open(path, options_.filter_policy.get(), &stats_,
+                                  options_.block_cache);
   if (reader == nullptr) return false;
   flush_stats_.filter_create_seconds += build_stats.filter_create_seconds;
   flush_stats_.filter_block_bytes += build_stats.filter_block_bytes;
@@ -50,6 +54,38 @@ bool Db::Get(uint64_t key, std::string* value) {
     if ((*it)->Get(key, value, &stats_)) return true;
   }
   return false;
+}
+
+std::vector<std::optional<std::string>> Db::MultiGet(
+    std::span<const uint64_t> keys) {
+  std::vector<std::optional<std::string>> result(keys.size());
+  if (keys.empty()) return result;
+
+  // Memtable first (newest data); it already indexes by key. Memtable
+  // hits land in `result` directly and mark the key found, so the
+  // table passes below skip it.
+  auto found = std::make_unique<bool[]>(keys.size());
+  size_t remaining = keys.size();
+  std::string value;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    found[i] = memtable_.Get(keys[i], &value);
+    if (found[i]) {
+      result[i] = value;
+      --remaining;
+    }
+  }
+
+  // Then the tables newest-first, chaining one found/values array pair
+  // so each table only probes keys no newer source resolved.
+  std::vector<std::string> values(keys.size());
+  for (auto it = tables_.rbegin(); it != tables_.rend() && remaining > 0;
+       ++it) {
+    remaining -= (*it)->MultiGet(keys, found.get(), values.data(), &stats_);
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (found[i] && !result[i].has_value()) result[i] = std::move(values[i]);
+  }
+  return result;
 }
 
 std::vector<std::pair<uint64_t, std::string>> Db::RangeScan(uint64_t lo,

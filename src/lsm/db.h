@@ -25,9 +25,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "lsm/block_cache.h"
 #include "lsm/filter_policy.h"
 #include "lsm/memtable.h"
 #include "lsm/table_reader.h"
@@ -40,6 +43,11 @@ struct DbOptions {
   std::shared_ptr<FilterPolicy> filter_policy;
   size_t block_size = 4096;
   uint64_t memtable_bytes = 64ull << 20;
+  /// Shared LRU cache of parsed data blocks. Null creates a private
+  /// cache of `block_cache_bytes` (pass an instance to share across Db
+  /// objects); block_cache_bytes == 0 disables caching entirely.
+  std::shared_ptr<BlockCache> block_cache;
+  size_t block_cache_bytes = 4 << 20;
 };
 
 struct DbFlushStats {
@@ -60,6 +68,15 @@ class Db {
   /// their filters.
   bool Get(uint64_t key, std::string* value);
 
+  /// Batched point read: result[i] holds keys[i]'s value, or nullopt
+  /// when absent. Equivalent to N Get calls but: each table's filter
+  /// is probed once per batch via the planned MayContainBatch, keys
+  /// surviving the filter are grouped so every data block is read and
+  /// parsed once, and repeated blocks are served from the shared LRU
+  /// block cache.
+  std::vector<std::optional<std::string>> MultiGet(
+      std::span<const uint64_t> keys);
+
   /// Returns up to `limit` entries with keys in [lo, hi], merged over
   /// the memtable and all SSTs (newest value wins on duplicates).
   std::vector<std::pair<uint64_t, std::string>> RangeScan(uint64_t lo,
@@ -78,6 +95,9 @@ class Db {
   const DbFlushStats& flush_stats() const { return flush_stats_; }
   size_t num_tables() const { return tables_.size(); }
   uint64_t filter_memory_bits() const;
+  const std::shared_ptr<BlockCache>& block_cache() const {
+    return options_.block_cache;
+  }
 
  private:
   DbOptions options_;

@@ -1,6 +1,7 @@
 #include "lsm/table_reader.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "lsm/block.h"
 #include "lsm/table_builder.h"
@@ -11,10 +12,35 @@ namespace bloomrf {
 
 namespace {
 
+// Process-unique table ids namespace the shared block cache's keys.
+std::atomic<uint64_t> g_next_table_id{1};
+
+// 64-bit-safe absolute seek: plain fseek takes a `long`, which is 32
+// bits on Windows and 32-bit Linux and would truncate offsets in SSTs
+// past 2 GiB.
+bool SeekTo(std::FILE* f, uint64_t offset) {
+#if defined(_WIN32)
+  return _fseeki64(f, static_cast<long long>(offset), SEEK_SET) == 0;
+#else
+  return fseeko(f, static_cast<off_t>(offset), SEEK_SET) == 0;
+#endif
+}
+
 bool ReadAt(std::FILE* f, uint64_t offset, uint64_t size, std::string* out) {
   out->resize(size);
-  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) return false;
+  if (!SeekTo(f, offset)) return false;
   return std::fread(out->data(), 1, size, f) == size;
+}
+
+// File size via the 64-bit tell; -1 on error.
+int64_t FileSize(std::FILE* f) {
+#if defined(_WIN32)
+  if (_fseeki64(f, 0, SEEK_END) != 0) return -1;
+  return _ftelli64(f);
+#else
+  if (fseeko(f, 0, SEEK_END) != 0) return -1;
+  return static_cast<int64_t>(ftello(f));
+#endif
 }
 
 }  // namespace
@@ -23,16 +49,17 @@ TableReader::~TableReader() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
-std::unique_ptr<TableReader> TableReader::Open(const std::string& path,
-                                               const FilterPolicy* policy,
-                                               LsmStats* stats) {
+std::unique_ptr<TableReader> TableReader::Open(
+    const std::string& path, const FilterPolicy* policy, LsmStats* stats,
+    std::shared_ptr<BlockCache> cache) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return nullptr;
   std::unique_ptr<TableReader> reader(new TableReader());
   reader->file_ = f;
+  reader->cache_ = std::move(cache);
+  reader->table_id_ = g_next_table_id.fetch_add(1, std::memory_order_relaxed);
 
-  if (std::fseek(f, 0, SEEK_END) != 0) return nullptr;
-  long file_size = std::ftell(f);
+  int64_t file_size = FileSize(f);
   if (file_size < 40) return nullptr;
 
   std::string footer;
@@ -59,11 +86,15 @@ std::unique_ptr<TableReader> TableReader::Open(const std::string& path,
   if (policy != nullptr && filter_size > 0) {
     std::string filter_data;
     if (!ReadAt(f, filter_off, filter_size, &filter_data)) return nullptr;
-    Timer timer;
     // The block is registry-framed; a corrupt or unknown block loads as
     // null and the table falls back to scanning.
-    reader->filter_ = policy->LoadFilter(filter_data);
-    if (stats != nullptr) stats->deser_nanos += timer.ElapsedNanos();
+    if (stats != nullptr) {
+      Timer timer;
+      reader->filter_ = policy->LoadFilter(filter_data);
+      stats->deser_nanos += timer.ElapsedNanos();
+    } else {
+      reader->filter_ = policy->LoadFilter(filter_data);
+    }
   }
 
   // Min/max keys: first key of first block, last key of last block.
@@ -79,14 +110,34 @@ std::unique_ptr<TableReader> TableReader::Open(const std::string& path,
 bool TableReader::ReadBlockAt(size_t index_pos, std::string* buffer,
                               LsmStats* stats) const {
   const IndexEntry& entry = index_[index_pos];
-  Timer timer;
-  bool ok = ReadAt(file_, entry.offset, entry.size, buffer);
+  bool ok;
   if (stats != nullptr) {
+    Timer timer;
+    ok = ReadAt(file_, entry.offset, entry.size, buffer);
     stats->io_nanos += timer.ElapsedNanos();
     ++stats->blocks_read;
     stats->bytes_read += entry.size;
+  } else {
+    ok = ReadAt(file_, entry.offset, entry.size, buffer);
   }
   return ok;
+}
+
+std::shared_ptr<const CachedBlock> TableReader::GetBlock(
+    size_t index_pos, LsmStats* stats) const {
+  if (cache_ != nullptr) {
+    auto cached = cache_->Lookup(table_id_, index_pos);
+    if (cached != nullptr) {
+      if (stats != nullptr) ++stats->block_cache_hits;
+      return cached;
+    }
+    if (stats != nullptr) ++stats->block_cache_misses;
+  }
+  auto block = std::make_shared<CachedBlock>();
+  if (!ReadBlockAt(index_pos, &block->raw, stats)) return nullptr;
+  if (!ParseBlock(block->raw, &block->entries)) return nullptr;
+  if (cache_ != nullptr) cache_->Insert(table_id_, index_pos, block);
+  return block;
 }
 
 int64_t TableReader::FindBlock(uint64_t key) const {
@@ -100,52 +151,119 @@ int64_t TableReader::FindBlock(uint64_t key) const {
 bool TableReader::Get(uint64_t key, std::string* value,
                       LsmStats* stats) const {
   if (filter_ != nullptr) {
-    Timer timer;
-    bool may_match = filter_->MayContain(key);
+    bool may_match;
     if (stats != nullptr) {
+      Timer timer;
+      may_match = filter_->MayContain(key);
       stats->filter_probe_nanos += timer.ElapsedNanos();
       ++stats->filter_probes;
       if (!may_match) ++stats->filter_negatives;
+    } else {
+      may_match = filter_->MayContain(key);
     }
     if (!may_match) return false;
   }
   int64_t block_idx = FindBlock(key);
   if (block_idx < 0) return false;
-  std::string buffer;
-  if (!ReadBlockAt(static_cast<size_t>(block_idx), &buffer, stats)) {
-    return false;
-  }
-  std::vector<BlockEntry> entries;
-  if (!ParseBlock(buffer, &entries)) return false;
+  auto block = GetBlock(static_cast<size_t>(block_idx), stats);
+  if (block == nullptr) return false;
   auto it = std::lower_bound(
-      entries.begin(), entries.end(), key,
+      block->entries.begin(), block->entries.end(), key,
       [](const BlockEntry& e, uint64_t k) { return e.key < k; });
-  if (it == entries.end() || it->key != key) return false;
+  if (it == block->entries.end() || it->key != key) return false;
   if (value != nullptr) value->assign(it->value);
   return true;
+}
+
+size_t TableReader::MultiGet(std::span<const uint64_t> keys, bool* found,
+                             std::string* values, LsmStats* stats) const {
+  // Unresolved positions only: a DB chains the same arrays through its
+  // tables newest-first, so keys found in a newer table are skipped.
+  std::vector<uint32_t> pending;
+  pending.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (!found[i]) pending.push_back(static_cast<uint32_t>(i));
+  }
+  if (pending.empty()) return 0;
+
+  // One batched (planned, prefetching) filter probe for the batch.
+  std::vector<std::pair<int64_t, uint32_t>> by_block;
+  if (filter_ != nullptr) {
+    std::vector<uint64_t> probe_keys;
+    probe_keys.reserve(pending.size());
+    for (uint32_t i : pending) probe_keys.push_back(keys[i]);
+    auto may = std::make_unique<bool[]>(pending.size());
+    bool* may_out = may.get();
+    if (stats != nullptr) {
+      Timer timer;
+      filter_->MayContainBatch(probe_keys, may_out);
+      stats->filter_probe_nanos += timer.ElapsedNanos();
+      stats->filter_probes += pending.size();
+    } else {
+      filter_->MayContainBatch(probe_keys, may_out);
+    }
+    by_block.reserve(pending.size());
+    for (size_t j = 0; j < pending.size(); ++j) {
+      if (!may_out[j]) {
+        if (stats != nullptr) ++stats->filter_negatives;
+        continue;
+      }
+      int64_t b = FindBlock(keys[pending[j]]);
+      if (b >= 0) by_block.emplace_back(b, pending[j]);
+    }
+  } else {
+    by_block.reserve(pending.size());
+    for (uint32_t i : pending) {
+      int64_t b = FindBlock(keys[i]);
+      if (b >= 0) by_block.emplace_back(b, i);
+    }
+  }
+
+  // Visit each surviving block once for all of its keys.
+  std::stable_sort(by_block.begin(), by_block.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t hits = 0;
+  std::shared_ptr<const CachedBlock> block;
+  int64_t current = -1;
+  for (const auto& [block_idx, i] : by_block) {
+    if (block_idx != current) {
+      block = GetBlock(static_cast<size_t>(block_idx), stats);
+      current = block_idx;
+    }
+    if (block == nullptr) continue;
+    auto it = std::lower_bound(
+        block->entries.begin(), block->entries.end(), keys[i],
+        [](const BlockEntry& e, uint64_t k) { return e.key < k; });
+    if (it == block->entries.end() || it->key != keys[i]) continue;
+    found[i] = true;
+    if (values != nullptr) values[i].assign(it->value);
+    ++hits;
+  }
+  return hits;
 }
 
 bool TableReader::RangeScan(uint64_t lo, uint64_t hi, size_t limit,
                             std::vector<std::pair<uint64_t, std::string>>* out,
                             LsmStats* stats) const {
   if (filter_ != nullptr) {
-    Timer timer;
-    bool may_match = filter_->MayContainRange(lo, hi);
+    bool may_match;
     if (stats != nullptr) {
+      Timer timer;
+      may_match = filter_->MayContainRange(lo, hi);
       stats->filter_probe_nanos += timer.ElapsedNanos();
       ++stats->filter_probes;
       if (!may_match) ++stats->filter_negatives;
+    } else {
+      may_match = filter_->MayContainRange(lo, hi);
     }
     if (!may_match) return false;
   }
   int64_t block_idx = FindBlock(lo);
-  std::string buffer;
-  std::vector<BlockEntry> entries;
   for (size_t b = block_idx < 0 ? index_.size() : static_cast<size_t>(block_idx);
        b < index_.size(); ++b) {
-    if (!ReadBlockAt(b, &buffer, stats)) break;
-    if (!ParseBlock(buffer, &entries)) break;
-    for (const BlockEntry& entry : entries) {
+    auto block = GetBlock(b, stats);
+    if (block == nullptr) break;
+    for (const BlockEntry& entry : block->entries) {
       if (entry.key < lo) continue;
       if (entry.key > hi) return true;
       if (out != nullptr) {

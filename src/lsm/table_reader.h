@@ -1,6 +1,11 @@
 // SST reader of the mini-LSM store, with per-probe cost accounting
 // matching the breakdown the paper reports in Fig. 12.G (filter probe
 // time, deserialization time, I/O wait, residual CPU).
+//
+// Reads go through an optional shared BlockCache: a data block is read
+// and parsed at most once while it stays resident, and MultiGet
+// batch-probes the filter (MayContainBatch) then visits each surviving
+// block once for all keys that map to it.
 
 #ifndef BLOOMRF_LSM_TABLE_READER_H_
 #define BLOOMRF_LSM_TABLE_READER_H_
@@ -9,9 +14,11 @@
 #include <cstdio>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "lsm/block_cache.h"
 #include "lsm/filter_policy.h"
 
 namespace bloomrf {
@@ -20,8 +27,10 @@ namespace bloomrf {
 struct LsmStats {
   uint64_t filter_probes = 0;
   uint64_t filter_negatives = 0;
-  uint64_t blocks_read = 0;
+  uint64_t blocks_read = 0;  // physical reads (cache misses included)
   uint64_t bytes_read = 0;
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
   uint64_t filter_probe_nanos = 0;
   uint64_t io_nanos = 0;
   uint64_t deser_nanos = 0;
@@ -33,14 +42,26 @@ class TableReader {
  public:
   /// Opens `path`, parses footer/index and deserializes the filter
   /// block via `policy` (may be null). Returns null on corruption.
-  static std::unique_ptr<TableReader> Open(const std::string& path,
-                                           const FilterPolicy* policy,
-                                           LsmStats* stats);
+  /// `cache`, when non-null, serves repeated block reads across all
+  /// read paths of this table.
+  static std::unique_ptr<TableReader> Open(
+      const std::string& path, const FilterPolicy* policy, LsmStats* stats,
+      std::shared_ptr<BlockCache> cache = nullptr);
 
   ~TableReader();
 
   /// Point lookup. `value` may be null (existence check only).
   bool Get(uint64_t key, std::string* value, LsmStats* stats) const;
+
+  /// Batched point lookup. For each i with found[i] == false, probes
+  /// keys[i]; on a hit sets found[i] = true and (if `values` is
+  /// non-null) values[i]. Keys already marked found are skipped, so a
+  /// DB can chain the same arrays through tables newest-first. The
+  /// filter is consulted once per batch via MayContainBatch, and each
+  /// surviving data block is fetched and parsed once for all keys
+  /// mapping to it. Returns the number of newly found keys.
+  size_t MultiGet(std::span<const uint64_t> keys, bool* found,
+                  std::string* values, LsmStats* stats) const;
 
   /// Appends up to `limit` entries with keys in [lo, hi] to `out`.
   /// Returns true if the filter allowed the probe (for FPR counting).
@@ -66,12 +87,19 @@ class TableReader {
 
   bool ReadBlockAt(size_t index_pos, std::string* buffer,
                    LsmStats* stats) const;
+  /// Cache-aware fetch: returns the parsed block at `index_pos` from
+  /// the shared cache, reading and parsing (then caching) on a miss.
+  /// Null on I/O error or corruption.
+  std::shared_ptr<const CachedBlock> GetBlock(size_t index_pos,
+                                              LsmStats* stats) const;
   /// Index position of the first block whose last_key >= key, or -1.
   int64_t FindBlock(uint64_t key) const;
 
   std::FILE* file_ = nullptr;
   std::vector<IndexEntry> index_;
   std::unique_ptr<PointRangeFilter> filter_;
+  std::shared_ptr<BlockCache> cache_;
+  uint64_t table_id_ = 0;  // process-unique cache-key namespace
   uint64_t min_key_ = 0;
   uint64_t max_key_ = 0;
 };

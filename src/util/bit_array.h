@@ -20,6 +20,8 @@
 #include <memory>
 #include <string>
 
+#include "util/prefetch.h"
+
 namespace bloomrf {
 
 class BitArray {
@@ -73,6 +75,16 @@ class BitArray {
 
   uint64_t LoadBlock(uint64_t block_idx) const {
     return blocks_[block_idx].load(std::memory_order_relaxed);
+  }
+
+  /// Prefetch hints for the planned-probe engine: pull the 64-bit block
+  /// a later TestBit/LoadWord will touch into cache ahead of use.
+  void PrefetchBlock(uint64_t block_idx) const {
+    PrefetchRead(&blocks_[block_idx]);
+  }
+  void PrefetchBit(uint64_t pos) const { PrefetchBlock(pos >> 6); }
+  void PrefetchWord(uint64_t idx, uint32_t word_bits) const {
+    PrefetchBlock((idx * word_bits) >> 6);
   }
 
   /// True iff any bit in the inclusive bit range [lo, hi] is set.

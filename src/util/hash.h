@@ -53,6 +53,13 @@ inline uint64_t DoubleHashProbe(uint64_t h1, uint64_t h2, uint32_t i) {
   return h1 + i * (h2 | 1);
 }
 
+/// Stride for hash-once double hashing: derives the second hash from
+/// the first with a single multiply (odd constant, bijective mod 2^64)
+/// so replica probes cost one Hash64 total instead of one per replica.
+inline uint64_t DeriveStride(uint64_t h) {
+  return (h * 0xff51afd7ed558ccdULL) | 1;
+}
+
 /// Fast alternative to `h % n` (Lemire's multiply-shift reduction).
 /// Maps a full-range 64-bit hash uniformly onto [0, n).
 inline uint64_t FastRange64(uint64_t hash, uint64_t n) {

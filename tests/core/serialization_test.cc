@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 
 #include "core/bloomrf.h"
 #include "core/tuning_advisor.h"
@@ -141,6 +142,68 @@ TEST(SerializationTest, HugeSegmentClaimRejectedWithoutAllocating) {
   evil.push_back(0);                       // no permutation
   PutFixed64(&evil, 0x5eed);               // seed
   EXPECT_FALSE(BloomRF::Deserialize(evil).has_value());
+}
+
+TEST(SerializationTest, LegacyFormatBlocksStillLoadAndAnswer) {
+  // Filters serialized before the hash-once format bump carry the V1
+  // tag and the per-replica hash layout. Building with the legacy
+  // scheme reproduces that byte layout exactly; the deserialized
+  // filter must keep the scheme and answer identically — scalar and
+  // batched — including with replicas > 1, where the schemes place
+  // bits differently.
+  BloomRFConfig cfg = BloomRFConfig::Basic(2000, 16.0);
+  cfg.hash_scheme = HashScheme::kLegacyPerReplica;
+  cfg.replicas.assign(cfg.replicas.size(), 2);
+  BloomRF filter(cfg);
+  auto keys = RandomKeySet(2000, 48);
+  for (uint64_t k : keys) filter.Insert(k);
+
+  std::string data = filter.Serialize();
+  ASSERT_GE(data.size(), 4u);
+  EXPECT_EQ(DecodeFixed32(data.data()), 0xb100f001u);  // pre-bump tag
+
+  auto restored = BloomRF::Deserialize(data);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->config().hash_scheme, HashScheme::kLegacyPerReplica);
+  for (uint64_t k : keys) EXPECT_TRUE(restored->MayContain(k)) << k;
+
+  Rng rng(49);
+  std::vector<uint64_t> probes;
+  for (int i = 0; i < 5000; ++i) probes.push_back(rng.Next());
+  for (uint64_t k : keys) probes.push_back(k);
+  auto batched = std::make_unique<bool[]>(probes.size());
+  restored->MayContainBatch(probes, batched.get());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(batched[i], filter.MayContain(probes[i])) << probes[i];
+    uint64_t hi = probes[i] | 0xffff;
+    EXPECT_EQ(restored->MayContainRange(probes[i], hi),
+              filter.MayContainRange(probes[i], hi));
+  }
+}
+
+TEST(SerializationTest, CurrentFormatCarriesHashScheme) {
+  // New filters default to the hash-once scheme and serialize with the
+  // V2 tag; the scheme survives the round trip.
+  BloomRFConfig cfg = BloomRFConfig::Basic(1000, 14.0);
+  ASSERT_EQ(cfg.hash_scheme, HashScheme::kDoubleHash);
+  cfg.replicas.assign(cfg.replicas.size(), 2);
+  BloomRF filter(cfg);
+  auto keys = RandomKeySet(1000, 50);
+  for (uint64_t k : keys) filter.Insert(k);
+
+  std::string data = filter.Serialize();
+  ASSERT_GE(data.size(), 4u);
+  EXPECT_EQ(DecodeFixed32(data.data()), 0xb100f002u);
+
+  auto restored = BloomRF::Deserialize(data);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->config().hash_scheme, HashScheme::kDoubleHash);
+  for (uint64_t k : keys) EXPECT_TRUE(restored->MayContain(k)) << k;
+  Rng rng(51);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t y = rng.Next();
+    EXPECT_EQ(restored->MayContain(y), filter.MayContain(y)) << y;
+  }
 }
 
 TEST(SerializationTest, PermutedWordsFlagSurvives) {

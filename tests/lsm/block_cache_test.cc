@@ -1,0 +1,90 @@
+// Unit tests of the shared LRU block cache: hit/miss accounting, LRU
+// ordering, capacity-driven eviction, and replacement.
+
+#include <gtest/gtest.h>
+
+#include "lsm/block_cache.h"
+
+namespace bloomrf {
+namespace {
+
+std::shared_ptr<const CachedBlock> MakeBlock(size_t raw_bytes) {
+  auto block = std::make_shared<CachedBlock>();
+  block->raw.assign(raw_bytes, 'x');
+  return block;
+}
+
+TEST(BlockCacheTest, MissThenHit) {
+  BlockCache cache(1 << 20);
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  auto block = MakeBlock(100);
+  cache.Insert(1, 0, block);
+  auto found = cache.Lookup(1, 0);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found.get(), block.get());
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(BlockCacheTest, KeysAreNamespacedByTable) {
+  BlockCache cache(1 << 20);
+  cache.Insert(1, 7, MakeBlock(10));
+  EXPECT_EQ(cache.Lookup(2, 7), nullptr);
+  EXPECT_EQ(cache.Lookup(7, 1), nullptr);
+  EXPECT_NE(cache.Lookup(1, 7), nullptr);
+}
+
+TEST(BlockCacheTest, EvictsLeastRecentlyUsed) {
+  // Three ~4 KiB blocks in a cache that holds only two.
+  BlockCache cache(10 << 10);
+  cache.Insert(1, 0, MakeBlock(4 << 10));
+  cache.Insert(1, 1, MakeBlock(4 << 10));
+  ASSERT_NE(cache.Lookup(1, 0), nullptr);  // touch 0: 1 becomes LRU
+  cache.Insert(1, 2, MakeBlock(4 << 10));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Lookup(1, 1), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(1, 0), nullptr);
+  EXPECT_NE(cache.Lookup(1, 2), nullptr);
+}
+
+TEST(BlockCacheTest, NeverEvictsTheOnlyBlock) {
+  // A block bigger than the whole budget stays resident (evicting it
+  // would make the cache useless rather than small).
+  BlockCache cache(64);
+  cache.Insert(1, 0, MakeBlock(4 << 10));
+  EXPECT_NE(cache.Lookup(1, 0), nullptr);
+  // A second oversized block replaces it as the sole resident.
+  cache.Insert(1, 1, MakeBlock(4 << 10));
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  EXPECT_NE(cache.Lookup(1, 1), nullptr);
+}
+
+TEST(BlockCacheTest, ReplaceUpdatesCharge) {
+  BlockCache cache(1 << 20);
+  cache.Insert(1, 0, MakeBlock(1000));
+  size_t charge_small = cache.charge_bytes();
+  cache.Insert(1, 0, MakeBlock(10000));
+  EXPECT_GT(cache.charge_bytes(), charge_small);
+  auto found = cache.Lookup(1, 0);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->raw.size(), 10000u);
+}
+
+TEST(BlockCacheTest, EvictedBlockSurvivesViaSharedPtr) {
+  BlockCache cache(1 << 10);
+  auto pinned = MakeBlock(512);
+  cache.Insert(1, 0, pinned);
+  cache.Insert(1, 1, MakeBlock(2 << 10));  // evicts block 0
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  EXPECT_EQ(pinned->raw.size(), 512u);  // still valid for the holder
+}
+
+TEST(BlockCacheTest, NullInsertIsIgnored) {
+  BlockCache cache(1 << 10);
+  cache.Insert(1, 0, nullptr);
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  EXPECT_EQ(cache.charge_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace bloomrf
