@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""CI perf guard for the planned/SIMD batch-probe engine.
+
+Compares a fresh `bench_batch_probe --smoke` run against the guard
+floors committed in BENCH_batch_probe.json and fails (exit 1) if the
+bloomRF point-batch or range-batch speedup drops below `ratio` (default
+0.9) of the committed floor.
+
+The committed `guard` floors are intentionally conservative (the bench
+writes them as 0.8x of its measured speedups) so the check catches real
+regressions — a batch path sliding back toward scalar speed — rather
+than scheduler noise on shared CI runners.
+
+Usage: perf_guard.py CURRENT.json COMMITTED.json [ratio]
+"""
+
+import json
+import sys
+
+
+def speedup(doc, section, name):
+    for row in doc[section]:
+        if row["filter"] == name:
+            return row["speedup"]
+    raise SystemExit(f"perf_guard: no '{name}' row in '{section}' section")
+
+
+def main():
+    if len(sys.argv) < 3:
+        raise SystemExit(__doc__)
+    with open(sys.argv[1]) as f:
+        current = json.load(f)
+    with open(sys.argv[2]) as f:
+        committed = json.load(f)
+    ratio = float(sys.argv[3]) if len(sys.argv) > 3 else 0.9
+    guard = committed["guard"]
+
+    checks = [
+        ("point", "bloomrf", guard["bloomrf_point_speedup"]),
+        ("range", "bloomrf", guard["bloomrf_range_speedup"]),
+    ]
+    failed = False
+    for section, name, floor in checks:
+        got = speedup(current, section, name)
+        need = floor * ratio
+        ok = got >= need
+        print(
+            f"{'OK  ' if ok else 'FAIL'} {name} {section}-batch speedup "
+            f"{got:.3f} vs floor {floor:.3f} * {ratio} = {need:.3f}"
+        )
+        failed |= not ok
+    if failed:
+        print("perf_guard: batch-probe speedup regressed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,16 +63,22 @@ class BloomRF {
 
   /// Planned batch point probe: out[i] = MayContain(keys[i]), bit for
   /// bit. Runs in two passes per stripe of keys — a planning pass that
-  /// hashes each word key once, derives replica slots by double
-  /// hashing, and prefetches every target 64-bit block; then a probe
-  /// pass that executes the word tests (top-down, early exit) on lines
-  /// already in flight.
+  /// hashes each word key once, derives every replica's final probe
+  /// block by double hashing, and prefetches it; then a probe pass that
+  /// executes the word tests 4 keys per SIMD lane group (util/simd.h),
+  /// top-down with group-level early exit, on lines already in flight.
   void MayContainBatch(std::span<const uint64_t> keys, bool* out) const;
 
   /// Planned batch range probe: out[i] = MayContainRange(los[i],
-  /// his[i]). A planning pass prefetches the covering-prefix words of
-  /// both endpoints at every layer before the scalar descents run.
-  /// `los` and `his` must have equal length.
+  /// his[i]). The planning pass walks the full dyadic descent of every
+  /// query without reading the filter — the word keys a descent can
+  /// touch are a pure function of (lo, hi) and the layer ladder — and
+  /// hashes each one once while prefetching all of its replica slots:
+  /// both endpoint paths plus the interior TestPrefixRange word masks
+  /// at every layer, not just the level-0 endpoints. The probe pass
+  /// then runs the exact scalar descent (same early exits, same
+  /// answers) consuming the precomputed hashes on lines already in
+  /// flight. `los` and `his` must have equal length.
   void MayContainRangeBatch(std::span<const uint64_t> los,
                             std::span<const uint64_t> his, bool* out) const;
 
@@ -129,24 +135,39 @@ class BloomRF {
   /// only) — the probe pass of the planned engine.
   uint64_t LoadWordAndFromHash(const Layer& layer, uint64_t hash) const;
 
-  /// One planned coordinate of the batch engine: the base hash and
-  /// word key of one (key, layer) pair, computed in the planning pass
-  /// and consumed by the probe pass.
-  struct PlannedProbe {
-    uint64_t hash;
-    uint64_t word_key;
-  };
-
   /// Keys per planning stripe: large enough that prefetches land
   /// before the probe pass reads them, small enough that the planned
   /// lines are still resident.
   static constexpr size_t kProbeStripe = 32;
 
+  /// Queries per lockstep range stripe: a descent touches several
+  /// cache lines per layer, so the stripe is sized for one layer's
+  /// planned lines (stripe × ~10 lines) to stay L2-resident between
+  /// the plan and probe passes.
+  static constexpr size_t kRangeStripe = 32;
+
+  /// In-word bit offset of prefix `p` at `layer`, with the PMHF word
+  /// permutation applied — shared by the scalar probes and the batch
+  /// planner so both test the same bit.
+  uint64_t ProbeOffsetFor(const Layer& layer, uint64_t p) const {
+    uint64_t offset = p & (layer.word_bits - 1);
+    if (WordReversed(layer, p >> layer.offset_bits)) {
+      offset = layer.word_bits - 1 - offset;
+    }
+    return offset;
+  }
+
+  /// In-word mask of the prefix range [x, y] restricted to word `wk`
+  /// at `layer` (permutation applied). `wk` must cover part of [x, y].
+  /// Shared by TestPrefixRange and the batch planner.
+  uint64_t WordMaskFor(const Layer& layer, uint64_t wk, uint64_t x,
+                       uint64_t y) const;
+
   /// Single-bit covering probe of prefix `p` at `layer`.
   bool TestPrefix(const Layer& layer, uint64_t p, ProbeStats* stats) const;
 
   /// Word-mask probe of the inclusive prefix range [x, y] at `layer`.
-  /// `capped` limits the scan width; beyond it the probe returns a
+  /// `max_words` limits the scan width; beyond it the probe returns a
   /// conservative true.
   bool TestPrefixRange(const Layer& layer, uint64_t x, uint64_t y,
                        uint64_t max_words, ProbeStats* stats) const;

@@ -11,6 +11,7 @@
 
 #include "filters/filter.h"
 #include "util/bit_array.h"
+#include "util/hash.h"
 
 namespace bloomrf {
 
@@ -26,8 +27,12 @@ class BloomFilter : public OnlineFilter {
   void Insert(uint64_t key) override;
   bool MayContain(uint64_t key) const override;
 
-  /// Planned batch probe: hashes each key once per stripe, prefetches
-  /// all k probe blocks, then tests.
+  /// Planned batch probe, KM-hashing each key exactly once. Filters up
+  /// to 8 MB resolve all k probe positions up front, prefetch every
+  /// line, and test 4 keys per SIMD lane group; larger filters fall
+  /// back to the scalar early-exit probe with only each key's first
+  /// probe line prefetched (exhaustive prefetch costs more bandwidth
+  /// than it hides latency there).
   void MayContainBatch(std::span<const uint64_t> keys,
                        bool* out) const override;
 
@@ -37,6 +42,18 @@ class BloomFilter : public OnlineFilter {
   uint64_t MemoryBits() const override { return bits_.size_bits(); }
 
   uint32_t num_hashes() const { return k_; }
+
+  /// Starts pulling all k probe blocks of `key` into cache — the
+  /// planning half of a future MayContain(key) (used by Rosetta's
+  /// planned range batch to prefetch per-level probes).
+  void PrefetchKey(uint64_t key) const {
+    uint64_t h1 = Hash64(key, seed_);
+    uint64_t h2 = Hash64(key, seed_ ^ 0x5bd1e995);
+    for (uint32_t i = 0; i < k_; ++i) {
+      bits_.PrefetchBit(
+          FastRange64(DoubleHashProbe(h1, h2, i), bits_.size_bits()));
+    }
+  }
 
   /// Raw block access for the Fig. 5 scatter comparison.
   uint64_t Block(uint64_t i) const { return bits_.LoadBlock(i); }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "filters/blocked_bloom_filter.h"
 #include "filters/bloom_filter.h"
 #include "filters/bloomrf_filter.h"
 #include "filters/cuckoo_filter.h"
@@ -85,6 +86,25 @@ FilterRegistry::Entry BloomEntry() {
   };
   entry.build_from_sorted_keys = OfflineViaOnline(entry.build_online);
   entry.deserialize = DeserializeAs<BloomFilter>;
+  return entry;
+}
+
+// ----------------------------------------------------------- Blocked Bloom
+
+FilterRegistry::Entry BlockedBloomEntry() {
+  FilterRegistry::Entry entry;
+  entry.name = "blocked_bloom";
+  entry.display_name = "BlockedBloom";
+  entry.supports_ranges = false;
+  entry.online = true;
+  entry.build_online = [](const FilterBuildParams& p) {
+    return p.seed != 0 ? std::make_unique<BlockedBloomFilter>(
+                             p.expected_keys, p.bits_per_key, 0, p.seed)
+                       : std::make_unique<BlockedBloomFilter>(
+                             p.expected_keys, p.bits_per_key);
+  };
+  entry.build_from_sorted_keys = OfflineViaOnline(entry.build_online);
+  entry.deserialize = DeserializeAs<BlockedBloomFilter>;
   return entry;
 }
 
@@ -200,6 +220,7 @@ FilterRegistry::Entry FencePointersEntry() {
 void RegisterBuiltinFilters(FilterRegistry& registry) {
   registry.Register(BloomRFEntry());
   registry.Register(BloomEntry());
+  registry.Register(BlockedBloomEntry());
   registry.Register(PrefixBloomEntry());
   registry.Register(CuckooEntry());
   registry.Register(RosettaEntry());

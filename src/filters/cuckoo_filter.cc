@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 
 #include "util/coding.h"
 #include "util/hash.h"
 #include "util/prefetch.h"
+#include "util/simd.h"
 
 namespace bloomrf {
 
@@ -100,9 +102,17 @@ void CuckooFilter::MayContainBatch(std::span<const uint64_t> keys,
       PrefetchRead(&table_[b1s[j] * kSlotsPerBucket]);
       PrefetchRead(&table_[b2s[j] * kSlotsPerBucket]);
     }
+    // Probe: each 4-slot bucket is one 64-bit word of 16-bit lanes;
+    // the SWAR kernel tests all four slots (eight per key) at once.
+    // Fingerprints are nonzero, so empty slots can never match.
     for (size_t j = 0; j < stripe; ++j) {
+      uint64_t bucket1, bucket2;
+      std::memcpy(&bucket1, &table_[b1s[j] * kSlotsPerBucket],
+                  sizeof bucket1);
+      std::memcpy(&bucket2, &table_[b2s[j] * kSlotsPerBucket],
+                  sizeof bucket2);
       out[base + j] =
-          BucketContains(b1s[j], fps[j]) || BucketContains(b2s[j], fps[j]);
+          AnyLaneEq16(bucket1, fps[j]) || AnyLaneEq16(bucket2, fps[j]);
     }
   }
 }

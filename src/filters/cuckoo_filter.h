@@ -36,7 +36,9 @@ class CuckooFilter : public OnlineFilter {
   bool MayContain(uint64_t key) const override;
 
   /// Planned batch probe: computes fingerprint and both candidate
-  /// buckets per key, prefetches the bucket slots, then tests.
+  /// buckets per key, prefetches the bucket slots, then tests all
+  /// eight fingerprint lanes of a key's two buckets with the SWAR
+  /// 16-bit-lane kernel (util/simd.h).
   void MayContainBatch(std::span<const uint64_t> keys,
                        bool* out) const override;
 

@@ -1,0 +1,69 @@
+// Shared probe engine of the Bloom-family planned batch paths
+// (filters/bloom_filter.cc small-filter regime, blocked_bloom): a
+// planning callback resolves each key's probe rounds to (block index,
+// bit mask) pairs and issues its prefetches; the engine then tests 4
+// keys per SIMD lane group per round with group-level early exit, on
+// lines already in flight. Keeping the stripe layout, tail-lane
+// zero-padding and lane-group loop here means the contract ("mask 0
+// never hits, block 0 is always in bounds") lives in exactly one
+// place.
+
+#ifndef BLOOMRF_FILTERS_PLANNED_GATHER_H_
+#define BLOOMRF_FILTERS_PLANNED_GATHER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/simd.h"
+
+namespace bloomrf {
+
+/// Keys per planning stripe: large enough that prefetches land before
+/// the probe pass reads them, small enough that the planned lines are
+/// still resident.
+inline constexpr size_t kPlannedGatherStripe = 32;
+
+/// Runs the plan-then-gather engine over `keys`, writing MayContain
+/// answers to `out`. `plan(key, idx_col, msk_col)` must fill round i
+/// of its key at `idx_col[i * kPlannedGatherStripe]` /
+/// `msk_col[i * kPlannedGatherStripe]` (block index into `raw` and
+/// right-aligned bit mask — a key passes iff every round's
+/// `raw[idx] & msk` is nonzero) and issue whatever prefetches the
+/// backend wants.
+template <class PlanFn>
+void RunPlannedGatherBatch(std::span<const uint64_t> keys, bool* out,
+                           const uint64_t* raw, uint32_t rounds,
+                           PlanFn&& plan) {
+  constexpr size_t kStripe = kPlannedGatherStripe;
+  std::vector<uint64_t> idx(rounds * kStripe, 0);
+  std::vector<uint64_t> msk(rounds * kStripe, 0);
+  for (size_t base = 0; base < keys.size(); base += kStripe) {
+    const size_t stripe = std::min(kStripe, keys.size() - base);
+    if (stripe < kStripe) {
+      // Zero-pad the tail lanes: mask 0 never tests positive and block
+      // 0 is always in bounds, so partial lane groups stay safe.
+      std::fill(idx.begin(), idx.end(), 0);
+      std::fill(msk.begin(), msk.end(), 0);
+    }
+    for (size_t j = 0; j < stripe; ++j) {
+      plan(keys[base + j], &idx[j], &msk[j]);
+    }
+    for (size_t g = 0; g < stripe; g += 4) {
+      uint32_t alive = 0xF;
+      for (uint32_t i = 0; alive != 0 && i < rounds; ++i) {
+        alive &= GatherTestNonzero4(raw, &idx[i * kStripe + g],
+                                    &msk[i * kStripe + g]);
+      }
+      const size_t lanes = std::min<size_t>(4, stripe - g);
+      for (size_t lane = 0; lane < lanes; ++lane) {
+        out[base + g + lane] = (alive >> lane) & 1;
+      }
+    }
+  }
+}
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_FILTERS_PLANNED_GATHER_H_

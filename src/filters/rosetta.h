@@ -54,6 +54,13 @@ class Rosetta : public OnlineFilter {
   bool MayContain(uint64_t key) const override;
   bool MayContainRange(uint64_t lo, uint64_t hi) const override;
 
+  /// Planned batch range probe: decomposes every query up front and
+  /// prefetches the root probe of each dyadic piece (the first Bloom
+  /// test Doubt will run) before the scalar doubting descents execute.
+  void MayContainRangeBatch(std::span<const uint64_t> los,
+                            std::span<const uint64_t> his,
+                            bool* out) const override;
+
   uint64_t MemoryBits() const override;
 
   size_t num_levels() const { return levels_.size(); }
@@ -71,6 +78,12 @@ class Rosetta : public OnlineFilter {
   Rosetta() = default;
 
   bool Doubt(uint64_t prefix, uint32_t level, uint64_t& probes) const;
+
+  /// Doubts an already-computed decomposition (shared by the scalar
+  /// range probe and the planned batch, which decomposes once in its
+  /// planning pass). Updates last_probes_.
+  bool DoubtDecomposition(
+      const std::vector<std::pair<uint64_t, uint32_t>>& pieces) const;
 
   Options options_;
   std::vector<std::unique_ptr<BloomFilter>> levels_;  // index = level

@@ -1,6 +1,7 @@
 #include "lsm/db.h"
 
 #include <algorithm>
+#include <cassert>
 #include <filesystem>
 #include <map>
 #include <system_error>
@@ -107,6 +108,46 @@ std::vector<std::pair<uint64_t, std::string>> Db::RangeScan(uint64_t lo,
     out.emplace_back(k, std::move(v));
   }
   return out;
+}
+
+std::vector<std::vector<std::pair<uint64_t, std::string>>> Db::ScanRange(
+    std::span<const uint64_t> los, std::span<const uint64_t> his,
+    size_t limit) {
+  assert(los.size() == his.size());
+  const size_t n = los.size();
+  std::vector<std::vector<std::pair<uint64_t, std::string>>> results(n);
+  if (n == 0) return results;
+
+  // Newest-first merge per range, exactly like RangeScan: the first
+  // writer of a key wins.
+  std::vector<std::map<uint64_t, std::string>> merged(n);
+  std::vector<std::pair<uint64_t, std::string>> chunk;
+  for (size_t i = 0; i < n; ++i) {
+    chunk.clear();
+    memtable_.RangeScan(los[i], his[i], limit, &chunk);
+    for (auto& [k, v] : chunk) merged[i].emplace(k, std::move(v));
+  }
+
+  // One batched filter probe per table; only ranges the filter cannot
+  // exclude touch data blocks (cache-served via GetBlock).
+  auto may_match = std::make_unique<bool[]>(n);
+  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+    (*it)->RangeMultiProbe(los, his, may_match.get(), &stats_);
+    for (size_t i = 0; i < n; ++i) {
+      if (!may_match[i]) continue;
+      chunk.clear();
+      (*it)->ScanBlocks(los[i], his[i], limit, &chunk, &stats_);
+      for (auto& [k, v] : chunk) merged[i].emplace(k, std::move(v));
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    auto& out = results[i];
+    for (auto& [k, v] : merged[i]) {
+      if (out.size() >= limit) break;
+      out.emplace_back(k, std::move(v));
+    }
+  }
+  return results;
 }
 
 bool Db::RangeMayMatch(uint64_t lo, uint64_t hi) {

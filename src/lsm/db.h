@@ -83,6 +83,17 @@ class Db {
                                                           uint64_t hi,
                                                           size_t limit = 1024);
 
+  /// Batched range scan: result[i] holds the RangeScan(los[i], his[i],
+  /// limit) rows. Equivalent to N RangeScan calls but each table's
+  /// filter answers the whole batch through one planned
+  /// MayContainRangeBatch (TableReader::RangeMultiProbe), and only the
+  /// ranges the filter cannot exclude touch data blocks — served
+  /// through the shared block cache, so overlapping ranges parse each
+  /// block once. `los` and `his` must have equal length.
+  std::vector<std::vector<std::pair<uint64_t, std::string>>> ScanRange(
+      std::span<const uint64_t> los, std::span<const uint64_t> his,
+      size_t limit = 1024);
+
   /// True iff some entry may exist in [lo, hi] — the pure filter-path
   /// probe used by the FPR experiments (no block reads on negatives).
   bool RangeMayMatch(uint64_t lo, uint64_t hi);

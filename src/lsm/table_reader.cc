@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 
 #include "lsm/block.h"
 #include "lsm/table_builder.h"
@@ -258,6 +259,34 @@ bool TableReader::RangeScan(uint64_t lo, uint64_t hi, size_t limit,
     }
     if (!may_match) return false;
   }
+  ScanBlocks(lo, hi, limit, out, stats);
+  return true;
+}
+
+void TableReader::RangeMultiProbe(std::span<const uint64_t> los,
+                                  std::span<const uint64_t> his,
+                                  bool* may_match, LsmStats* stats) const {
+  assert(los.size() == his.size());
+  if (filter_ == nullptr) {
+    std::fill(may_match, may_match + los.size(), true);
+    return;
+  }
+  if (stats != nullptr) {
+    Timer timer;
+    filter_->MayContainRangeBatch(los, his, may_match);
+    stats->filter_probe_nanos += timer.ElapsedNanos();
+    stats->filter_probes += los.size();
+    for (size_t i = 0; i < los.size(); ++i) {
+      if (!may_match[i]) ++stats->filter_negatives;
+    }
+  } else {
+    filter_->MayContainRangeBatch(los, his, may_match);
+  }
+}
+
+void TableReader::ScanBlocks(uint64_t lo, uint64_t hi, size_t limit,
+                             std::vector<std::pair<uint64_t, std::string>>* out,
+                             LsmStats* stats) const {
   int64_t block_idx = FindBlock(lo);
   for (size_t b = block_idx < 0 ? index_.size() : static_cast<size_t>(block_idx);
        b < index_.size(); ++b) {
@@ -265,14 +294,13 @@ bool TableReader::RangeScan(uint64_t lo, uint64_t hi, size_t limit,
     if (block == nullptr) break;
     for (const BlockEntry& entry : block->entries) {
       if (entry.key < lo) continue;
-      if (entry.key > hi) return true;
+      if (entry.key > hi) return;
       if (out != nullptr) {
-        if (out->size() >= limit) return true;
+        if (out->size() >= limit) return;
         out->emplace_back(entry.key, std::string(entry.value));
       }
     }
   }
-  return true;
 }
 
 }  // namespace bloomrf

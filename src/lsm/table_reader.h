@@ -69,6 +69,21 @@ class TableReader {
                  std::vector<std::pair<uint64_t, std::string>>* out,
                  LsmStats* stats) const;
 
+  /// Batched range filter probe: may_match[i] holds this table's
+  /// filter answer for [los[i], his[i]] (true when the table has no
+  /// filter). One planned MayContainRangeBatch per call instead of N
+  /// scalar descents — the filter-side half of Db::ScanRange.
+  void RangeMultiProbe(std::span<const uint64_t> los,
+                       std::span<const uint64_t> his, bool* may_match,
+                       LsmStats* stats) const;
+
+  /// The block-side half of RangeScan: scans data blocks for entries
+  /// in [lo, hi] without consulting the filter (callers already probed
+  /// via RangeMultiProbe). Reads go through the shared block cache.
+  void ScanBlocks(uint64_t lo, uint64_t hi, size_t limit,
+                  std::vector<std::pair<uint64_t, std::string>>* out,
+                  LsmStats* stats) const;
+
   uint64_t min_key() const { return min_key_; }
   uint64_t max_key() const { return max_key_; }
   uint64_t filter_memory_bits() const {

@@ -77,15 +77,22 @@ class BitArray {
     return blocks_[block_idx].load(std::memory_order_relaxed);
   }
 
+  /// Read-only view of the backing 64-bit blocks for the SIMD gather
+  /// kernels (util/simd.h). Reads through this pointer are plain loads
+  /// of lock-free atomics — equivalent to the relaxed LoadBlock reads,
+  /// so concurrent Insert keeps the no-false-negative contract.
+  const uint64_t* raw_blocks() const {
+    static_assert(sizeof(std::atomic<uint64_t>) == sizeof(uint64_t));
+    static_assert(std::atomic<uint64_t>::is_always_lock_free);
+    return reinterpret_cast<const uint64_t*>(blocks_.get());
+  }
+
   /// Prefetch hints for the planned-probe engine: pull the 64-bit block
   /// a later TestBit/LoadWord will touch into cache ahead of use.
   void PrefetchBlock(uint64_t block_idx) const {
     PrefetchRead(&blocks_[block_idx]);
   }
   void PrefetchBit(uint64_t pos) const { PrefetchBlock(pos >> 6); }
-  void PrefetchWord(uint64_t idx, uint32_t word_bits) const {
-    PrefetchBlock((idx * word_bits) >> 6);
-  }
 
   /// True iff any bit in the inclusive bit range [lo, hi] is set.
   bool AnyInRange(uint64_t lo, uint64_t hi) const;

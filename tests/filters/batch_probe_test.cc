@@ -2,15 +2,20 @@
 // loops: for EVERY registered backend, MayContainBatch and
 // MayContainRangeBatch agree answer-for-answer with MayContain /
 // MayContainRange — including empty batches, odd (non-stripe-multiple)
-// batch sizes, and duplicate keys within one batch.
+// batch sizes, duplicate keys within one batch, adversarial intervals
+// (lo == hi, full-domain, layer/segment straddles, inverted), and
+// under every SIMD dispatch level (forced scalar must be bit-identical
+// to the detected ISA's kernels).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
 #include "filters/registry.h"
 #include "tests/test_util.h"
+#include "util/simd.h"
 
 namespace bloomrf {
 namespace {
@@ -98,6 +103,108 @@ TEST_P(BatchProbeTest, RangeBatchMatchesScalar) {
           << " [" << los[i] << ", " << his[i] << "]";
     }
     EXPECT_TRUE(out[batch_size]);
+  }
+}
+
+// Intervals engineered against the dyadic descent: degenerate points,
+// the full domain, spans straddling bloomRF layer boundaries (levels
+// are multiples of the advisor's deltas — powers of two around key
+// prefixes), saturating arithmetic at both domain ends, and inverted
+// bounds. Every pair must answer exactly like the scalar probe.
+TEST_P(BatchProbeTest, RangeBatchAdversarialIntervals) {
+  auto filter = BuildFilter();
+  ASSERT_NE(filter, nullptr);
+  std::vector<uint64_t> los, his;
+  auto add = [&](uint64_t lo, uint64_t hi) {
+    los.push_back(lo);
+    his.push_back(hi);
+  };
+  uint64_t present = keys_[keys_.size() / 2];
+  uint64_t absent = present + 1;  // not in the sorted-unique key set
+  // Degenerate single-point intervals.
+  add(present, present);
+  add(absent, absent);
+  add(0, 0);
+  add(UINT64_MAX, UINT64_MAX);
+  // Full domain and half-domain splits.
+  add(0, UINT64_MAX);
+  add(0, UINT64_MAX / 2);
+  add(UINT64_MAX / 2 + 1, UINT64_MAX);
+  // Intervals straddling every power-of-two boundary around a present
+  // key: these split the descent at each layer in turn.
+  for (uint32_t level = 1; level < 64; ++level) {
+    uint64_t boundary = (present >> level) << level;
+    if (boundary == 0) break;
+    add(boundary - 1, boundary);
+    add(boundary - 1, boundary + 1);
+    uint64_t width = uint64_t{1} << (level - 1);
+    add(boundary - std::min(boundary, width), boundary + width);
+  }
+  // Saturating intervals at the domain ends.
+  add(0, 1);
+  add(UINT64_MAX - 1, UINT64_MAX);
+  // Inverted bounds: definite negative, batch included.
+  add(present + 1, present > 0 ? present - 1 : 0);
+  add(UINT64_MAX, 0);
+  // Duplicates of an earlier interval within the same batch.
+  add(los[0], his[0]);
+  add(los[4], his[4]);
+
+  auto out = std::make_unique<bool[]>(los.size() + 1);
+  out[los.size()] = true;  // canary
+  filter->MayContainRangeBatch(los, his, out.get());
+  for (size_t i = 0; i < los.size(); ++i) {
+    EXPECT_EQ(out[i], filter->MayContainRange(los[i], his[i]))
+        << GetParam() << " i=" << i << " [" << los[i] << ", " << his[i]
+        << "]";
+  }
+  EXPECT_TRUE(out[los.size()]);
+
+  // Empty batch: no output writes at all.
+  out[0] = true;
+  filter->MayContainRangeBatch({}, {}, out.get());
+  EXPECT_TRUE(out[0]);
+}
+
+// The runtime SIMD dispatch must be invisible in the answers: probing
+// the same batches under the forced-scalar kernels and under the
+// detected ISA's kernels yields bit-identical outputs.
+TEST_P(BatchProbeTest, ForcedScalarMatchesSimdDispatch) {
+  auto filter = BuildFilter();
+  ASSERT_NE(filter, nullptr);
+  std::vector<uint64_t> probes = MakeProbes(1025);
+  Rng rng(0xd15);
+  std::vector<uint64_t> los, his;
+  for (size_t i = 0; i < 257; ++i) {
+    uint64_t anchor =
+        (i % 2 == 0) ? keys_[rng.Uniform(keys_.size())] : rng.Next();
+    uint64_t width = uint64_t{1} << rng.Uniform(24);
+    uint64_t lo = anchor - std::min(anchor, width / 2);
+    los.push_back(lo);
+    his.push_back(RangeEnd(lo, width));
+  }
+
+  auto point_simd = std::make_unique<bool[]>(probes.size());
+  auto point_scalar = std::make_unique<bool[]>(probes.size());
+  auto range_simd = std::make_unique<bool[]>(los.size());
+  auto range_scalar = std::make_unique<bool[]>(los.size());
+
+  SetSimdLevelForTesting(DetectSimdLevel());
+  filter->MayContainBatch(probes, point_simd.get());
+  filter->MayContainRangeBatch(los, his, range_simd.get());
+  SetSimdLevelForTesting(SimdLevel::kScalar);
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  filter->MayContainBatch(probes, point_scalar.get());
+  filter->MayContainRangeBatch(los, his, range_scalar.get());
+  ClearSimdLevelForTesting();
+
+  for (size_t i = 0; i < probes.size(); ++i) {
+    ASSERT_EQ(point_simd[i], point_scalar[i])
+        << GetParam() << " key=" << probes[i];
+  }
+  for (size_t i = 0; i < los.size(); ++i) {
+    ASSERT_EQ(range_simd[i], range_scalar[i])
+        << GetParam() << " [" << los[i] << ", " << his[i] << "]";
   }
 }
 

@@ -64,8 +64,8 @@ TEST(FilterRegistryTest, ListsAllBuiltinBackends) {
   auto names = FilterRegistry::Instance().Names();
   std::set<std::string> have(names.begin(), names.end());
   for (const char* expected :
-       {"bloomrf", "bloom", "prefix_bloom", "cuckoo", "rosetta", "surf",
-        "fence_pointers"}) {
+       {"bloomrf", "bloom", "blocked_bloom", "prefix_bloom", "cuckoo",
+        "rosetta", "surf", "fence_pointers"}) {
     EXPECT_EQ(have.count(expected), 1u) << expected;
   }
   EXPECT_GE(have.size(), 6u);

@@ -1,0 +1,110 @@
+// The SIMD gather-test kernels must agree with the scalar fallback on
+// every dispatch level the hardware offers, and the dispatcher must
+// honor the test override.
+
+#include "util/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "util/random.h"
+
+namespace bloomrf {
+namespace {
+
+TEST(SimdTest, LevelNamesAreStable) {
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kNeon), "neon");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+}
+
+TEST(SimdTest, OverrideForcesScalarAndClears) {
+  SetSimdLevelForTesting(SimdLevel::kScalar);
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  ClearSimdLevelForTesting();
+  // Without BLOOMRF_FORCE_SCALAR in the test environment the active
+  // level returns to the detected one.
+  if (std::getenv("BLOOMRF_FORCE_SCALAR") == nullptr) {
+    EXPECT_EQ(ActiveSimdLevel(), DetectSimdLevel());
+  }
+}
+
+TEST(SimdTest, ForcingUnsupportedLevelFallsBackToScalar) {
+#if defined(__x86_64__) || defined(_M_X64)
+  SetSimdLevelForTesting(SimdLevel::kNeon);
+#else
+  SetSimdLevelForTesting(SimdLevel::kAvx2);
+#endif
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  ClearSimdLevelForTesting();
+}
+
+TEST(SimdTest, GatherKernelsMatchScalarOnRandomData) {
+  Rng rng(0x51bd);
+  std::vector<uint64_t> blocks(4096);
+  for (uint64_t& b : blocks) b = rng.Next();
+  // Random lanes, plus zero-mask padding lanes and repeated indices.
+  std::vector<uint64_t> idx(8), msk(8);
+  for (int round = 0; round < 2000; ++round) {
+    for (int lane = 0; lane < 8; ++lane) {
+      idx[lane] = rng.Uniform(blocks.size());
+      switch (rng.Uniform(4)) {
+        case 0:
+          msk[lane] = 0;  // padding lane: must never report a hit
+          break;
+        case 1:
+          msk[lane] = uint64_t{1} << rng.Uniform(64);
+          break;
+        default:
+          msk[lane] = rng.Next();
+      }
+    }
+    idx[7] = idx[6];  // duplicate index in one group
+
+    uint32_t expect4 = 0, expect8 = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      expect4 |= static_cast<uint32_t>((blocks[idx[lane]] & msk[lane]) != 0)
+                 << lane;
+    }
+    for (int lane = 0; lane < 8; ++lane) {
+      expect8 |= static_cast<uint32_t>((blocks[idx[lane]] & msk[lane]) != 0)
+                 << lane;
+    }
+
+    SetSimdLevelForTesting(DetectSimdLevel());
+    EXPECT_EQ(GatherTestNonzero4(blocks.data(), idx.data(), msk.data()),
+              expect4);
+    EXPECT_EQ(GatherTestNonzero8(blocks.data(), idx.data(), msk.data()),
+              expect8);
+    SetSimdLevelForTesting(SimdLevel::kScalar);
+    EXPECT_EQ(GatherTestNonzero4(blocks.data(), idx.data(), msk.data()),
+              expect4);
+    EXPECT_EQ(GatherTestNonzero8(blocks.data(), idx.data(), msk.data()),
+              expect8);
+  }
+  ClearSimdLevelForTesting();
+}
+
+TEST(SimdTest, AnyLaneEq16FindsEveryLaneAndNoGhosts) {
+  Rng rng(0xc0de);
+  for (int round = 0; round < 5000; ++round) {
+    uint16_t lanes[4];
+    for (uint16_t& l : lanes) l = static_cast<uint16_t>(rng.Next());
+    uint64_t packed = 0;
+    std::memcpy(&packed, lanes, sizeof packed);
+    uint16_t probe = static_cast<uint16_t>(rng.Next());
+    bool expect = false;
+    for (uint16_t l : lanes) expect |= (l == probe);
+    EXPECT_EQ(AnyLaneEq16(packed, probe), expect);
+    // Every resident lane must be found.
+    for (uint16_t l : lanes) {
+      EXPECT_TRUE(AnyLaneEq16(packed, l));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bloomrf
