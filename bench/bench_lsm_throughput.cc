@@ -1,0 +1,319 @@
+// Concurrent LSM engine throughput: threads x shards scaling for
+// Get / MultiGet / ScanRange on the ShardedDb, against the plain
+// single-threaded Db scalar loops as baseline.
+//
+// For every (shards, threads) cell, `threads` client threads hammer
+// one ShardedDb with a fixed per-thread op budget:
+//  - Get: scalar point lookups (50% present / 50% absent),
+//  - MultiGet: the same mix in batches of 1024 (planned filter probes,
+//    block-cache-grouped block reads, per-shard parallel fan-out),
+//  - ScanRange: batches of 64 ranges, half populated / half empty
+// and the aggregate Mops (queries/s for scans) is reported. The
+// baseline rows drive a plain Db with the same workload from one
+// thread, so the 1-shard/1-thread ShardedDb cell doubles as the
+// "sharding layer overhead" check.
+//
+// Writes BENCH_lsm_concurrent.json (override with --out=PATH),
+// including `hardware_concurrency` (scaling is bounded by the host's
+// cores; the committed file records the bench host) and conservative
+// `guard` floors — 0.8x of this run's measured 8-thread/1-thread
+// scaling ratios and of the 1-shard/plain-Db throughput ratio — that
+// scripts/perf_guard.py compares a CI smoke run against. --smoke
+// shrinks the store and the sweep for CI.
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "lsm/db.h"
+#include "lsm/sharded_db.h"
+#include "util/random.h"
+#include "util/timer.h"
+#include "workload/key_generator.h"
+
+namespace bloomrf {
+namespace {
+
+using bench::Mops;
+
+constexpr size_t kMultiGetBatch = 1024;
+constexpr size_t kScanBatch = 64;
+constexpr size_t kScanLimit = 32;
+
+struct Workload {
+  Dataset data;
+  uint64_t point_ops_per_thread = 0;
+  uint64_t scan_queries_per_thread = 0;
+};
+
+// Per-thread query streams: seeded per thread id so every cell of the
+// sweep probes identical sequences regardless of interleaving.
+std::vector<uint64_t> MakePointMix(const Workload& w, uint64_t tid) {
+  Rng rng(0x90117 + tid);
+  std::vector<uint64_t> out;
+  out.reserve(w.point_ops_per_thread);
+  for (uint64_t q = 0; q < w.point_ops_per_thread; ++q) {
+    out.push_back((q & 1) ? w.data.keys[rng.Uniform(w.data.keys.size())]
+                          : rng.Next());
+  }
+  return out;
+}
+
+void MakeRangeMix(const Workload& w, uint64_t tid, std::vector<uint64_t>* los,
+                  std::vector<uint64_t>* his) {
+  Rng rng(0x5ca9 + tid);
+  los->clear();
+  his->clear();
+  for (uint64_t q = 0; q < w.scan_queries_per_thread; ++q) {
+    if (q & 1) {
+      size_t at = rng.Uniform(w.data.sorted_keys.size() - 24);
+      los->push_back(w.data.sorted_keys[at]);
+      his->push_back(w.data.sorted_keys[at + 12]);
+    } else {
+      uint64_t anchor = 0x8000000000000000ULL + (rng.Next() & 0xffffff);
+      los->push_back(anchor);
+      his->push_back(anchor + 512);
+    }
+  }
+}
+
+struct CellResult {
+  size_t shards = 0;
+  size_t threads = 0;
+  double get_mops = 0;
+  double multiget_mops = 0;
+  double scanrange_qps = 0;  // range queries per second
+};
+
+// Runs `threads` client threads, each calling fn(tid), and returns the
+// wall seconds of the slowest.
+template <typename Fn>
+double TimedThreads(size_t threads, Fn fn) {
+  Timer timer;
+  std::vector<std::thread> workers;
+  for (size_t t = 1; t < threads; ++t) workers.emplace_back(fn, t);
+  fn(0);
+  for (auto& th : workers) th.join();
+  return timer.ElapsedSeconds();
+}
+
+template <typename Engine>
+CellResult BenchEngine(Engine* db, const Workload& w, size_t shards,
+                       size_t threads) {
+  CellResult cell;
+  cell.shards = shards;
+  cell.threads = threads;
+
+  // Pre-generate every thread's streams outside the timed region.
+  std::vector<std::vector<uint64_t>> point(threads);
+  std::vector<std::vector<uint64_t>> los(threads), his(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    point[t] = MakePointMix(w, t);
+    MakeRangeMix(w, t, &los[t], &his[t]);
+  }
+
+  // Warm the block cache so every cell measures the same residency.
+  { auto warm = db->MultiGet(point[0]); (void)warm; }
+
+  // Best of two timed runs per phase: the first run doubles as warmup
+  // and the max trims one-sided scheduler noise (same convention as
+  // bench_batch_probe).
+  std::atomic<uint64_t> sink{0};
+  for (int run = 0; run < 2; ++run) {
+    double secs = TimedThreads(threads, [&](size_t t) {
+      uint64_t hits = 0;
+      std::string value;
+      for (uint64_t q : point[t]) hits += db->Get(q, &value);
+      sink += hits;
+    });
+    cell.get_mops =
+        std::max(cell.get_mops, Mops(w.point_ops_per_thread * threads, secs));
+  }
+
+  for (int run = 0; run < 2; ++run) {
+    double secs = TimedThreads(threads, [&](size_t t) {
+      uint64_t hits = 0;
+      for (size_t base = 0; base < point[t].size(); base += kMultiGetBatch) {
+        size_t n = std::min(kMultiGetBatch, point[t].size() - base);
+        auto answers = db->MultiGet({point[t].data() + base, n});
+        for (const auto& a : answers) hits += a.has_value();
+      }
+      sink += hits;
+    });
+    cell.multiget_mops = std::max(
+        cell.multiget_mops, Mops(w.point_ops_per_thread * threads, secs));
+  }
+
+  for (int run = 0; run < 2; ++run) {
+    double secs = TimedThreads(threads, [&](size_t t) {
+      uint64_t rows = 0;
+      for (size_t base = 0; base < los[t].size(); base += kScanBatch) {
+        size_t n = std::min(kScanBatch, los[t].size() - base);
+        auto batches = db->ScanRange({los[t].data() + base, n},
+                                     {his[t].data() + base, n}, kScanLimit);
+        for (const auto& b : batches) rows += b.size();
+      }
+      sink += rows;
+    });
+    cell.scanrange_qps = std::max(
+        cell.scanrange_qps,
+        Mops(w.scan_queries_per_thread * threads, secs) * 1e6);
+  }
+
+  return cell;
+}
+
+}  // namespace
+}  // namespace bloomrf
+
+int main(int argc, char** argv) {
+  using namespace bloomrf;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_lsm_concurrent.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+
+  const uint64_t keys = smoke ? 200'000 : 1'000'000;
+  Workload w;
+  w.data = MakeDataset(keys, Distribution::kUniform, 0x15a);
+  w.point_ops_per_thread = smoke ? 40'000 : 200'000;
+  w.scan_queries_per_thread = smoke ? 1'024 : 4'096;
+
+  unsigned hw = std::thread::hardware_concurrency();
+  std::printf("lsm_throughput: %" PRIu64 " keys, hardware_concurrency=%u%s\n",
+              keys, hw, smoke ? " (smoke)" : "");
+  if (hw < 8) {
+    std::printf("note: fewer than 8 cores; 8-thread scaling is bounded by "
+                "the host, guard floors are derived from this run\n");
+  }
+
+  const std::string base_dir = "/tmp/bloomrf_bench_lsm_throughput";
+  std::filesystem::remove_all(base_dir);
+  FilterBuildParams params;
+  params.bits_per_key = 18.0;
+  params.max_range = 1e6;
+
+  // ---- Baseline: plain Db, one thread, scalar loops ------------------
+  DbOptions db_options;
+  db_options.dir = base_dir + "/plain";
+  db_options.filter_policy = NewRegistryPolicy("bloomrf", params);
+  db_options.memtable_bytes = 4 << 20;
+  db_options.block_cache_bytes = 256 << 20;
+  CellResult baseline;
+  {
+    Db db(db_options);
+    for (uint64_t k : w.data.keys) db.Put(k, "0123456789abcdef");
+    db.Flush();
+    baseline = BenchEngine(&db, w, /*shards=*/1, /*threads=*/1);
+    std::printf("%-22s Get %7.2f Mops   MultiGet %7.2f Mops   ScanRange "
+                "%9.0f q/s\n",
+                "baseline Db (1 thr)", baseline.get_mops,
+                baseline.multiget_mops, baseline.scanrange_qps);
+  }
+
+  // ---- ShardedDb sweep ----------------------------------------------
+  std::vector<size_t> shard_counts = smoke ? std::vector<size_t>{1, 8}
+                                           : std::vector<size_t>{1, 4, 8};
+  std::vector<size_t> thread_counts = smoke ? std::vector<size_t>{1, 8}
+                                            : std::vector<size_t>{1, 2, 4, 8};
+  std::vector<CellResult> cells;
+  for (size_t shards : shard_counts) {
+    ShardedDbOptions options;
+    options.dir = base_dir + "/s" + std::to_string(shards);
+    options.filter_policy = NewRegistryPolicy("bloomrf", params);
+    options.num_shards = shards;
+    options.memtable_bytes = (4 << 20) / shards;
+    options.block_cache_bytes = 256 << 20;
+    ShardedDb db(options);
+    for (uint64_t k : w.data.keys) db.Put(k, "0123456789abcdef");
+    db.Flush();
+    for (size_t threads : thread_counts) {
+      // 1-thread cells keep the fan-out pool: that IS the shard
+      // parallelism a single caller gets.
+      CellResult cell = BenchEngine(&db, w, shards, threads);
+      std::printf("shards=%zu threads=%zu     Get %7.2f Mops   MultiGet "
+                  "%7.2f Mops   ScanRange %9.0f q/s\n",
+                  shards, threads, cell.get_mops, cell.multiget_mops,
+                  cell.scanrange_qps);
+      cells.push_back(cell);
+    }
+  }
+  std::filesystem::remove_all(base_dir);
+
+  auto cell_at = [&](size_t shards, size_t threads) -> const CellResult* {
+    for (const CellResult& c : cells) {
+      if (c.shards == shards && c.threads == threads) return &c;
+    }
+    return nullptr;
+  };
+  const CellResult* s8t1 = cell_at(8, 1);
+  const CellResult* s8t8 = cell_at(8, 8);
+  const CellResult* s1t1 = cell_at(1, 1);
+  double multiget_scaling =
+      s8t1 && s8t8 && s8t1->multiget_mops > 0
+          ? s8t8->multiget_mops / s8t1->multiget_mops
+          : 0;
+  double scanrange_scaling =
+      s8t1 && s8t8 && s8t1->scanrange_qps > 0
+          ? s8t8->scanrange_qps / s8t1->scanrange_qps
+          : 0;
+  double single_shard_ratio =
+      s1t1 && baseline.multiget_mops > 0
+          ? s1t1->multiget_mops / baseline.multiget_mops
+          : 0;
+  std::printf("scaling 1->8 threads (8 shards): MultiGet %.2fx  ScanRange "
+              "%.2fx;  1-shard/plain-Db MultiGet ratio %.2f\n",
+              multiget_scaling, scanrange_scaling, single_shard_ratio);
+
+  // ---- JSON ----------------------------------------------------------
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"lsm_concurrent\",\n  \"smoke\": %s,\n"
+               "  \"hardware_concurrency\": %u,\n  \"keys\": %" PRIu64 ",\n"
+               "  \"point_ops_per_thread\": %" PRIu64 ",\n"
+               "  \"scan_queries_per_thread\": %" PRIu64 ",\n"
+               "  \"baseline\": {\"db_get_mops\": %.3f, "
+               "\"db_multiget_mops\": %.3f, \"db_scanrange_qps\": %.0f},\n"
+               "  \"scaling\": [\n",
+               smoke ? "true" : "false", hw, keys, w.point_ops_per_thread,
+               w.scan_queries_per_thread, baseline.get_mops,
+               baseline.multiget_mops, baseline.scanrange_qps);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    std::fprintf(json,
+                 "    {\"shards\": %zu, \"threads\": %zu, "
+                 "\"get_mops\": %.3f, \"multiget_mops\": %.3f, "
+                 "\"scanrange_qps\": %.0f}%s\n",
+                 c.shards, c.threads, c.get_mops, c.multiget_mops,
+                 c.scanrange_qps, i + 1 < cells.size() ? "," : "");
+  }
+  // Conservative floors (0.8x of this run) for scripts/perf_guard.py.
+  // Host mismatch (a multicore bench host gating a small CI runner, or
+  // vice versa) is handled by the guard itself: runners with fewer
+  // than 8 cores are only required not to collapse below serial speed,
+  // whatever the committed scaling floor says.
+  std::fprintf(json,
+               "  ],\n  \"guard\": {\"multiget_scaling_8t\": %.3f, "
+               "\"scanrange_scaling_8t\": %.3f, "
+               "\"single_shard_multiget_ratio\": %.3f}\n}\n",
+               multiget_scaling * 0.8, scanrange_scaling * 0.8,
+               single_shard_ratio * 0.8);
+  std::fclose(json);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

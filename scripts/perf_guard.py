@@ -1,15 +1,23 @@
 #!/usr/bin/env python3
-"""CI perf guard for the planned/SIMD batch-probe engine.
+"""CI perf guard for the batch-probe engine and the concurrent LSM engine.
 
-Compares a fresh `bench_batch_probe --smoke` run against the guard
-floors committed in BENCH_batch_probe.json and fails (exit 1) if the
-bloomRF point-batch or range-batch speedup drops below `ratio` (default
-0.9) of the committed floor.
+Compares a fresh smoke run against the guard floors committed in the
+repo's BENCH_*.json and fails (exit 1) when a measured ratio drops
+below `ratio` (default 0.9) of the committed floor. The bench type is
+dispatched on the committed file's "bench" field:
 
-The committed `guard` floors are intentionally conservative (the bench
-writes them as 0.8x of its measured speedups) so the check catches real
-regressions — a batch path sliding back toward scalar speed — rather
-than scheduler noise on shared CI runners.
+  batch_probe     bench_batch_probe --smoke    bloomRF point/range batch
+                  speedup over the scalar loop.
+  lsm_concurrent  bench_lsm_throughput --smoke ShardedDb MultiGet/
+                  ScanRange 1->8-thread scaling (8 shards) and the
+                  1-shard/plain-Db MultiGet throughput ratio.
+
+The committed `guard` floors are intentionally conservative (the
+benches write them as 0.8x of their measured values, scaling floors
+additionally clamped for low-core bench hosts) so the check catches
+real regressions — a batch path sliding back to scalar speed, a
+sharded fan-out serializing — rather than scheduler noise on shared CI
+runners.
 
 Usage: perf_guard.py CURRENT.json COMMITTED.json [ratio]
 """
@@ -25,6 +33,55 @@ def speedup(doc, section, name):
     raise SystemExit(f"perf_guard: no '{name}' row in '{section}' section")
 
 
+def scaling_cell(doc, shards, threads):
+    for row in doc["scaling"]:
+        if row["shards"] == shards and row["threads"] == threads:
+            return row
+    raise SystemExit(
+        f"perf_guard: no scaling row for shards={shards} threads={threads}"
+    )
+
+
+def batch_probe_checks(current, committed):
+    guard = committed["guard"]
+    return [
+        ("bloomrf point-batch speedup", speedup(current, "point", "bloomrf"),
+         guard["bloomrf_point_speedup"]),
+        ("bloomrf range-batch speedup", speedup(current, "range", "bloomrf"),
+         guard["bloomrf_range_speedup"]),
+    ]
+
+
+def lsm_concurrent_checks(current, committed):
+    guard = committed["guard"]
+    t1 = scaling_cell(current, 8, 1)
+    t8 = scaling_cell(current, 8, 8)
+    s1 = scaling_cell(current, 1, 1)
+    multiget_scaling = (
+        t8["multiget_mops"] / t1["multiget_mops"] if t1["multiget_mops"] else 0
+    )
+    scanrange_scaling = (
+        t8["scanrange_qps"] / t1["scanrange_qps"] if t1["scanrange_qps"] else 0
+    )
+    base = current["baseline"]["db_multiget_mops"]
+    single_shard_ratio = s1["multiget_mops"] / base if base else 0
+    # Scaling is bounded by the runner's cores. When this run has fewer
+    # than 8, the committed floor (possibly from a big bench host) is
+    # unreachable for physical, not regression, reasons — only require
+    # that 8 threads don't collapse below ~serial speed. The
+    # single-shard overhead ratio is core-count independent.
+    hw = current.get("hardware_concurrency", 0)
+    scaling_cap = 0.8 if hw and hw < 8 else float("inf")
+    return [
+        ("multiget 1->8-thread scaling", multiget_scaling,
+         min(guard["multiget_scaling_8t"], scaling_cap)),
+        ("scanrange 1->8-thread scaling", scanrange_scaling,
+         min(guard["scanrange_scaling_8t"], scaling_cap)),
+        ("1-shard/plain-Db multiget ratio", single_shard_ratio,
+         guard["single_shard_multiget_ratio"]),
+    ]
+
+
 def main():
     if len(sys.argv) < 3:
         raise SystemExit(__doc__)
@@ -33,24 +90,30 @@ def main():
     with open(sys.argv[2]) as f:
         committed = json.load(f)
     ratio = float(sys.argv[3]) if len(sys.argv) > 3 else 0.9
-    guard = committed["guard"]
 
-    checks = [
-        ("point", "bloomrf", guard["bloomrf_point_speedup"]),
-        ("range", "bloomrf", guard["bloomrf_range_speedup"]),
-    ]
+    bench = committed.get("bench", "batch_probe")
+    if current.get("bench", bench) != bench:
+        raise SystemExit(
+            f"perf_guard: bench mismatch ({current.get('bench')} vs {bench})"
+        )
+    if bench == "batch_probe":
+        checks = batch_probe_checks(current, committed)
+    elif bench == "lsm_concurrent":
+        checks = lsm_concurrent_checks(current, committed)
+    else:
+        raise SystemExit(f"perf_guard: unknown bench '{bench}'")
+
     failed = False
-    for section, name, floor in checks:
-        got = speedup(current, section, name)
+    for label, got, floor in checks:
         need = floor * ratio
         ok = got >= need
         print(
-            f"{'OK  ' if ok else 'FAIL'} {name} {section}-batch speedup "
+            f"{'OK  ' if ok else 'FAIL'} {label} "
             f"{got:.3f} vs floor {floor:.3f} * {ratio} = {need:.3f}"
         )
         failed |= not ok
     if failed:
-        print("perf_guard: batch-probe speedup regressed")
+        print(f"perf_guard: {bench} ratios regressed")
     return 1 if failed else 0
 
 

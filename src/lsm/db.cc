@@ -17,41 +17,178 @@ Db::Db(DbOptions options) : options_(std::move(options)) {
     options_.block_cache =
         std::make_shared<BlockCache>(options_.block_cache_bytes);
   }
+  if (options_.background_flush) {
+    flush_thread_ = std::thread([this] { FlushWorker(); });
+  }
+}
+
+Db::~Db() {
+  if (flush_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      stop_ = true;
+    }
+    flush_work_cv_.notify_all();
+    flush_thread_.join();  // worker drains the queue before exiting
+  }
 }
 
 bool Db::Put(uint64_t key, std::string_view value) {
-  memtable_.Put(key, value);
-  if (memtable_.ApproximateBytes() >= options_.memtable_bytes) {
-    return Flush();
+  std::lock_guard<std::mutex> lock(write_mu_);
+  // Only write_mu_ holders swap the active memtable, so this snapshot
+  // stays the active one for the whole call.
+  auto active = versions_.Current()->active();
+  active->Put(key, value);
+  if (active->ApproximateBytes() >= options_.memtable_bytes) {
+    return SealActiveLocked();
   }
   return true;
 }
 
-bool Db::Flush() {
-  if (memtable_.empty()) return true;
-  auto entries = memtable_.Snapshot();
+bool Db::SealActiveLocked() {
+  std::shared_ptr<const MemTable> sealed;
+  {
+    // One publication swaps in a fresh active memtable and records the
+    // old one as sealed, so no reader interleaving can miss it.
+    std::lock_guard<std::mutex> lock(version_mu_);
+    auto current = versions_.Current();
+    if (current->active()->empty()) return true;
+    sealed = current->active();
+    versions_.Publish(
+        current->WithSealedActive(std::make_shared<MemTable>()));
+  }
+  bool pending_failure = false;
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    flush_queue_.push_back(std::move(sealed));
+    // A previously failed flush parks the worker; sealing counts as a
+    // retry trigger too, so a Put-only application self-recovers once
+    // the disk heals — and hears about the failure (return false)
+    // instead of growing the queue silently forever.
+    if (flush_error_) {
+      flush_error_ = false;
+      pending_failure = true;
+    }
+  }
+  if (!options_.background_flush) return DrainQueueInline();
+  flush_work_cv_.notify_one();
+  return !pending_failure;
+}
+
+std::shared_ptr<const TableReader> Db::WriteSst(const MemTable& mem) {
+  if (options_.flush_fault && options_.flush_fault()) return nullptr;
+  auto entries = mem.Snapshot();
   TableBuilder builder(options_.filter_policy.get(), options_.block_size);
   for (const auto& [key, value] : entries) builder.Add(key, value);
   std::string path =
-      options_.dir + "/" + std::to_string(next_file_number_++) + ".sst";
+      options_.dir + "/" +
+      std::to_string(next_file_number_.fetch_add(1, std::memory_order_relaxed)) +
+      ".sst";
   TableBuildStats build_stats;
-  // The memtable is cleared only once the SST is written and readable;
-  // a failed flush keeps all data queryable in memory.
-  if (!builder.WriteTo(path, &build_stats)) return false;
-  auto reader = TableReader::Open(path, options_.filter_policy.get(), &stats_,
-                                  options_.block_cache);
-  if (reader == nullptr) return false;
-  flush_stats_.filter_create_seconds += build_stats.filter_create_seconds;
-  flush_stats_.filter_block_bytes += build_stats.filter_block_bytes;
-  ++flush_stats_.sst_files;
-  tables_.push_back(std::move(reader));
-  memtable_.Clear();
+  if (!builder.WriteTo(path, &build_stats)) return nullptr;
+  std::shared_ptr<const TableReader> reader = TableReader::Open(
+      path, options_.filter_policy.get(), &stats_, options_.block_cache);
+  if (reader == nullptr) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(flush_stats_mu_);
+    flush_stats_.filter_create_seconds += build_stats.filter_create_seconds;
+    flush_stats_.filter_block_bytes += build_stats.filter_block_bytes;
+    ++flush_stats_.sst_files;
+  }
+  return reader;
+}
+
+bool Db::FlushSealed(const std::shared_ptr<const MemTable>& sealed) {
+  // The sealed memtable is dropped from the Version only once the SST
+  // is written and readable; a failed flush keeps the data queryable
+  // from the Version's sealed list.
+  auto table = WriteSst(*sealed);
+  if (table == nullptr) return false;
+  std::lock_guard<std::mutex> lock(version_mu_);
+  versions_.Publish(
+      versions_.Current()->WithFlushed(sealed.get(), std::move(table)));
   return true;
 }
 
+bool Db::DrainQueueInline() {
+  // One inline drainer at a time: without this, two sync-mode Flush
+  // callers could both write the queue-front memtable's SST.
+  std::lock_guard<std::mutex> drain_lock(inline_drain_mu_);
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  while (!flush_queue_.empty()) {
+    auto sealed = flush_queue_.front();  // stays queued until success
+    lock.unlock();
+    bool ok = FlushSealed(sealed);
+    lock.lock();
+    if (!ok) return false;  // retried (in order) by the next drain call
+    flush_queue_.pop_front();
+  }
+  return true;
+}
+
+void Db::FlushWorker() {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  for (;;) {
+    // Park while idle — and also after a failure, instead of
+    // hot-looping against a broken disk: only a drain call (which
+    // clears flush_error_) or shutdown triggers the retry.
+    flush_work_cv_.wait(lock, [this] {
+      return stop_ || (!flush_queue_.empty() && !flush_error_);
+    });
+    if (flush_queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    if (flush_error_ && !stop_) continue;  // parked until a retry trigger
+    flush_error_ = false;                  // shutdown: one final retry
+    auto sealed = flush_queue_.front();  // stays queued until success
+    lock.unlock();
+    bool ok = FlushSealed(sealed);
+    lock.lock();
+    if (ok) {
+      flush_queue_.pop_front();
+    } else {
+      flush_error_ = true;
+      // Shutdown cannot wait for the disk to heal: give this memtable
+      // up so the destructor's join terminates (it has no way to
+      // report; the last drain already returned false).
+      if (stop_) flush_queue_.pop_front();
+    }
+    flush_done_cv_.notify_all();
+  }
+}
+
+bool Db::Flush() {
+  bool sealed_ok;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    sealed_ok = SealActiveLocked();
+  }
+  return WaitForFlush() && sealed_ok;
+}
+
+bool Db::WaitForFlush() {
+  if (!options_.background_flush) return DrainQueueInline();
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  if (flush_error_) {
+    // One retry per drain call; the flag comes back if it fails again.
+    flush_error_ = false;
+    flush_work_cv_.notify_all();
+  }
+  flush_done_cv_.wait(lock,
+                      [this] { return flush_queue_.empty() || flush_error_; });
+  return !flush_error_;
+}
+
 bool Db::Get(uint64_t key, std::string* value) {
-  if (memtable_.Get(key, value)) return true;
-  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+  auto version = versions_.Current();
+  if (version->active()->Get(key, value)) return true;
+  const auto& sealed = version->sealed();
+  for (auto it = sealed.rbegin(); it != sealed.rend(); ++it) {
+    if ((*it)->Get(key, value)) return true;
+  }
+  const auto& tables = version->tables();
+  for (auto it = tables.rbegin(); it != tables.rend(); ++it) {
     if ((*it)->Get(key, value, &stats_)) return true;
   }
   return false;
@@ -62,25 +199,38 @@ std::vector<std::optional<std::string>> Db::MultiGet(
   std::vector<std::optional<std::string>> result(keys.size());
   if (keys.empty()) return result;
 
-  // Memtable first (newest data); it already indexes by key. Memtable
-  // hits land in `result` directly and mark the key found, so the
-  // table passes below skip it.
+  auto version = versions_.Current();
+
+  // Memtables first (newest data); they already index by key. Hits
+  // land in `result` directly and mark the key found, so the table
+  // passes below skip it.
   auto found = std::make_unique<bool[]>(keys.size());
   size_t remaining = keys.size();
   std::string value;
   for (size_t i = 0; i < keys.size(); ++i) {
-    found[i] = memtable_.Get(keys[i], &value);
+    found[i] = version->active()->Get(keys[i], &value);
     if (found[i]) {
       result[i] = value;
       --remaining;
+    }
+  }
+  const auto& sealed = version->sealed();
+  for (auto it = sealed.rbegin(); it != sealed.rend() && remaining > 0; ++it) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (found[i]) continue;
+      if ((*it)->Get(keys[i], &value)) {
+        found[i] = true;
+        result[i] = value;
+        --remaining;
+      }
     }
   }
 
   // Then the tables newest-first, chaining one found/values array pair
   // so each table only probes keys no newer source resolved.
   std::vector<std::string> values(keys.size());
-  for (auto it = tables_.rbegin(); it != tables_.rend() && remaining > 0;
-       ++it) {
+  const auto& tables = version->tables();
+  for (auto it = tables.rbegin(); it != tables.rend() && remaining > 0; ++it) {
     remaining -= (*it)->MultiGet(keys, found.get(), values.data(), &stats_);
   }
   for (size_t i = 0; i < keys.size(); ++i) {
@@ -92,12 +242,21 @@ std::vector<std::optional<std::string>> Db::MultiGet(
 std::vector<std::pair<uint64_t, std::string>> Db::RangeScan(uint64_t lo,
                                                             uint64_t hi,
                                                             size_t limit) {
+  auto version = versions_.Current();
+
   // Newest-first merge: the first writer of a key wins.
   std::map<uint64_t, std::string> merged;
   std::vector<std::pair<uint64_t, std::string>> chunk;
-  memtable_.RangeScan(lo, hi, limit, &chunk);
+  version->active()->RangeScan(lo, hi, limit, &chunk);
   for (auto& [k, v] : chunk) merged.emplace(k, std::move(v));
-  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+  const auto& sealed = version->sealed();
+  for (auto it = sealed.rbegin(); it != sealed.rend(); ++it) {
+    chunk.clear();
+    (*it)->RangeScan(lo, hi, limit, &chunk);
+    for (auto& [k, v] : chunk) merged.emplace(k, std::move(v));
+  }
+  const auto& tables = version->tables();
+  for (auto it = tables.rbegin(); it != tables.rend(); ++it) {
     chunk.clear();
     (*it)->RangeScan(lo, hi, limit, &chunk, &stats_);
     for (auto& [k, v] : chunk) merged.emplace(k, std::move(v));
@@ -118,20 +277,31 @@ std::vector<std::vector<std::pair<uint64_t, std::string>>> Db::ScanRange(
   std::vector<std::vector<std::pair<uint64_t, std::string>>> results(n);
   if (n == 0) return results;
 
+  auto version = versions_.Current();
+
   // Newest-first merge per range, exactly like RangeScan: the first
   // writer of a key wins.
   std::vector<std::map<uint64_t, std::string>> merged(n);
   std::vector<std::pair<uint64_t, std::string>> chunk;
   for (size_t i = 0; i < n; ++i) {
     chunk.clear();
-    memtable_.RangeScan(los[i], his[i], limit, &chunk);
+    version->active()->RangeScan(los[i], his[i], limit, &chunk);
     for (auto& [k, v] : chunk) merged[i].emplace(k, std::move(v));
+  }
+  const auto& sealed = version->sealed();
+  for (auto it = sealed.rbegin(); it != sealed.rend(); ++it) {
+    for (size_t i = 0; i < n; ++i) {
+      chunk.clear();
+      (*it)->RangeScan(los[i], his[i], limit, &chunk);
+      for (auto& [k, v] : chunk) merged[i].emplace(k, std::move(v));
+    }
   }
 
   // One batched filter probe per table; only ranges the filter cannot
   // exclude touch data blocks (cache-served via GetBlock).
   auto may_match = std::make_unique<bool[]>(n);
-  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+  const auto& tables = version->tables();
+  for (auto it = tables.rbegin(); it != tables.rend(); ++it) {
     (*it)->RangeMultiProbe(los, his, may_match.get(), &stats_);
     for (size_t i = 0; i < n; ++i) {
       if (!may_match[i]) continue;
@@ -151,11 +321,17 @@ std::vector<std::vector<std::pair<uint64_t, std::string>>> Db::ScanRange(
 }
 
 bool Db::RangeMayMatch(uint64_t lo, uint64_t hi) {
+  auto version = versions_.Current();
   std::vector<std::pair<uint64_t, std::string>> probe;
-  memtable_.RangeScan(lo, hi, 1, &probe);
+  version->active()->RangeScan(lo, hi, 1, &probe);
   if (!probe.empty()) return true;
+  for (const auto& mem : version->sealed()) {
+    probe.clear();
+    mem->RangeScan(lo, hi, 1, &probe);
+    if (!probe.empty()) return true;
+  }
   bool any = false;
-  for (auto& table : tables_) {
+  for (const auto& table : version->tables()) {
     if (table->filter() != nullptr) {
       if (table->RangeScan(lo, hi, 0, nullptr, &stats_)) any = true;
     } else {
@@ -165,9 +341,16 @@ bool Db::RangeMayMatch(uint64_t lo, uint64_t hi) {
   return any;
 }
 
+DbFlushStats Db::flush_stats() const {
+  std::lock_guard<std::mutex> lock(flush_stats_mu_);
+  return flush_stats_;
+}
+
 uint64_t Db::filter_memory_bits() const {
   uint64_t total = 0;
-  for (const auto& table : tables_) total += table->filter_memory_bits();
+  for (const auto& table : versions_.Current()->tables()) {
+    total += table->filter_memory_bits();
+  }
   return total;
 }
 

@@ -10,6 +10,19 @@
 //  - probe-cost accounting (filter time, I/O wait, deserialization)
 //    for the Fig. 12.G breakdown.
 //
+// Threading model (see README "Storage engine threading model"):
+//  - Get/MultiGet/RangeScan/ScanRange/RangeMayMatch are safe from any
+//    number of threads concurrently with writers. Each read takes one
+//    snapshot of the current immutable Version (active memtable +
+//    sealed memtables + SST readers, published through an atomically-
+//    swapped shared_ptr) and runs lock-free against that stable list.
+//  - Put from multiple threads is serialized by an internal write
+//    mutex. When the active memtable fills it is sealed into the
+//    current Version and handed to a background flush thread
+//    (DbOptions::background_flush, default on), so writers never block
+//    on SST fwrite. Flush()/WaitForFlush() drain pending flushes; the
+//    destructor drains too.
+//
 //   DbOptions options;
 //   options.dir = "/tmp/db";
 //   options.filter_policy = NewBloomRFPolicy(22.0, 1e6);
@@ -23,17 +36,24 @@
 #ifndef BLOOMRF_LSM_DB_H_
 #define BLOOMRF_LSM_DB_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lsm/block_cache.h"
 #include "lsm/filter_policy.h"
 #include "lsm/memtable.h"
 #include "lsm/table_reader.h"
+#include "lsm/version.h"
 
 namespace bloomrf {
 
@@ -48,6 +68,14 @@ struct DbOptions {
   /// objects); block_cache_bytes == 0 disables caching entirely.
   std::shared_ptr<BlockCache> block_cache;
   size_t block_cache_bytes = 4 << 20;
+  /// Sealed memtables are written to SSTs by a background thread;
+  /// writers never wait on file I/O. Off = the sealing Put (or Flush
+  /// call) writes the SST synchronously, as before this option.
+  bool background_flush = true;
+  /// Test-only failure injection: when set and returning true, the
+  /// next SST write fails as if the disk did. Exercises the
+  /// failed-flush retry path without an unwritable filesystem.
+  std::function<bool()> flush_fault;
 };
 
 struct DbFlushStats {
@@ -59,13 +87,24 @@ struct DbFlushStats {
 class Db {
  public:
   explicit Db(DbOptions options);
+  /// Drains pending background flushes, then joins the flush thread.
+  ~Db();
 
-  /// Inserts/overwrites a key in the memtable; flushes automatically
-  /// when the memtable exceeds its budget.
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+
+  /// Inserts/overwrites a key in the active memtable; seals the
+  /// memtable for flushing when it exceeds its budget. With background
+  /// flush the SST write happens off-thread and Put returns
+  /// immediately; the sealed data stays readable throughout. A sealing
+  /// Put returns false when an earlier background flush has failed
+  /// (nothing is lost — the data stays buffered and the seal triggers
+  /// a retry); non-sealing Puts always succeed.
   bool Put(uint64_t key, std::string_view value);
 
-  /// Point read: memtable first, then L0 tables newest-first through
-  /// their filters.
+  /// Point read: active memtable, then the snapshot Version (sealed
+  /// memtables newest-first, then L0 tables newest-first through their
+  /// filters).
   bool Get(uint64_t key, std::string* value);
 
   /// Batched point read: result[i] holds keys[i]'s value, or nullopt
@@ -78,7 +117,7 @@ class Db {
       std::span<const uint64_t> keys);
 
   /// Returns up to `limit` entries with keys in [lo, hi], merged over
-  /// the memtable and all SSTs (newest value wins on duplicates).
+  /// the memtables and all SSTs (newest value wins on duplicates).
   std::vector<std::pair<uint64_t, std::string>> RangeScan(uint64_t lo,
                                                           uint64_t hi,
                                                           size_t limit = 1024);
@@ -98,24 +137,82 @@ class Db {
   /// probe used by the FPR experiments (no block reads on negatives).
   bool RangeMayMatch(uint64_t lo, uint64_t hi);
 
-  /// Flushes the memtable to a new L0 SST. No-op when empty.
+  /// Seals the active memtable (no-op when empty) and waits until
+  /// every sealed memtable has been flushed to an L0 SST. Returns
+  /// false if a flush failed; the failed memtable's data stays
+  /// readable from the Version's sealed list, and every Flush()/
+  /// WaitForFlush() call retries it (in seal order, so SSTs always
+  /// install oldest-first) until one succeeds.
   bool Flush();
+
+  /// Waits for already-queued flushes only (does not seal the active
+  /// memtable), retrying a previously failed one first. Returns false
+  /// while the queue cannot drain.
+  bool WaitForFlush();
 
   const LsmStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
-  const DbFlushStats& flush_stats() const { return flush_stats_; }
-  size_t num_tables() const { return tables_.size(); }
+  /// Snapshot of flush-side counters. Exact after Flush()/
+  /// WaitForFlush(); may lag mid-flight flushes otherwise.
+  DbFlushStats flush_stats() const;
+  size_t num_tables() const { return versions_.Current()->tables().size(); }
   uint64_t filter_memory_bits() const;
   const std::shared_ptr<BlockCache>& block_cache() const {
     return options_.block_cache;
   }
 
  private:
+  /// Seals the active memtable into the current Version (one atomic
+  /// publication swaps in a fresh active and records the old one as
+  /// sealed) and appends it to the flush queue — drained by the
+  /// background worker, or inline when background_flush is off.
+  /// Caller holds write_mu_.
+  bool SealActiveLocked();
+  /// Writes one sealed memtable to an SST and swaps it for the new
+  /// table in the Version. The sealed memtable stays in the Version on
+  /// failure.
+  bool FlushSealed(const std::shared_ptr<const MemTable>& sealed);
+  std::shared_ptr<const TableReader> WriteSst(const MemTable& mem);
+  /// Synchronous-mode drain: flushes queued memtables front to back,
+  /// stopping (and keeping the failed one at the front for the next
+  /// call) on the first failure.
+  bool DrainQueueInline();
+  void FlushWorker();
+
   DbOptions options_;
-  MemTable memtable_;
-  std::vector<std::unique_ptr<TableReader>> tables_;  // newest last
-  uint64_t next_file_number_ = 1;
+
+  // Write path: one writer at a time appends to the active memtable
+  // and decides sealing; the MemTable itself is internally locked so
+  // readers can probe it concurrently.
+  std::mutex write_mu_;
+
+  // Read-state publication. version_mu_ serializes read-modify-publish
+  // sequences (seal on the write path, install on the flush thread);
+  // readers go straight to versions_.Current().
+  std::mutex version_mu_;
+  VersionSet versions_;
+
+  // Flush pipeline, all guarded by flush_mu_. Sealed memtables drain
+  // strictly front to back — a memtable leaves the queue only once its
+  // SST is installed (or at shutdown after a final failed retry) — so
+  // tables always install in seal order and the Version invariant
+  // "every sealed memtable is newer than every table" holds even
+  // across failed flushes.
+  std::mutex flush_mu_;
+  std::condition_variable flush_work_cv_;  // wakes the worker
+  std::condition_variable flush_done_cv_;  // wakes Flush()/WaitForFlush()
+  std::deque<std::shared_ptr<const MemTable>> flush_queue_;
+  // Set when the queue-front flush failed; the worker parks instead of
+  // hot-looping, and stays set (every drain call reports false) until
+  // a Flush()/WaitForFlush() triggers a retry that succeeds.
+  bool flush_error_ = false;
+  bool stop_ = false;
+  std::mutex inline_drain_mu_;  // serializes sync-mode DrainQueueInline
+  std::thread flush_thread_;
+
+  std::atomic<uint64_t> next_file_number_{1};
   LsmStats stats_;
+  mutable std::mutex flush_stats_mu_;
   DbFlushStats flush_stats_;
 };
 

@@ -18,9 +18,17 @@ class MemTable {
  public:
   void Put(uint64_t key, std::string_view value) {
     std::lock_guard<std::mutex> lock(mu_);
-    auto [it, inserted] = entries_.insert_or_assign(key, std::string(value));
-    (void)it;
-    if (inserted) bytes_ += 8 + value.size();
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      entries_.emplace(key, std::string(value));
+      bytes_ += 8 + value.size();
+    } else {
+      // Overwrite: charge the size delta, so repeated overwrites with
+      // growing values still reach the flush threshold.
+      bytes_ += value.size();
+      bytes_ -= it->second.size();
+      it->second.assign(value);
+    }
   }
 
   bool Get(uint64_t key, std::string* value) const {

@@ -1,0 +1,151 @@
+#include "lsm/sharded_db.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bloomrf {
+
+ShardedDb::ShardedDb(ShardedDbOptions options) : options_(std::move(options)) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  if (options_.block_cache == nullptr && options_.block_cache_bytes > 0) {
+    options_.block_cache =
+        std::make_shared<BlockCache>(options_.block_cache_bytes);
+  }
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    DbOptions shard_options;
+    shard_options.dir = options_.dir + "/shard-" + std::to_string(i);
+    shard_options.filter_policy = options_.filter_policy;
+    shard_options.block_size = options_.block_size;
+    shard_options.memtable_bytes = options_.memtable_bytes;
+    shard_options.block_cache = options_.block_cache;  // shared (may be null)
+    shard_options.block_cache_bytes = options_.block_cache_bytes;
+    shard_options.background_flush = options_.background_flush;
+    shards_.push_back(std::make_unique<Db>(std::move(shard_options)));
+  }
+  size_t workers = options_.worker_threads > 0 ? options_.worker_threads
+                                               : options_.num_shards;
+  pool_ = std::make_unique<ThreadPool>(workers);
+}
+
+std::vector<std::optional<std::string>> ShardedDb::MultiGet(
+    std::span<const uint64_t> keys) {
+  std::vector<std::optional<std::string>> result(keys.size());
+  if (keys.empty()) return result;
+  if (shards_.size() == 1) return shards_[0]->MultiGet(keys);
+
+  // Partition input positions per shard, keeping original order within
+  // a shard so the scatter below is a linear walk.
+  std::vector<std::vector<uint32_t>> idx(shards_.size());
+  std::vector<std::vector<uint64_t>> sub(shards_.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    size_t s = shard_of(keys[i]);
+    idx[s].push_back(static_cast<uint32_t>(i));
+    sub[s].push_back(keys[i]);
+  }
+
+  TaskGroup group(pool_.get());
+  std::vector<std::vector<std::optional<std::string>>> answers(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (sub[s].empty()) continue;
+    group.Submit([this, s, &sub, &answers] {
+      answers[s] = shards_[s]->MultiGet(sub[s]);
+    });
+  }
+  group.Wait();
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (size_t j = 0; j < idx[s].size(); ++j) {
+      result[idx[s][j]] = std::move(answers[s][j]);
+    }
+  }
+  return result;
+}
+
+std::vector<std::pair<uint64_t, std::string>> ShardedDb::RangeScan(
+    uint64_t lo, uint64_t hi, size_t limit) {
+  auto batches = ScanRange({&lo, 1}, {&hi, 1}, limit);
+  return std::move(batches[0]);
+}
+
+std::vector<std::vector<std::pair<uint64_t, std::string>>>
+ShardedDb::ScanRange(std::span<const uint64_t> los,
+                     std::span<const uint64_t> his, size_t limit) {
+  assert(los.size() == his.size());
+  const size_t n = los.size();
+  std::vector<std::vector<std::pair<uint64_t, std::string>>> results(n);
+  if (n == 0) return results;
+  if (shards_.size() == 1) return shards_[0]->ScanRange(los, his, limit);
+
+  TaskGroup group(pool_.get());
+  std::vector<std::vector<std::vector<std::pair<uint64_t, std::string>>>>
+      per_shard(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    group.Submit([this, s, los, his, limit, &per_shard] {
+      per_shard[s] = shards_[s]->ScanRange(los, his, limit);
+    });
+  }
+  group.Wait();
+
+  // Shards own disjoint key sets, so the per-range merge is a plain
+  // sort of the concatenated rows. Each shard returned its own lowest
+  // `limit` rows, so the union's lowest `limit` rows are all present.
+  for (size_t i = 0; i < n; ++i) {
+    auto& out = results[i];
+    size_t total = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) total += per_shard[s][i].size();
+    out.reserve(total);  // all rows are inserted before the sort+cut
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      auto& rows = per_shard[s][i];
+      out.insert(out.end(), std::make_move_iterator(rows.begin()),
+                 std::make_move_iterator(rows.end()));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (out.size() > limit) out.resize(limit);
+  }
+  return results;
+}
+
+bool ShardedDb::Flush() {
+  // Seal + drain every shard in parallel: each shard's Flush waits for
+  // its own background write, so running them on the pool overlaps the
+  // SST I/O.
+  std::vector<char> ok(shards_.size(), 1);
+  TaskGroup group(pool_.get());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    group.Submit([this, s, &ok] { ok[s] = shards_[s]->Flush() ? 1 : 0; });
+  }
+  group.Wait();
+  return std::all_of(ok.begin(), ok.end(), [](char c) { return c != 0; });
+}
+
+bool ShardedDb::WaitForFlush() {
+  bool ok = true;
+  for (auto& shard : shards_) ok &= shard->WaitForFlush();
+  return ok;
+}
+
+LsmStats ShardedDb::TotalStats() const {
+  LsmStats total;
+  for (const auto& shard : shards_) total.Accumulate(shard->stats());
+  return total;
+}
+
+void ShardedDb::ResetStats() {
+  for (auto& shard : shards_) shard->ResetStats();
+}
+
+size_t ShardedDb::num_tables() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->num_tables();
+  return total;
+}
+
+uint64_t ShardedDb::filter_memory_bits() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->filter_memory_bits();
+  return total;
+}
+
+}  // namespace bloomrf

@@ -4,6 +4,10 @@
 #include <atomic>
 #include <cassert>
 
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
 #include "lsm/block.h"
 #include "lsm/table_builder.h"
 #include "util/coding.h"
@@ -16,24 +20,8 @@ namespace {
 // Process-unique table ids namespace the shared block cache's keys.
 std::atomic<uint64_t> g_next_table_id{1};
 
-// 64-bit-safe absolute seek: plain fseek takes a `long`, which is 32
-// bits on Windows and 32-bit Linux and would truncate offsets in SSTs
-// past 2 GiB.
-bool SeekTo(std::FILE* f, uint64_t offset) {
-#if defined(_WIN32)
-  return _fseeki64(f, static_cast<long long>(offset), SEEK_SET) == 0;
-#else
-  return fseeko(f, static_cast<off_t>(offset), SEEK_SET) == 0;
-#endif
-}
-
-bool ReadAt(std::FILE* f, uint64_t offset, uint64_t size, std::string* out) {
-  out->resize(size);
-  if (!SeekTo(f, offset)) return false;
-  return std::fread(out->data(), 1, size, f) == size;
-}
-
-// File size via the 64-bit tell; -1 on error.
+// File size via the 64-bit tell; -1 on error. Only called from Open,
+// before any concurrent reader exists.
 int64_t FileSize(std::FILE* f) {
 #if defined(_WIN32)
   if (_fseeki64(f, 0, SEEK_END) != 0) return -1;
@@ -45,6 +33,32 @@ int64_t FileSize(std::FILE* f) {
 }
 
 }  // namespace
+
+// Positioned read, safe for concurrent callers. POSIX pread carries
+// its own offset and touches no shared cursor (and takes 64-bit
+// offsets, so SSTs past 2 GiB read correctly); the Windows fallback
+// serializes the 64-bit seek + fread pair under io_mu_.
+bool TableReader::ReadFileAt(uint64_t offset, uint64_t size,
+                             std::string* out) const {
+  out->resize(size);
+#if defined(_WIN32)
+  std::lock_guard<std::mutex> lock(io_mu_);
+  if (_fseeki64(file_, static_cast<long long>(offset), SEEK_SET) != 0) {
+    return false;
+  }
+  return std::fread(out->data(), 1, size, file_) == size;
+#else
+  int fd = fileno(file_);
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = pread(fd, out->data() + done, size - done,
+                      static_cast<off_t>(offset + done));
+    if (n <= 0) return false;  // EOF or error; short SSTs are corrupt
+    done += static_cast<size_t>(n);
+  }
+  return true;
+#endif
+}
 
 TableReader::~TableReader() {
   if (file_ != nullptr) std::fclose(file_);
@@ -64,7 +78,8 @@ std::unique_ptr<TableReader> TableReader::Open(
   if (file_size < 40) return nullptr;
 
   std::string footer;
-  if (!ReadAt(f, static_cast<uint64_t>(file_size) - 40, 40, &footer)) {
+  if (!reader->ReadFileAt(static_cast<uint64_t>(file_size) - 40, 40,
+                          &footer)) {
     return nullptr;
   }
   uint64_t index_off = DecodeFixed64(footer.data());
@@ -76,7 +91,7 @@ std::unique_ptr<TableReader> TableReader::Open(
   }
 
   std::string index_data;
-  if (!ReadAt(f, index_off, index_size, &index_data)) return nullptr;
+  if (!reader->ReadFileAt(index_off, index_size, &index_data)) return nullptr;
   if (index_size % 24 != 0) return nullptr;
   for (size_t pos = 0; pos < index_data.size(); pos += 24) {
     reader->index_.push_back({DecodeFixed64(index_data.data() + pos),
@@ -86,7 +101,9 @@ std::unique_ptr<TableReader> TableReader::Open(
 
   if (policy != nullptr && filter_size > 0) {
     std::string filter_data;
-    if (!ReadAt(f, filter_off, filter_size, &filter_data)) return nullptr;
+    if (!reader->ReadFileAt(filter_off, filter_size, &filter_data)) {
+      return nullptr;
+    }
     // The block is registry-framed; a corrupt or unknown block loads as
     // null and the table falls back to scanning.
     if (stats != nullptr) {
@@ -114,12 +131,12 @@ bool TableReader::ReadBlockAt(size_t index_pos, std::string* buffer,
   bool ok;
   if (stats != nullptr) {
     Timer timer;
-    ok = ReadAt(file_, entry.offset, entry.size, buffer);
+    ok = ReadFileAt(entry.offset, entry.size, buffer);
     stats->io_nanos += timer.ElapsedNanos();
     ++stats->blocks_read;
     stats->bytes_read += entry.size;
   } else {
-    ok = ReadAt(file_, entry.offset, entry.size, buffer);
+    ok = ReadFileAt(entry.offset, entry.size, buffer);
   }
   return ok;
 }

@@ -6,13 +6,20 @@
 // and parsed at most once while it stays resident, and MultiGet
 // batch-probes the filter (MayContainBatch) then visits each surviving
 // block once for all keys that map to it.
+//
+// All read methods are const and safe to call from many threads at
+// once: file access uses positioned reads (pread) so no seek state is
+// shared, loaded filters are immutable, the block cache is internally
+// locked, and stats counters are atomics.
 
 #ifndef BLOOMRF_LSM_TABLE_READER_H_
 #define BLOOMRF_LSM_TABLE_READER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -24,16 +31,49 @@
 namespace bloomrf {
 
 /// Aggregated probe-cost counters (shared by DB across its tables).
+/// Fields are relaxed atomics so concurrent readers can account into
+/// one instance without tearing; copying takes a (non-atomic-as-a-
+/// whole) field-by-field snapshot, which is exact whenever the copier
+/// has quiesced the readers and merely approximate otherwise.
 struct LsmStats {
-  uint64_t filter_probes = 0;
-  uint64_t filter_negatives = 0;
-  uint64_t blocks_read = 0;  // physical reads (cache misses included)
-  uint64_t bytes_read = 0;
-  uint64_t block_cache_hits = 0;
-  uint64_t block_cache_misses = 0;
-  uint64_t filter_probe_nanos = 0;
-  uint64_t io_nanos = 0;
-  uint64_t deser_nanos = 0;
+  std::atomic<uint64_t> filter_probes{0};
+  std::atomic<uint64_t> filter_negatives{0};
+  std::atomic<uint64_t> blocks_read{0};  // physical reads (cache misses incl.)
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> block_cache_hits{0};
+  std::atomic<uint64_t> block_cache_misses{0};
+  std::atomic<uint64_t> filter_probe_nanos{0};
+  std::atomic<uint64_t> io_nanos{0};
+  std::atomic<uint64_t> deser_nanos{0};
+
+  LsmStats() = default;
+  LsmStats(const LsmStats& o) { *this = o; }
+  LsmStats& operator=(const LsmStats& o) {
+    if (this == &o) return *this;
+    filter_probes = o.filter_probes.load(std::memory_order_relaxed);
+    filter_negatives = o.filter_negatives.load(std::memory_order_relaxed);
+    blocks_read = o.blocks_read.load(std::memory_order_relaxed);
+    bytes_read = o.bytes_read.load(std::memory_order_relaxed);
+    block_cache_hits = o.block_cache_hits.load(std::memory_order_relaxed);
+    block_cache_misses = o.block_cache_misses.load(std::memory_order_relaxed);
+    filter_probe_nanos = o.filter_probe_nanos.load(std::memory_order_relaxed);
+    io_nanos = o.io_nanos.load(std::memory_order_relaxed);
+    deser_nanos = o.deser_nanos.load(std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Adds another instance's counters into this one (shard roll-up).
+  void Accumulate(const LsmStats& o) {
+    filter_probes += o.filter_probes.load(std::memory_order_relaxed);
+    filter_negatives += o.filter_negatives.load(std::memory_order_relaxed);
+    blocks_read += o.blocks_read.load(std::memory_order_relaxed);
+    bytes_read += o.bytes_read.load(std::memory_order_relaxed);
+    block_cache_hits += o.block_cache_hits.load(std::memory_order_relaxed);
+    block_cache_misses += o.block_cache_misses.load(std::memory_order_relaxed);
+    filter_probe_nanos += o.filter_probe_nanos.load(std::memory_order_relaxed);
+    io_nanos += o.io_nanos.load(std::memory_order_relaxed);
+    deser_nanos += o.deser_nanos.load(std::memory_order_relaxed);
+  }
 
   void Reset() { *this = LsmStats{}; }
 };
@@ -100,6 +140,9 @@ class TableReader {
     uint64_t size;
   };
 
+  /// Positioned read of [offset, offset+size) into `out`; thread-safe
+  /// (pread on POSIX, io_mu_-guarded seek+read elsewhere).
+  bool ReadFileAt(uint64_t offset, uint64_t size, std::string* out) const;
   bool ReadBlockAt(size_t index_pos, std::string* buffer,
                    LsmStats* stats) const;
   /// Cache-aware fetch: returns the parsed block at `index_pos` from
@@ -111,6 +154,9 @@ class TableReader {
   int64_t FindBlock(uint64_t key) const;
 
   std::FILE* file_ = nullptr;
+  /// Serializes seek+read on platforms without pread (Windows); unused
+  /// on POSIX, where positioned reads need no shared cursor.
+  mutable std::mutex io_mu_;
   std::vector<IndexEntry> index_;
   std::unique_ptr<PointRangeFilter> filter_;
   std::shared_ptr<BlockCache> cache_;

@@ -1,0 +1,28 @@
+#include "lsm/version.h"
+
+namespace bloomrf {
+
+std::shared_ptr<const Version> Version::WithSealedActive(
+    std::shared_ptr<MemTable> fresh) const {
+  std::shared_ptr<Version> next(new Version(Raw{}));
+  next->active_ = std::move(fresh);
+  next->sealed_ = sealed_;
+  next->sealed_.push_back(active_);
+  next->tables_ = tables_;
+  return next;
+}
+
+std::shared_ptr<const Version> Version::WithFlushed(
+    const MemTable* flushed, std::shared_ptr<const TableReader> table) const {
+  std::shared_ptr<Version> next(new Version(Raw{}));
+  next->active_ = active_;
+  next->sealed_.reserve(sealed_.size());
+  for (const auto& mem : sealed_) {
+    if (mem.get() != flushed) next->sealed_.push_back(mem);
+  }
+  next->tables_ = tables_;
+  next->tables_.push_back(std::move(table));
+  return next;
+}
+
+}  // namespace bloomrf

@@ -1,0 +1,101 @@
+// Immutable snapshot of a Db's complete readable state: the active
+// memtable, the sealed (flush-pending) memtables, and the SST reader
+// set, newest last in both lists.
+//
+// A Version is never mutated after construction (the active MemTable's
+// *contents* grow — it is internally locked — but which object is
+// active only changes by publishing a new Version). State changes
+// build a new Version from the current one (WithSealedActive /
+// WithFlushed) and publish it through VersionSet's atomically-swapped
+// shared_ptr, so a reader takes one snapshot (Current()) and runs
+// lock-free against a stable memtable/table list while writers seal
+// and the background flush thread installs freshly written SSTs.
+// Because sealing swaps the active memtable and records it as sealed
+// in a single publication, no read interleaving can miss or
+// double-count a memtable. Readers holding an old Version keep its
+// memtables and tables alive through shared ownership; nothing is torn
+// down under them.
+//
+// Mutators must externally serialize their read-modify-publish
+// sequences (Db uses one version mutex); VersionSet makes the
+// publication itself atomic so readers never observe a partially
+// updated pointer. The swap is guarded by a tiny internal mutex rather
+// than std::atomic<std::shared_ptr>: libstdc++'s _Sp_atomic uses a
+// lock-bit protocol ThreadSanitizer cannot model (false positives even
+// on a plain store/load pair), and a pointer copy under an
+// uncontended mutex costs the same handful of atomic ops.
+
+#ifndef BLOOMRF_LSM_VERSION_H_
+#define BLOOMRF_LSM_VERSION_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "lsm/memtable.h"
+#include "lsm/table_reader.h"
+
+namespace bloomrf {
+
+class Version {
+ public:
+  /// Base version: fresh empty active memtable, nothing else.
+  Version() : active_(std::make_shared<MemTable>()) {}
+
+  /// The memtable currently absorbing writes (newest data of all).
+  const std::shared_ptr<MemTable>& active() const { return active_; }
+  /// Sealed memtables awaiting (or having failed) flush, oldest
+  /// first. Every sealed memtable is newer than every table.
+  const std::vector<std::shared_ptr<const MemTable>>& sealed() const {
+    return sealed_;
+  }
+  /// L0 SST readers, oldest first (append order = flush order).
+  const std::vector<std::shared_ptr<const TableReader>>& tables() const {
+    return tables_;
+  }
+
+  /// New Version whose active memtable is `fresh` and whose sealed
+  /// list gains the previously active memtable — the seal step, as one
+  /// atomic publication.
+  std::shared_ptr<const Version> WithSealedActive(
+      std::shared_ptr<MemTable> fresh) const;
+
+  /// New Version with the sealed entry `flushed` removed (compared by
+  /// address; a no-op removal is fine) and `table` appended.
+  std::shared_ptr<const Version> WithFlushed(
+      const MemTable* flushed, std::shared_ptr<const TableReader> table) const;
+
+ private:
+  struct Raw {};  // tag: the With* builders fill every field themselves
+  explicit Version(Raw) {}
+
+  std::shared_ptr<MemTable> active_;
+  std::vector<std::shared_ptr<const MemTable>> sealed_;
+  std::vector<std::shared_ptr<const TableReader>> tables_;
+};
+
+/// Holder of the current Version: readers copy the pointer in one
+/// short critical section and then run lock-free on the snapshot;
+/// Publish() atomically swaps it.
+class VersionSet {
+ public:
+  VersionSet() : current_(std::make_shared<const Version>()) {}
+
+  std::shared_ptr<const Version> Current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  void Publish(std::shared_ptr<const Version> v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(v);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const Version> current_;
+};
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_LSM_VERSION_H_

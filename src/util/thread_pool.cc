@@ -1,0 +1,104 @@
+#include "util/thread_pool.h"
+
+namespace bloomrf {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  // Tasks still queued at shutdown run on the destructing thread so
+  // every TaskGroup::Wait() can complete.
+  while (RunOneTask()) {
+  }
+}
+
+void ThreadPool::Enqueue(Task task) {
+  if (threads_.empty()) {
+    task.fn();
+    Finish(task);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  Enqueue(Task{std::move(fn), nullptr});
+}
+
+bool ThreadPool::RunOneTask() {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task.fn();
+  Finish(task);
+  return true;
+}
+
+void ThreadPool::Finish(const Task& task) {
+  if (task.group == nullptr) return;
+  TaskGroup* group = task.group;
+  // Notify while holding mu_: the waiter cannot leave Wait() (and
+  // destroy the group, cv included) until this thread has left
+  // notify_all and released the lock.
+  std::lock_guard<std::mutex> lock(group->mu_);
+  --group->pending_;
+  if (group->pending_ == 0) group->cv_.notify_all();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task.fn();
+    Finish(task);
+  }
+}
+
+void TaskGroup::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Enqueue(ThreadPool::Task{std::move(fn), this});
+}
+
+void TaskGroup::Wait() {
+  // Help drain the pool queue first: on hosts with fewer cores than
+  // the fan-out (or when other groups saturate the workers) the waiter
+  // contributes a lane instead of blocking.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_ == 0) return;
+    }
+    if (!pool_->RunOneTask()) break;  // queue empty: tasks in flight
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace bloomrf

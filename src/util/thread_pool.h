@@ -1,0 +1,94 @@
+// Small reusable worker pool for shard-parallel fan-out.
+//
+// ShardedDb submits one task per shard for every MultiGet/ScanRange
+// batch; spawning threads per call would dominate the batch cost, so a
+// fixed set of workers drains a shared FIFO queue instead. Submitters
+// get a TaskGroup to wait on, so several client threads can fan out
+// over the same pool concurrently and each only blocks on its own
+// tasks.
+//
+// Thread-safe: Submit may be called from any thread, including from a
+// worker (tasks never block on other tasks here, so there is no
+// deadlock through the queue). TaskGroup::Wait runs queued tasks on
+// the calling thread while it waits, so a pool smaller than the fan-out
+// (or a single-core host) still makes progress at full parallelism.
+
+#ifndef BLOOMRF_UTIL_THREAD_POOL_H_
+#define BLOOMRF_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bloomrf {
+
+class ThreadPool;
+
+/// Completion tracker for one submitter's batch of tasks. Reusable:
+/// Wait() resets the group for the next round of Submit calls.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `fn` on the pool (or runs it inline when the pool has no
+  /// workers) and counts it toward the next Wait().
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted since the last Wait() has
+  /// finished. The calling thread steals queued tasks (its own or
+  /// other groups') instead of idling.
+  void Wait();
+
+ private:
+  friend class ThreadPool;
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;  // guarded by mu_
+};
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; 0 makes every Submit run inline
+  /// (useful to take the pool out of the picture in tests/benches).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Fire-and-forget task with no completion tracking.
+  void Submit(std::function<void()> fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  friend class TaskGroup;
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group;  // null for untracked tasks
+  };
+
+  void Enqueue(Task task);
+  /// Pops one task if available and runs it. Returns false when the
+  /// queue was empty.
+  bool RunOneTask();
+  static void Finish(const Task& task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;  // guarded by mu_
+  bool stop_ = false;       // guarded by mu_
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_UTIL_THREAD_POOL_H_

@@ -171,6 +171,75 @@ TEST_F(DbTest, FlushFailureKeepsDataQueryable) {
   EXPECT_EQ(rows.size(), 500u);
 }
 
+TEST_F(DbTest, FailedFlushRetriesInSealOrder) {
+  // Regression: a sealed memtable whose flush failed must not be
+  // overtaken by a later seal's SST — tables must install in seal
+  // order even across failures, or the stuck (older) sealed memtable
+  // would shadow the newer table's values on reads. Each drain call
+  // retries the failed flush until the "disk" heals.
+  bool fail = true;
+  DbOptions options;
+  options.dir = dir_;
+  options.filter_policy = NewBloomPolicy(10.0);
+  options.memtable_bytes = 16 << 10;
+  options.flush_fault = [&fail] { return fail; };
+  Db db(options);
+
+  ASSERT_TRUE(db.Put(7, "v1"));
+  EXPECT_FALSE(db.Flush());  // seal #1 fails, stays queued + readable
+  EXPECT_EQ(db.num_tables(), 0u);
+  std::string value;
+  ASSERT_TRUE(db.Get(7, &value));
+  EXPECT_EQ(value, "v1");
+
+  // A Put-only writer must hear about the pending failure: the next
+  // Put that seals (crosses the budget) reports false.
+  ASSERT_TRUE(db.Put(7, "v2"));  // newer value, below budget: fine
+  bool sealing_put_failed = false;
+  for (uint64_t k = 100; k < 1000 && !sealing_put_failed; ++k) {
+    sealing_put_failed = !db.Put(k, std::string(64, 'p'));
+  }
+  EXPECT_TRUE(sealing_put_failed);
+
+  EXPECT_FALSE(db.Flush());  // still failing; both seals queued
+  ASSERT_TRUE(db.Get(7, &value));
+  EXPECT_EQ(value, "v2");  // newest sealed memtable wins
+
+  fail = false;  // disk heals: next drain flushes both, oldest first
+  EXPECT_TRUE(db.Flush());
+  EXPECT_GE(db.num_tables(), 2u);
+  ASSERT_TRUE(db.Get(7, &value));
+  EXPECT_EQ(value, "v2");  // newer SST still wins after install
+  auto rows = db.RangeScan(0, 99);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].second, "v2");
+}
+
+TEST_F(DbTest, FailedFlushRetriesInSealOrderSynchronous) {
+  // Same ordering guarantee with background_flush off: the sealing
+  // Put/Flush drains inline and keeps the failed memtable at the
+  // queue front.
+  bool fail = true;
+  DbOptions options;
+  options.dir = dir_;
+  options.filter_policy = NewBloomPolicy(10.0);
+  options.memtable_bytes = 1 << 20;
+  options.background_flush = false;
+  options.flush_fault = [&fail] { return fail; };
+  Db db(options);
+
+  ASSERT_TRUE(db.Put(7, "v1"));
+  EXPECT_FALSE(db.Flush());
+  ASSERT_TRUE(db.Put(7, "v2"));
+  EXPECT_FALSE(db.Flush());
+  fail = false;
+  EXPECT_TRUE(db.Flush());
+  EXPECT_EQ(db.num_tables(), 2u);
+  std::string value;
+  ASSERT_TRUE(db.Get(7, &value));
+  EXPECT_EQ(value, "v2");
+}
+
 TEST_F(DbTest, WorksWithEveryPolicy) {
   // Every registered backend runs through the same generic registry
   // policy; one legacy shim covers the parameter-carrying spellings.

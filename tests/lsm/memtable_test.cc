@@ -1,0 +1,61 @@
+#include "lsm/memtable.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace bloomrf {
+namespace {
+
+TEST(MemTableTest, ByteAccountingOnInsert) {
+  MemTable mem;
+  EXPECT_EQ(mem.ApproximateBytes(), 0u);
+  mem.Put(1, "abcd");
+  EXPECT_EQ(mem.ApproximateBytes(), 8u + 4u);
+  mem.Put(2, "xy");
+  EXPECT_EQ(mem.ApproximateBytes(), 8u + 4u + 8u + 2u);
+}
+
+// Regression: insert_or_assign of an existing key used to never adjust
+// bytes_ for the new value size, so repeated overwrites with growing
+// values dodged the flush threshold.
+TEST(MemTableTest, ByteAccountingOnOverwrite) {
+  MemTable mem;
+  mem.Put(7, "aa");
+  EXPECT_EQ(mem.ApproximateBytes(), 8u + 2u);
+  mem.Put(7, std::string(100, 'b'));  // grows
+  EXPECT_EQ(mem.ApproximateBytes(), 8u + 100u);
+  mem.Put(7, "c");  // shrinks
+  EXPECT_EQ(mem.ApproximateBytes(), 8u + 1u);
+  EXPECT_EQ(mem.size(), 1u);
+  std::string value;
+  ASSERT_TRUE(mem.Get(7, &value));
+  EXPECT_EQ(value, "c");
+}
+
+TEST(MemTableTest, GrowingOverwritesReachFlushThreshold) {
+  // One key overwritten with ever-larger values must eventually cross
+  // any fixed byte budget.
+  MemTable mem;
+  const uint64_t budget = 64 << 10;
+  std::string value;
+  for (size_t size = 1; mem.ApproximateBytes() < budget; size *= 2) {
+    ASSERT_LE(size, budget * 4u) << "overwrites never grew bytes_";
+    value.assign(size, 'v');
+    mem.Put(42, value);
+  }
+  EXPECT_GE(mem.ApproximateBytes(), budget);
+  EXPECT_EQ(mem.size(), 1u);
+}
+
+TEST(MemTableTest, ClearResetsBytes) {
+  MemTable mem;
+  mem.Put(1, "abc");
+  mem.Put(1, "defgh");
+  mem.Clear();
+  EXPECT_EQ(mem.ApproximateBytes(), 0u);
+  EXPECT_TRUE(mem.empty());
+}
+
+}  // namespace
+}  // namespace bloomrf

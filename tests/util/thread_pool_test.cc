@@ -1,0 +1,100 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace bloomrf {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    group.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsRunsInline) {
+  ThreadPool pool(0);
+  TaskGroup group(&pool);
+  int count = 0;  // no atomics needed: everything runs on this thread
+  for (int i = 0; i < 10; ++i) {
+    group.Submit([&count] { ++count; });
+  }
+  group.Wait();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(ThreadPoolTest, GroupIsReusableAcrossRounds) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      group.Submit([&count] { count.fetch_add(1); });
+    }
+    group.Wait();
+    EXPECT_EQ(count.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, WaiterStealsWhenPoolIsSmallerThanFanout) {
+  // A 1-thread pool given tasks that each take a while: Wait() must
+  // help run them rather than serialize behind the single worker.
+  ThreadPool pool(1);
+  TaskGroup group(&pool);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    group.Submit([&count] { count.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, ConcurrentGroupsDoNotCrossSignal) {
+  // Two client threads fan out over the same pool; each must only wait
+  // for its own tasks and see its own full count.
+  ThreadPool pool(4);
+  std::atomic<int> a{0}, b{0};
+  std::thread ta([&] {
+    TaskGroup group(&pool);
+    for (int round = 0; round < 20; ++round) {
+      for (int i = 0; i < 10; ++i) group.Submit([&a] { a.fetch_add(1); });
+      group.Wait();
+      ASSERT_EQ(a.load() % 10, 0);
+    }
+  });
+  std::thread tb([&] {
+    TaskGroup group(&pool);
+    for (int round = 0; round < 20; ++round) {
+      for (int i = 0; i < 10; ++i) group.Submit([&b] { b.fetch_add(1); });
+      group.Wait();
+      ASSERT_EQ(b.load() % 10, 0);
+    }
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.load(), 200);
+  EXPECT_EQ(b.load(), 200);
+}
+
+TEST(ThreadPoolTest, FireAndForgetCompletesBeforeDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 30; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // Destructor drains the queue.
+  }
+  EXPECT_EQ(count.load(), 30);
+}
+
+}  // namespace
+}  // namespace bloomrf
