@@ -9,8 +9,10 @@ dispatched on the committed file's "bench" field:
   batch_probe     bench_batch_probe --smoke    bloomRF point/range batch
                   speedup over the scalar loop.
   lsm_concurrent  bench_lsm_throughput --smoke ShardedDb MultiGet/
-                  ScanRange 1->8-thread scaling (8 shards) and the
-                  1-shard/plain-Db MultiGet throughput ratio.
+                  ScanRange/Put/mixed 1->8-thread scaling (8 shards),
+                  the 1-shard/plain-Db MultiGet throughput ratio, and
+                  the WAL-on/WAL-off put-throughput ratio (group-commit
+                  overhead, wal_fsync=false).
 
 The committed `guard` floors are intentionally conservative (the
 benches write them as 0.8x of their measured values, scaling floors
@@ -52,6 +54,15 @@ def batch_probe_checks(current, committed):
     ]
 
 
+def write_cell(doc, shards, threads):
+    for row in doc["write"]:
+        if row["shards"] == shards and row["threads"] == threads:
+            return row
+    raise SystemExit(
+        f"perf_guard: no write row for shards={shards} threads={threads}"
+    )
+
+
 def lsm_concurrent_checks(current, committed):
     guard = committed["guard"]
     t1 = scaling_cell(current, 8, 1)
@@ -69,10 +80,10 @@ def lsm_concurrent_checks(current, committed):
     # than 8, the committed floor (possibly from a big bench host) is
     # unreachable for physical, not regression, reasons — only require
     # that 8 threads don't collapse below ~serial speed. The
-    # single-shard overhead ratio is core-count independent.
+    # single-shard overhead and WAL ratios are core-count independent.
     hw = current.get("hardware_concurrency", 0)
     scaling_cap = 0.8 if hw and hw < 8 else float("inf")
-    return [
+    checks = [
         ("multiget 1->8-thread scaling", multiget_scaling,
          min(guard["multiget_scaling_8t"], scaling_cap)),
         ("scanrange 1->8-thread scaling", scanrange_scaling,
@@ -80,6 +91,37 @@ def lsm_concurrent_checks(current, committed):
         ("1-shard/plain-Db multiget ratio", single_shard_ratio,
          guard["single_shard_multiget_ratio"]),
     ]
+    # Write-path floors arrived with the group-commit WAL; tolerate a
+    # committed file that predates them so the two changes can land in
+    # either order.
+    if "put_scaling_8t" in guard and "write" in current:
+        wal = current["wal"]
+        max_shards = wal["max_shards"]
+        max_threads = wal["max_threads"]
+        w1 = write_cell(current, max_shards, 1)
+        wt = write_cell(current, max_shards, max_threads)
+        put_scaling = (
+            wt["put_mops"] / w1["put_mops"] if w1["put_mops"] else 0
+        )
+        mixed_scaling = (
+            wt["mixed_mops"] / w1["mixed_mops"] if w1["mixed_mops"] else 0
+        )
+        # Write scaling needs a lower small-host cap than read scaling:
+        # oversubscribed writers contend on the group-commit mutex and
+        # the memtable seal lock, so 8 threads on 1 core land around
+        # half of serial — normal, not a regression. Only guard against
+        # a total collapse (threads deadlocking or fully serializing
+        # through a convoy).
+        write_scaling_cap = 0.3 if hw and hw < 8 else float("inf")
+        checks += [
+            ("put 1->8-thread scaling", put_scaling,
+             min(guard["put_scaling_8t"], write_scaling_cap)),
+            ("mixed 1->8-thread scaling", mixed_scaling,
+             min(guard["mixed_scaling_8t"], write_scaling_cap)),
+            ("WAL-on/off put ratio (1s/1t)", wal["put_ratio_1s1t"],
+             guard["wal_put_ratio"]),
+        ]
+    return checks
 
 
 def main():

@@ -2,21 +2,92 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <system_error>
 
 #include "lsm/table_builder.h"
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace bloomrf {
+
+namespace {
+
+/// Parses "<stem><number><suffix>" names, e.g. wal-12.log or 7.sst.
+bool ParseNumberedFile(const std::string& name, const std::string& stem,
+                       const std::string& suffix, uint64_t* number) {
+  if (name.size() <= stem.size() + suffix.size()) return false;
+  if (name.compare(0, stem.size(), stem) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  std::string digits =
+      name.substr(stem.size(), name.size() - stem.size() - suffix.size());
+  if (digits.empty()) return false;
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *number = value;
+  return true;
+}
+
+/// All files in `dir` matching stem/suffix, sorted by number.
+std::vector<std::pair<uint64_t, std::string>> ListNumberedFiles(
+    const std::string& dir, const std::string& stem,
+    const std::string& suffix) {
+  std::vector<std::pair<uint64_t, std::string>> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    uint64_t number;
+    if (ParseNumberedFile(entry.path().filename().string(), stem, suffix,
+                          &number)) {
+      files.emplace_back(number, entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Forces file contents to stable storage (durable-flush requirement
+/// before the covering WAL may be deleted when wal_fsync is on).
+bool SyncFile(const std::string& path) {
+#ifndef _WIN32
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+#ifdef __linux__
+  bool ok = ::fdatasync(fd) == 0;
+#else
+  bool ok = ::fsync(fd) == 0;
+#endif
+  ::close(fd);
+  return ok;
+#else
+  return true;  // stdio writes were already flushed at fclose
+#endif
+}
+
+}  // namespace
 
 Db::Db(DbOptions options) : options_(std::move(options)) {
   std::error_code ec;
   std::filesystem::create_directories(options_.dir, ec);
+  if (!options_.wal_dir.empty()) {
+    std::filesystem::create_directories(options_.wal_dir, ec);
+  }
   if (options_.block_cache == nullptr && options_.block_cache_bytes > 0) {
     options_.block_cache =
         std::make_shared<BlockCache>(options_.block_cache_bytes);
   }
+  active_ = versions_.Current()->active();
+  Recover();
+  if (options_.wal) RotateWal();
   if (options_.background_flush) {
     flush_thread_ = std::thread([this] { FlushWorker(); });
   }
@@ -31,36 +102,146 @@ Db::~Db() {
     flush_work_cv_.notify_all();
     flush_thread_.join();  // worker drains the queue before exiting
   }
+  if (wal_ != nullptr) {
+    if (active_->empty()) {
+      // Clean close with nothing unflushed: zero records went into the
+      // current log since its rotation (appends and memtable inserts
+      // travel together), so it is empty — remove the litter.
+      std::string path = wal_->path();
+      wal_.reset();
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    } else {
+      // Push any OS-buffered WAL bytes down so a clean close is
+      // recoverable even without wal_fsync.
+      wal_->Sync();
+    }
+  }
+}
+
+void Db::Recover() {
+  // SSTs first: file-number order is seal order (flushes install
+  // strictly oldest-first), so appending in that order rebuilds the
+  // newest-last table list readers expect.
+  auto ssts = ListNumberedFiles(options_.dir, "", ".sst");
+  std::shared_ptr<const Version> version = versions_.Current();
+  uint64_t max_sst = 0;
+  for (const auto& [number, path] : ssts) {
+    max_sst = std::max(max_sst, number);
+    auto reader =
+        TableReader::Open(path, options_.filter_policy.get(), &stats_,
+                          options_.block_cache);
+    if (reader == nullptr) {
+      // Torn SST from a crash mid-flush: its WAL was never deleted, so
+      // the data comes back through replay below.
+      stats_.SetLastError("recover: skipping unreadable " + path);
+      continue;
+    }
+    version = version->WithFlushed(nullptr, std::move(reader));
+    ++recovery_stats_.tables_loaded;
+  }
+  if (recovery_stats_.tables_loaded > 0) {
+    std::lock_guard<std::mutex> lock(version_mu_);
+    versions_.Publish(version);
+  }
+  next_file_number_.store(max_sst + 1, std::memory_order_relaxed);
+
+  // WAL replay: every surviving log, oldest first, into the fresh
+  // active memtable. Overwrites re-apply in original order, so the
+  // memtable ends bit-identical to the pre-crash one (and shadows the
+  // SSTs it may partially duplicate, with identical values).
+  auto logs = ListNumberedFiles(WalDirPath(), "wal-", ".log");
+  uint64_t max_log = 0;
+  for (const auto& [number, path] : logs) {
+    max_log = std::max(max_log, number);
+    WalReplayResult replay =
+        WalReplay(path, [this](uint64_t key, std::string_view value) {
+          active_->Put(key, value);
+        });
+    ++recovery_stats_.wal_files_replayed;
+    recovery_stats_.wal_records_replayed += replay.records;
+    recovery_stats_.wal_entries_replayed += replay.entries;
+    recovery_stats_.wal_clean &= replay.clean;
+  }
+  // The replayed data is only covered by the logs it came from: keep
+  // them until the memtable holding it flushes (active_max_log_ rides
+  // into the next seal's max_log).
+  next_wal_number_ = max_log + 1;
+  active_max_log_ = max_log;
+}
+
+void Db::RotateWal() {
+  uint64_t number = next_wal_number_++;
+  wal_ = std::make_unique<WalWriter>(
+      WalDirPath() + "/wal-" + std::to_string(number) + ".log",
+      options_.wal_fsync, &stats_);
+  active_max_log_ = number;
+}
+
+void Db::DeleteLogsThrough(uint64_t max_log) {
+  if (max_log == 0) return;
+  std::error_code ec;
+  for (const auto& [number, path] :
+       ListNumberedFiles(WalDirPath(), "wal-", ".log")) {
+    if (number <= max_log) std::filesystem::remove(path, ec);
+  }
 }
 
 bool Db::Put(uint64_t key, std::string_view value) {
-  std::lock_guard<std::mutex> lock(write_mu_);
-  // Only write_mu_ holders swap the active memtable, so this snapshot
-  // stays the active one for the whole call.
-  auto active = versions_.Current()->active();
-  active->Put(key, value);
-  if (active->ApproximateBytes() >= options_.memtable_bytes) {
-    return SealActiveLocked();
-  }
-  return true;
+  KV kv{key, value};
+  return PutBatch({&kv, 1});
 }
 
-bool Db::SealActiveLocked() {
-  std::shared_ptr<const MemTable> sealed;
+bool Db::PutBatch(std::span<const KV> kvs) {
+  if (kvs.empty()) return true;
+  bool ok = true;
+  uint64_t bytes;
   {
-    // One publication swaps in a fresh active memtable and records the
-    // old one as sealed, so no reader interleaving can miss it.
-    std::lock_guard<std::mutex> lock(version_mu_);
-    auto current = versions_.Current();
-    if (current->active()->empty()) return true;
-    sealed = current->active();
-    versions_.Publish(
-        current->WithSealedActive(std::make_shared<MemTable>()));
+    // Shared section: writers run concurrently with each other; only
+    // the seal swap excludes them. Logging and inserting under the
+    // same shared hold pins the record to the memtable generation —
+    // rotation can never slip between them.
+    std::shared_lock<std::shared_mutex> seal_lock(seal_mu_);
+    if (wal_ != nullptr) {
+      // Reused per thread so the hot path does not allocate a fresh
+      // record buffer on every Put.
+      thread_local std::string record;
+      WalEncodeRecordTo(kvs, &record);
+      ok = wal_->Append(record);
+    }
+    for (const KV& kv : kvs) active_->Put(kv.key, kv.value);
+    bytes = active_->ApproximateBytes();
+  }
+  if (bytes >= options_.memtable_bytes) {
+    if (!SealActive(/*force=*/false)) ok = false;
+  }
+  return ok;
+}
+
+bool Db::SealActive(bool force) {
+  QueuedFlush entry;
+  {
+    std::unique_lock<std::shared_mutex> seal_lock(seal_mu_);
+    if (active_->empty()) return true;
+    if (!force && active_->ApproximateBytes() < options_.memtable_bytes) {
+      return true;  // a concurrent sealer won; fresh memtable in place
+    }
+    auto fresh = std::make_shared<MemTable>();
+    {
+      // One publication swaps in the fresh active memtable and records
+      // the old one as sealed, so no reader interleaving can miss it.
+      std::lock_guard<std::mutex> lock(version_mu_);
+      versions_.Publish(versions_.Current()->WithSealedActive(fresh));
+    }
+    entry.mem = active_;
+    entry.max_log = active_max_log_;
+    active_ = std::move(fresh);
+    if (options_.wal) RotateWal();
   }
   bool pending_failure = false;
   {
     std::lock_guard<std::mutex> lock(flush_mu_);
-    flush_queue_.push_back(std::move(sealed));
+    flush_queue_.push_back(std::move(entry));
     // A previously failed flush parks the worker; sealing counts as a
     // retry trigger too, so a Put-only application self-recovers once
     // the disk heals — and hears about the failure (return false)
@@ -76,7 +257,10 @@ bool Db::SealActiveLocked() {
 }
 
 std::shared_ptr<const TableReader> Db::WriteSst(const MemTable& mem) {
-  if (options_.flush_fault && options_.flush_fault()) return nullptr;
+  if (options_.flush_fault && options_.flush_fault()) {
+    stats_.SetLastError("flush: injected fault");
+    return nullptr;
+  }
   auto entries = mem.Snapshot();
   TableBuilder builder(options_.filter_policy.get(), options_.block_size);
   for (const auto& [key, value] : entries) builder.Add(key, value);
@@ -85,10 +269,22 @@ std::shared_ptr<const TableReader> Db::WriteSst(const MemTable& mem) {
       std::to_string(next_file_number_.fetch_add(1, std::memory_order_relaxed)) +
       ".sst";
   TableBuildStats build_stats;
-  if (!builder.WriteTo(path, &build_stats)) return nullptr;
+  if (!builder.WriteTo(path, &build_stats)) {
+    stats_.SetLastError("flush: cannot write " + path);
+    return nullptr;
+  }
+  // Durable before the covering WAL becomes deletable: match the WAL's
+  // own durability level (page cache by default, disk with wal_fsync).
+  if (options_.wal && options_.wal_fsync && !SyncFile(path)) {
+    stats_.SetLastError("flush: cannot sync " + path);
+    return nullptr;
+  }
   std::shared_ptr<const TableReader> reader = TableReader::Open(
       path, options_.filter_policy.get(), &stats_, options_.block_cache);
-  if (reader == nullptr) return nullptr;
+  if (reader == nullptr) {
+    stats_.SetLastError("flush: cannot reopen " + path);
+    return nullptr;
+  }
   {
     std::lock_guard<std::mutex> lock(flush_stats_mu_);
     flush_stats_.filter_create_seconds += build_stats.filter_create_seconds;
@@ -98,15 +294,21 @@ std::shared_ptr<const TableReader> Db::WriteSst(const MemTable& mem) {
   return reader;
 }
 
-bool Db::FlushSealed(const std::shared_ptr<const MemTable>& sealed) {
+bool Db::FlushSealed(const QueuedFlush& entry) {
   // The sealed memtable is dropped from the Version only once the SST
   // is written and readable; a failed flush keeps the data queryable
   // from the Version's sealed list.
-  auto table = WriteSst(*sealed);
+  auto table = WriteSst(*entry.mem);
   if (table == nullptr) return false;
-  std::lock_guard<std::mutex> lock(version_mu_);
-  versions_.Publish(
-      versions_.Current()->WithFlushed(sealed.get(), std::move(table)));
+  {
+    std::lock_guard<std::mutex> lock(version_mu_);
+    versions_.Publish(
+        versions_.Current()->WithFlushed(entry.mem.get(), std::move(table)));
+  }
+  // The memtable's data now lives in an installed SST: every log up to
+  // its rotation point is obsolete (newer memtables only touch newer
+  // logs, by the rotation-under-exclusive-seal invariant).
+  DeleteLogsThrough(entry.max_log);
   return true;
 }
 
@@ -116,9 +318,9 @@ bool Db::DrainQueueInline() {
   std::lock_guard<std::mutex> drain_lock(inline_drain_mu_);
   std::unique_lock<std::mutex> lock(flush_mu_);
   while (!flush_queue_.empty()) {
-    auto sealed = flush_queue_.front();  // stays queued until success
+    QueuedFlush entry = flush_queue_.front();  // queued until success
     lock.unlock();
-    bool ok = FlushSealed(sealed);
+    bool ok = FlushSealed(entry);
     lock.lock();
     if (!ok) return false;  // retried (in order) by the next drain call
     flush_queue_.pop_front();
@@ -141,17 +343,18 @@ void Db::FlushWorker() {
     }
     if (flush_error_ && !stop_) continue;  // parked until a retry trigger
     flush_error_ = false;                  // shutdown: one final retry
-    auto sealed = flush_queue_.front();  // stays queued until success
+    QueuedFlush entry = flush_queue_.front();  // queued until success
     lock.unlock();
-    bool ok = FlushSealed(sealed);
+    bool ok = FlushSealed(entry);
     lock.lock();
     if (ok) {
       flush_queue_.pop_front();
     } else {
       flush_error_ = true;
       // Shutdown cannot wait for the disk to heal: give this memtable
-      // up so the destructor's join terminates (it has no way to
-      // report; the last drain already returned false).
+      // up so the destructor's join terminates. With the WAL on
+      // nothing is lost — its log survives (deletion only follows a
+      // successful flush) and the next open replays it.
       if (stop_) flush_queue_.pop_front();
     }
     flush_done_cv_.notify_all();
@@ -159,11 +362,7 @@ void Db::FlushWorker() {
 }
 
 bool Db::Flush() {
-  bool sealed_ok;
-  {
-    std::lock_guard<std::mutex> lock(write_mu_);
-    sealed_ok = SealActiveLocked();
-  }
+  bool sealed_ok = SealActive(/*force=*/true);
   return WaitForFlush() && sealed_ok;
 }
 

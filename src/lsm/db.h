@@ -10,18 +10,23 @@
 //  - probe-cost accounting (filter time, I/O wait, deserialization)
 //    for the Fig. 12.G breakdown.
 //
-// Threading model (see README "Storage engine threading model"):
+// Threading model (see README "Write path & durability"):
 //  - Get/MultiGet/RangeScan/ScanRange/RangeMayMatch are safe from any
 //    number of threads concurrently with writers. Each read takes one
 //    snapshot of the current immutable Version (active memtable +
 //    sealed memtables + SST readers, published through an atomically-
 //    swapped shared_ptr) and runs lock-free against that stable list.
-//  - Put from multiple threads is serialized by an internal write
-//    mutex. When the active memtable fills it is sealed into the
-//    current Version and handed to a background flush thread
-//    (DbOptions::background_flush, default on), so writers never block
-//    on SST fwrite. Flush()/WaitForFlush() drain pending flushes; the
-//    destructor drains too.
+//  - Put/PutBatch from multiple threads run concurrently: the memtable
+//    is an arena-backed concurrent skiplist (CAS-spliced inserts), the
+//    WAL batches all concurrent appends into one group-commit write,
+//    and the only serialization writers share is a shared_mutex read
+//    lock around the seal swap (writers among themselves are
+//    lock-free; sealing takes the lock exclusively for one pointer
+//    swap + WAL rotation).
+//  - Durability: with DbOptions::wal every Put is logged before it is
+//    applied; reopening a Db replays the log tail into a fresh
+//    memtable and re-opens the existing SSTs, so a crash loses at most
+//    the records after the last group commit (none with wal_fsync).
 //
 //   DbOptions options;
 //   options.dir = "/tmp/db";
@@ -44,6 +49,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -54,6 +60,7 @@
 #include "lsm/memtable.h"
 #include "lsm/table_reader.h"
 #include "lsm/version.h"
+#include "lsm/wal.h"
 
 namespace bloomrf {
 
@@ -72,6 +79,19 @@ struct DbOptions {
   /// writers never wait on file I/O. Off = the sealing Put (or Flush
   /// call) writes the SST synchronously, as before this option.
   bool background_flush = true;
+  /// Write-ahead log: every Put/PutBatch is group-committed to a
+  /// CRC-framed log before it is applied, the log rotates at each
+  /// memtable seal and is deleted once that memtable's flush has
+  /// completed, and opening a Db replays any surviving logs. Off =
+  /// the pre-WAL behaviour (a crash loses the memtable).
+  bool wal = true;
+  /// fdatasync every group commit before Append returns. Off (default)
+  /// leaves the OS page cache between commit and disk: a process crash
+  /// loses nothing, a power loss can lose the last commits.
+  bool wal_fsync = false;
+  /// Directory for wal-*.log files; empty = `dir` (set it to place the
+  /// log on a separate device).
+  std::string wal_dir;
   /// Test-only failure injection: when set and returning true, the
   /// next SST write fails as if the disk did. Exercises the
   /// failed-flush retry path without an unwritable filesystem.
@@ -84,23 +104,40 @@ struct DbFlushStats {
   uint64_t sst_files = 0;
 };
 
+/// What Db's constructor found and replayed from a previous life of
+/// the same directory. Immutable after open.
+struct DbRecoveryStats {
+  uint64_t tables_loaded = 0;        // existing SSTs re-opened
+  uint64_t wal_files_replayed = 0;
+  uint64_t wal_records_replayed = 0;
+  uint64_t wal_entries_replayed = 0;  // key/value pairs re-applied
+  bool wal_clean = true;  // false: replay stopped at a torn/corrupt tail
+};
+
 class Db {
  public:
   explicit Db(DbOptions options);
-  /// Drains pending background flushes, then joins the flush thread.
+  /// Drains pending background flushes, syncs the WAL, then joins the
+  /// flush thread. Unflushed memtable data stays recoverable from the
+  /// WAL (when enabled).
   ~Db();
 
   Db(const Db&) = delete;
   Db& operator=(const Db&) = delete;
 
   /// Inserts/overwrites a key in the active memtable; seals the
-  /// memtable for flushing when it exceeds its budget. With background
-  /// flush the SST write happens off-thread and Put returns
-  /// immediately; the sealed data stays readable throughout. A sealing
-  /// Put returns false when an earlier background flush has failed
-  /// (nothing is lost — the data stays buffered and the seal triggers
-  /// a retry); non-sealing Puts always succeed.
+  /// memtable for flushing when it exceeds its budget. Safe from any
+  /// number of threads concurrently (lock-free skiplist insert behind
+  /// a shared seal lock). Returns false when the WAL append failed or
+  /// a (possibly earlier, background) flush failed — the data stays
+  /// readable in memory either way; see stats().last_error().
   bool Put(uint64_t key, std::string_view value);
+
+  /// Atomicity-of-logging batch write: all of `kvs` go into one WAL
+  /// record (one group-commit participant, so recovery applies all or
+  /// none of the batch) and one memtable pass. The entries land
+  /// individually — concurrent readers may observe a prefix.
+  bool PutBatch(std::span<const KV> kvs);
 
   /// Point read: active memtable, then the snapshot Version (sealed
   /// memtables newest-first, then L0 tables newest-first through their
@@ -155,6 +192,8 @@ class Db {
   /// Snapshot of flush-side counters. Exact after Flush()/
   /// WaitForFlush(); may lag mid-flight flushes otherwise.
   DbFlushStats flush_stats() const;
+  /// What open() recovered from the directory (SSTs + WAL replay).
+  const DbRecoveryStats& recovery_stats() const { return recovery_stats_; }
   size_t num_tables() const { return versions_.Current()->tables().size(); }
   uint64_t filter_memory_bits() const;
   const std::shared_ptr<BlockCache>& block_cache() const {
@@ -162,16 +201,35 @@ class Db {
   }
 
  private:
+  struct QueuedFlush {
+    std::shared_ptr<const MemTable> mem;
+    /// Highest WAL number containing this memtable's data; logs up to
+    /// it are obsolete once the flush durably completes (rotation
+    /// guarantees every newer memtable only touches higher numbers).
+    uint64_t max_log = 0;
+  };
+
+  std::string WalDirPath() const {
+    return options_.wal_dir.empty() ? options_.dir : options_.wal_dir;
+  }
+  /// Loads pre-existing SSTs (file-number order = seal order) and
+  /// replays surviving WAL files into the fresh active memtable.
+  void Recover();
+  /// Opens the next wal-<n>.log and makes it current. Caller holds
+  /// seal_mu_ exclusively (or is the constructor).
+  void RotateWal();
+  /// Removes wal files numbered <= `max_log`.
+  void DeleteLogsThrough(uint64_t max_log);
   /// Seals the active memtable into the current Version (one atomic
   /// publication swaps in a fresh active and records the old one as
-  /// sealed) and appends it to the flush queue — drained by the
-  /// background worker, or inline when background_flush is off.
-  /// Caller holds write_mu_.
-  bool SealActiveLocked();
+  /// sealed), rotates the WAL, and queues the flush. `force` seals any
+  /// non-empty memtable; otherwise only one still over budget (a
+  /// concurrent sealer may have won).
+  bool SealActive(bool force);
   /// Writes one sealed memtable to an SST and swaps it for the new
   /// table in the Version. The sealed memtable stays in the Version on
   /// failure.
-  bool FlushSealed(const std::shared_ptr<const MemTable>& sealed);
+  bool FlushSealed(const QueuedFlush& entry);
   std::shared_ptr<const TableReader> WriteSst(const MemTable& mem);
   /// Synchronous-mode drain: flushes queued memtables front to back,
   /// stopping (and keeping the failed one at the front for the next
@@ -181,10 +239,16 @@ class Db {
 
   DbOptions options_;
 
-  // Write path: one writer at a time appends to the active memtable
-  // and decides sealing; the MemTable itself is internally locked so
-  // readers can probe it concurrently.
-  std::mutex write_mu_;
+  // Write path. Writers take seal_mu_ shared — among themselves they
+  // are lock-free (concurrent skiplist inserts, group-committed WAL
+  // appends). Sealing takes it exclusive for the active-memtable swap
+  // and WAL rotation, which is what keeps "record in log N" and
+  // "entry in memtable sealed with max_log >= N" in lockstep.
+  std::shared_mutex seal_mu_;
+  std::shared_ptr<MemTable> active_;   // == versions_.Current()->active()
+  std::unique_ptr<WalWriter> wal_;     // null when options_.wal is off
+  uint64_t next_wal_number_ = 1;       // guarded by seal_mu_
+  uint64_t active_max_log_ = 0;        // guarded by seal_mu_
 
   // Read-state publication. version_mu_ serializes read-modify-publish
   // sequences (seal on the write path, install on the flush thread);
@@ -201,7 +265,7 @@ class Db {
   std::mutex flush_mu_;
   std::condition_variable flush_work_cv_;  // wakes the worker
   std::condition_variable flush_done_cv_;  // wakes Flush()/WaitForFlush()
-  std::deque<std::shared_ptr<const MemTable>> flush_queue_;
+  std::deque<QueuedFlush> flush_queue_;
   // Set when the queue-front flush failed; the worker parks instead of
   // hot-looping, and stays set (every drain call reports false) until
   // a Flush()/WaitForFlush() triggers a retry that succeeds.
@@ -212,6 +276,7 @@ class Db {
 
   std::atomic<uint64_t> next_file_number_{1};
   LsmStats stats_;
+  DbRecoveryStats recovery_stats_;
   mutable std::mutex flush_stats_mu_;
   DbFlushStats flush_stats_;
 };

@@ -21,11 +21,37 @@ ShardedDb::ShardedDb(ShardedDbOptions options) : options_(std::move(options)) {
     shard_options.block_cache = options_.block_cache;  // shared (may be null)
     shard_options.block_cache_bytes = options_.block_cache_bytes;
     shard_options.background_flush = options_.background_flush;
+    shard_options.wal = options_.wal;
+    shard_options.wal_fsync = options_.wal_fsync;
+    if (!options_.wal_dir.empty()) {
+      shard_options.wal_dir = options_.wal_dir + "/shard-" + std::to_string(i);
+    }
     shards_.push_back(std::make_unique<Db>(std::move(shard_options)));
   }
   size_t workers = options_.worker_threads > 0 ? options_.worker_threads
                                                : options_.num_shards;
   pool_ = std::make_unique<ThreadPool>(workers);
+}
+
+bool ShardedDb::PutBatch(std::span<const KV> kvs) {
+  if (kvs.empty()) return true;
+  if (shards_.size() == 1) return shards_[0]->PutBatch(kvs);
+
+  // Partition per shard (KV views stay valid: they point into the
+  // caller's batch for the whole call).
+  std::vector<std::vector<KV>> sub(shards_.size());
+  for (const KV& kv : kvs) sub[shard_of(kv.key)].push_back(kv);
+
+  std::vector<char> ok(shards_.size(), 1);
+  TaskGroup group(pool_.get());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (sub[s].empty()) continue;
+    group.Submit([this, s, &sub, &ok] {
+      ok[s] = shards_[s]->PutBatch(sub[s]) ? 1 : 0;
+    });
+  }
+  group.Wait();
+  return std::all_of(ok.begin(), ok.end(), [](char c) { return c != 0; });
 }
 
 std::vector<std::optional<std::string>> ShardedDb::MultiGet(

@@ -45,6 +45,12 @@ struct ShardedDbOptions {
   std::shared_ptr<BlockCache> block_cache;
   size_t block_cache_bytes = 32 << 20;
   bool background_flush = true;
+  /// Per-shard write-ahead log (see DbOptions::wal): every shard logs
+  /// its own writes and replays them on reopen. wal_dir, when set,
+  /// holds per-shard subdirectories wal_dir/shard-i.
+  bool wal = true;
+  bool wal_fsync = false;
+  std::string wal_dir;
   /// Fan-out workers for batch APIs; 0 sizes the pool to num_shards.
   /// Callers of MultiGet/ScanRange also steal tasks while waiting, so
   /// even worker_threads == 0 with a 1-shard engine stays a plain
@@ -69,6 +75,12 @@ class ShardedDb {
   bool Get(uint64_t key, std::string* value) {
     return shards_[shard_of(key)]->Get(key, value);
   }
+
+  /// Batched write: entries are partitioned per shard and each shard's
+  /// sub-batch runs Db::PutBatch (one WAL record + one memtable pass
+  /// per shard) as one pool task, mirroring MultiGet's fan-out.
+  /// Atomicity-of-logging holds per shard, not across shards.
+  bool PutBatch(std::span<const KV> kvs);
 
   /// Batched point read, result[i] answering keys[i]. Keys are
   /// partitioned per shard, each shard's sub-batch runs Db::MultiGet

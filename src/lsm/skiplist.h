@@ -1,0 +1,221 @@
+// Concurrent skiplist keyed by uint64, the ordered index inside the
+// memtable (the paper's Problem 2 notes KV-stores absorb new data in a
+// searched main-memory delta — HashSkipLists in RocksDB; this is that
+// structure, grown a lock-free write path).
+//
+// Concurrency model:
+//  - Inserts from any number of threads: nodes are spliced level by
+//    level with CAS loops (bottom level first — a node is logically in
+//    the list once its level-0 link lands; upper levels are shortcuts
+//    that may trail briefly). Only insert/insert races need handling:
+//    a loser whose key was inserted concurrently converts into an
+//    overwrite of the winner's node.
+//  - Readers are lock-free and never retry: next pointers are
+//    acquire-loaded and only ever step forward (links are never
+//    unlinked — nodes live as long as the arena), so iteration is
+//    wait-free per step.
+//  - Overwrites swap the node's value pointer atomically; readers see
+//    either the old or the new complete value, never a mix.
+//
+// Nodes and values live in the caller's Arena; the list itself holds
+// no owning state and is destroyed by dropping the arena with it.
+
+#ifndef BLOOMRF_LSM_SKIPLIST_H_
+#define BLOOMRF_LSM_SKIPLIST_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "util/arena.h"
+#include "util/hash.h"
+
+namespace bloomrf {
+
+class SkipList {
+ private:
+  struct Node;  // defined below; Iterator refers to it
+
+ public:
+  static constexpr int kMaxHeight = 12;
+  static constexpr int kBranching = 4;
+
+  explicit SkipList(Arena* arena)
+      : arena_(arena), head_(NewNode(0, kMaxHeight)), max_height_(1) {
+    for (int i = 0; i < kMaxHeight; ++i) {
+      head_->next[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts `key` -> `value` (an arena-stable pointer, opaque to the
+  /// list) or overwrites an existing node's value. Returns the
+  /// previous value pointer on overwrite, nullptr on fresh insert.
+  /// Safe against concurrent Insert and readers.
+  const char* Insert(uint64_t key, const char* value) {
+    Node* prev[kMaxHeight];
+    Node* next[kMaxHeight];
+    FindSplice(key, prev, next);
+    if (next[0] != nullptr && next[0]->key == key) {
+      return next[0]->value.exchange(value, std::memory_order_acq_rel);
+    }
+
+    int height = RandomHeight();
+    int max_h = max_height_.load(std::memory_order_relaxed);
+    while (height > max_h) {
+      if (max_height_.compare_exchange_weak(max_h, height,
+                                            std::memory_order_relaxed)) {
+        break;
+      }
+      // max_h reloaded by compare_exchange; a taller list is fine —
+      // the splice below starts from head_ at any height.
+    }
+
+    Node* node = NewNode(key, height);
+    node->value.store(value, std::memory_order_relaxed);
+    for (int level = 0; level < height; ++level) {
+      for (;;) {
+        node->next[level].store(next[level], std::memory_order_relaxed);
+        // Release so the node's key/value/links are visible once any
+        // thread reaches it through this link.
+        if (prev[level]->next[level].compare_exchange_strong(
+                next[level], node, std::memory_order_release,
+                std::memory_order_relaxed)) {
+          break;
+        }
+        // Splice moved under us: recompute this level from the old
+        // prev (keys only ever get denser, prev is still <= key).
+        FindSpliceForLevel(key, prev[level], level, &prev[level],
+                           &next[level]);
+        if (level == 0 && next[0] != nullptr && next[0]->key == key) {
+          // A concurrent insert of the same key won the bottom level:
+          // our node was never published, so turn into an overwrite of
+          // the winner (the abandoned node stays in the arena).
+          return next[0]->value.exchange(value, std::memory_order_acq_rel);
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  /// Value pointer for `key`, or nullptr. Lock-free.
+  const char* Get(uint64_t key) const {
+    Node* node = FindGreaterOrEqual(key);
+    if (node == nullptr || node->key != key) return nullptr;
+    return node->value.load(std::memory_order_acquire);
+  }
+
+  /// Forward iterator over the bottom level; safe to use concurrently
+  /// with inserts (sees some linearization of them).
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+    bool Valid() const { return node_ != nullptr; }
+    uint64_t key() const { return node_->key; }
+    const char* value() const {
+      return node_->value.load(std::memory_order_acquire);
+    }
+    void Next() { node_ = node_->Next(0); }
+    void Seek(uint64_t key) { node_ = list_->FindGreaterOrEqual(key); }
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
+
+   private:
+    const SkipList* list_;
+    Node* node_;
+  };
+
+ private:
+  struct Node {
+    uint64_t key;
+    std::atomic<const char*> value;
+    std::atomic<Node*> next[1];  // [height] links, allocated inline
+
+    Node* Next(int level) {
+      return next[level].load(std::memory_order_acquire);
+    }
+  };
+
+  Node* NewNode(uint64_t key, int height) {
+    char* mem = arena_->AllocateAligned(sizeof(Node) +
+                                        (height - 1) * sizeof(node_link_t));
+    Node* node = reinterpret_cast<Node*>(mem);
+    node->key = key;
+    node->value.store(nullptr, std::memory_order_relaxed);
+    for (int i = 0; i < height; ++i) {
+      new (&node->next[i]) std::atomic<Node*>(nullptr);
+    }
+    return node;
+  }
+
+  static int RandomHeight() {
+    // Thread-local stream: heights need no cross-thread coordination,
+    // only a 1/kBranching tail per level.
+    thread_local uint64_t state =
+        0x9e3779b97f4a7c15ULL ^
+        reinterpret_cast<uintptr_t>(&state);
+    uint64_t r = SplitMix64(state);
+    int height = 1;
+    while (height < kMaxHeight && (r & (kBranching - 1)) == 0) {
+      ++height;
+      r >>= 2;
+    }
+    return height;
+  }
+
+  /// First node at `level` after `start` with key >= `key` into *next,
+  /// its predecessor into *prev. `start->key` must be < `key` (head_
+  /// counts as -inf).
+  void FindSpliceForLevel(uint64_t key, Node* start, int level, Node** prev,
+                          Node** next) const {
+    Node* p = start;
+    for (;;) {
+      Node* n = p->Next(level);
+      if (n == nullptr || n->key >= key) {
+        *prev = p;
+        *next = n;
+        return;
+      }
+      p = n;
+    }
+  }
+
+  void FindSplice(uint64_t key, Node** prev, Node** next) const {
+    int top = max_height_.load(std::memory_order_relaxed);
+    Node* start = head_;
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      if (level >= top) {
+        prev[level] = head_;
+        next[level] = nullptr;
+        continue;
+      }
+      FindSpliceForLevel(key, start, level, &prev[level], &next[level]);
+      start = prev[level];
+    }
+  }
+
+  Node* FindGreaterOrEqual(uint64_t key) const {
+    Node* p = head_;
+    int level = max_height_.load(std::memory_order_relaxed) - 1;
+    for (;;) {
+      Node* n = p->Next(level);
+      if (n != nullptr && n->key < key) {
+        p = n;
+      } else if (level > 0) {
+        --level;
+      } else {
+        return n;
+      }
+    }
+  }
+
+  using node_link_t = std::atomic<Node*>;
+
+  Arena* const arena_;
+  Node* const head_;
+  std::atomic<int> max_height_;
+};
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_LSM_SKIPLIST_H_

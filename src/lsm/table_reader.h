@@ -45,6 +45,12 @@ struct LsmStats {
   std::atomic<uint64_t> filter_probe_nanos{0};
   std::atomic<uint64_t> io_nanos{0};
   std::atomic<uint64_t> deser_nanos{0};
+  // Write path: WAL records appended, bytes handed to write() (and
+  // synced when wal_fsync is on), and physical group-commit writes —
+  // appends/batches is the average group size under contention.
+  std::atomic<uint64_t> wal_appends{0};
+  std::atomic<uint64_t> wal_synced_bytes{0};
+  std::atomic<uint64_t> group_commit_batches{0};
 
   LsmStats() = default;
   LsmStats(const LsmStats& o) { *this = o; }
@@ -59,6 +65,11 @@ struct LsmStats {
     filter_probe_nanos = o.filter_probe_nanos.load(std::memory_order_relaxed);
     io_nanos = o.io_nanos.load(std::memory_order_relaxed);
     deser_nanos = o.deser_nanos.load(std::memory_order_relaxed);
+    wal_appends = o.wal_appends.load(std::memory_order_relaxed);
+    wal_synced_bytes = o.wal_synced_bytes.load(std::memory_order_relaxed);
+    group_commit_batches =
+        o.group_commit_batches.load(std::memory_order_relaxed);
+    SetLastError(o.last_error());
     return *this;
   }
 
@@ -73,9 +84,30 @@ struct LsmStats {
     filter_probe_nanos += o.filter_probe_nanos.load(std::memory_order_relaxed);
     io_nanos += o.io_nanos.load(std::memory_order_relaxed);
     deser_nanos += o.deser_nanos.load(std::memory_order_relaxed);
+    wal_appends += o.wal_appends.load(std::memory_order_relaxed);
+    wal_synced_bytes += o.wal_synced_bytes.load(std::memory_order_relaxed);
+    group_commit_batches +=
+        o.group_commit_batches.load(std::memory_order_relaxed);
+    if (last_error().empty()) SetLastError(o.last_error());
+  }
+
+  /// Most recent write-path failure (WAL open/write, flush I/O) — why
+  /// a Put returned false. Empty when nothing has failed. Sticky until
+  /// Reset().
+  std::string last_error() const {
+    std::lock_guard<std::mutex> lock(err_mu_);
+    return last_error_;
+  }
+  void SetLastError(std::string msg) {
+    std::lock_guard<std::mutex> lock(err_mu_);
+    last_error_ = std::move(msg);
   }
 
   void Reset() { *this = LsmStats{}; }
+
+ private:
+  mutable std::mutex err_mu_;
+  std::string last_error_;
 };
 
 class TableReader {

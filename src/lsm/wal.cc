@@ -1,0 +1,359 @@
+#include "lsm/wal.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "lsm/table_reader.h"  // LsmStats
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace bloomrf {
+
+namespace {
+constexpr char kBatchRecord = 1;
+constexpr size_t kHeaderSize = 4 + 4 + 1;  // crc, length, type
+// A length beyond any plausible memtable keeps a garbage header from
+// directing replay to allocate gigabytes.
+constexpr uint32_t kMaxRecordPayload = 1u << 30;
+// Initial mmap window; doubles on overflow. Small enough that the many
+// short-lived logs of a busy store don't reserve much, large enough
+// that a typical memtable's worth of records remaps only a few times.
+constexpr size_t kInitialMapBytes = 64 << 10;
+}  // namespace
+
+void WalEncodeRecordTo(std::span<const KV> kvs, std::string* record) {
+  record->clear();
+  size_t bytes = kHeaderSize + 4;
+  for (const KV& kv : kvs) bytes += 12 + kv.value.size();
+  record->reserve(bytes);
+  // Header placeholder; crc and length are patched once the payload is
+  // in place, so the record is built in a single buffer.
+  record->append(8, '\0');
+  record->push_back(kBatchRecord);
+  PutFixed32(record, static_cast<uint32_t>(kvs.size()));
+  for (const KV& kv : kvs) {
+    PutFixed64(record, kv.key);
+    PutLengthPrefixed(record, kv.value);
+  }
+  uint32_t crc = Crc32c(record->data() + 8, record->size() - 8);
+  uint32_t length = static_cast<uint32_t>(record->size() - kHeaderSize);
+  char* header = record->data();
+  std::memcpy(header, &crc, 4);
+  std::memcpy(header + 4, &length, 4);
+}
+
+std::string WalEncodeRecord(std::span<const KV> kvs) {
+  std::string record;
+  WalEncodeRecordTo(kvs, &record);
+  return record;
+}
+
+WalReplayResult WalReplay(
+    const std::string& path,
+    const std::function<void(uint64_t, std::string_view)>& apply) {
+  WalReplayResult result;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return result;  // nothing logged: clean empty replay
+  std::string data;
+  char buf[64 << 10];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+
+  size_t pos = 0;
+  while (pos + kHeaderSize <= data.size()) {
+    uint32_t crc = DecodeFixed32(data.data() + pos);
+    uint32_t length = DecodeFixed32(data.data() + pos + 4);
+    char type = data[pos + 8];
+    if (crc == 0 && length == 0 && type == 0) {
+      // All-zero header: the preallocated-but-never-written tail of an
+      // mmap-backed log whose writer died before trimming it. Clean
+      // end of log iff the whole remainder really is zero (no valid
+      // record starts with a zero type byte).
+      result.clean = data.find_first_not_of('\0', pos) == std::string::npos;
+      return result;
+    }
+    if (type != kBatchRecord || length > kMaxRecordPayload ||
+        pos + kHeaderSize + length > data.size()) {
+      result.clean = false;  // torn tail or garbage header
+      return result;
+    }
+    std::string_view payload(data.data() + pos + kHeaderSize, length);
+    uint32_t actual = Crc32c(&type, 1);
+    actual = Crc32c(payload.data(), payload.size(), actual);
+    if (actual != crc) {
+      result.clean = false;
+      return result;
+    }
+    // Validate the whole record before applying any of it: a random
+    // tail can collide with the CRC, and half-applied records would
+    // silently diverge from history.
+    if (payload.size() < 4) {
+      result.clean = false;
+      return result;
+    }
+    uint32_t count = DecodeFixed32(payload.data());
+    std::vector<std::pair<uint64_t, std::string_view>> batch;
+    batch.reserve(count);
+    size_t at = 4;
+    for (uint32_t i = 0; i < count; ++i) {
+      if (at + 8 > payload.size()) {
+        result.clean = false;
+        return result;
+      }
+      uint64_t key = DecodeFixed64(payload.data() + at);
+      at += 8;
+      std::string_view value;
+      if (!GetLengthPrefixed(payload, &at, &value)) {
+        result.clean = false;
+        return result;
+      }
+      batch.emplace_back(key, value);
+    }
+    if (at != payload.size()) {
+      result.clean = false;
+      return result;
+    }
+    for (const auto& [key, value] : batch) apply(key, value);
+    result.records += 1;
+    result.entries += batch.size();
+    pos += kHeaderSize + length;
+    result.bytes = pos;
+  }
+  if (pos != data.size()) result.clean = false;  // trailing partial header
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// WalWriter: mmap-backed on POSIX. Records are memcpy'd into a shared
+// file mapping, which lands them in the kernel page cache with no
+// syscall per commit — the same durability as write() without fsync (a
+// process crash loses nothing; dirty pages belong to the kernel), at a
+// fraction of the cost. wal_fsync upgrades each group commit with an
+// msync of the dirty range. The file is preallocated (so ENOSPC
+// surfaces as a clean open/grow error instead of a SIGBUS on fault)
+// and trimmed to the bytes actually written when the writer closes.
+// ---------------------------------------------------------------------
+
+WalWriter::WalWriter(std::string path, bool fsync_on_commit, LsmStats* stats)
+    : path_(std::move(path)), fsync_on_commit_(fsync_on_commit),
+      stats_(stats) {
+#ifndef _WIN32
+  fd_ = ::open(path_.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+  if (fd_ >= 0 && !Remap(kInitialMapBytes)) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+#else
+  // Windows fallback: buffered stdio, flushed per group commit.
+  fd_ = -1;
+  file_ = std::fopen(path_.c_str(), "wb");
+#endif
+  if (!FileOk()) {
+    broken_ = true;
+    if (stats_ != nullptr) {
+      stats_->SetLastError("wal: cannot open " + path_);
+    }
+  }
+}
+
+WalWriter::~WalWriter() {
+#ifndef _WIN32
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+  if (fd_ >= 0) {
+    // Trim the preallocated tail so the on-disk file is exactly the
+    // records written (replay also tolerates the zero tail).
+    if (::ftruncate(fd_, static_cast<off_t>(offset_)) != 0) {
+      // Nothing useful to do; the zero tail stays and replay skips it.
+    }
+    ::close(fd_);
+  }
+#else
+  if (file_ != nullptr) std::fclose(file_);
+#endif
+}
+
+bool WalWriter::FileOk() const {
+#ifndef _WIN32
+  return fd_ >= 0 && map_ != nullptr;
+#else
+  return file_ != nullptr;
+#endif
+}
+
+#ifndef _WIN32
+bool WalWriter::Remap(size_t new_size) {
+  if (map_ != nullptr) {
+    ::munmap(map_, map_size_);
+    map_ = nullptr;
+  }
+  // Reserve real blocks up front: a later page fault cannot fail with
+  // SIGBUS on a full disk, and in fsync mode the size metadata is made
+  // durable once here instead of on every commit.
+#ifdef __linux__
+  if (::posix_fallocate(fd_, 0, static_cast<off_t>(new_size)) != 0) {
+    return false;
+  }
+#else
+  if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) return false;
+#endif
+  if (fsync_on_commit_ && ::fsync(fd_) != 0) return false;
+  int flags = MAP_SHARED;
+#ifdef MAP_POPULATE
+  // Prefault the window here instead of taking a minor fault on the
+  // first record touching each page of the commit hot path.
+  flags |= MAP_POPULATE;
+#endif
+  void* mem =
+      ::mmap(nullptr, new_size, PROT_READ | PROT_WRITE, flags, fd_, 0);
+  if (mem == MAP_FAILED) return false;
+  map_ = static_cast<char*>(mem);
+  map_size_ = new_size;
+  return true;
+}
+#endif
+
+bool WalWriter::WriteBytes(const char* data, size_t n) {
+#ifndef _WIN32
+  while (offset_ + n > map_size_) {
+    size_t grown = map_size_ * 2;
+    while (offset_ + n > grown) grown *= 2;
+    if (!Remap(grown)) return false;
+  }
+  std::memcpy(map_ + offset_, data, n);
+  const size_t begin = offset_;
+  offset_ += n;
+  if (fsync_on_commit_) {
+    // msync wants a page-aligned start; round down to cover the whole
+    // dirty range.
+    const size_t page = 4096;
+    size_t aligned = begin & ~(page - 1);
+    if (::msync(map_ + aligned, offset_ - aligned, MS_SYNC) != 0) {
+      return false;
+    }
+  }
+#else
+  if (std::fwrite(data, 1, n, file_) != n) return false;
+  if (fsync_on_commit_ && std::fflush(file_) != 0) return false;
+#endif
+  if (stats_ != nullptr) {
+    stats_->group_commit_batches.fetch_add(1, std::memory_order_relaxed);
+    stats_->wal_synced_bytes.fetch_add(n, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool WalWriter::broken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return broken_;
+}
+
+// Commits [data, data+n) as one group while the caller holds the
+// leadership: unlocks for the copy, relocks, publishes `batch_end` (or
+// marks the file broken) and wakes any blocked followers.
+void WalWriter::CommitGroup(std::unique_lock<std::mutex>& lock,
+                            const char* data, size_t n, uint64_t batch_end) {
+  lock.unlock();
+  bool ok = WriteBytes(data, n);
+  lock.lock();
+  if (ok) {
+    committed_seq_ = batch_end;
+  } else {
+    // Sticky: this file is done for. The Db surfaces the error and
+    // rotates to a fresh log at the next seal.
+    broken_ = true;
+    if (stats_ != nullptr) {
+      stats_->SetLastError("wal: write failed on " + path_);
+    }
+  }
+  if (waiters_ > 0) cv_.notify_all();
+}
+
+bool WalWriter::Append(std::string_view record) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (broken_) return false;
+
+  if (leader_active_) {
+    // A leader is mid-commit; it will pick our record up in its next
+    // group (it drains until pending_ is empty before stepping down).
+    pending_.append(record);
+    const uint64_t my_seq = ++next_seq_;
+    ++waiters_;
+    cv_.wait(lock, [&] { return committed_seq_ >= my_seq || broken_; });
+    --waiters_;
+    bool ok = committed_seq_ >= my_seq;
+    if (ok && stats_ != nullptr) {
+      stats_->wal_appends.fetch_add(1, std::memory_order_relaxed);
+    }
+    return ok;
+  }
+
+  leader_active_ = true;
+  uint64_t my_seq;
+  if (pending_.empty()) {
+    // Uncontended fast path: commit our own record straight from the
+    // caller's buffer, skipping the queue copy entirely.
+    my_seq = ++next_seq_;
+    if (!fsync_on_commit_) {
+      // The commit is just a memcpy into the mapping — cheaper than an
+      // unlock/relock pair, so do it under the mutex. (With fsync on,
+      // the msync dominates and the lock must be released so followers
+      // can enqueue into the next group.)
+      if (WriteBytes(record.data(), record.size())) {
+        committed_seq_ = my_seq;
+      } else {
+        broken_ = true;
+        if (stats_ != nullptr) {
+          stats_->SetLastError("wal: write failed on " + path_);
+        }
+      }
+      if (waiters_ > 0) cv_.notify_all();
+    } else {
+      CommitGroup(lock, record.data(), record.size(), my_seq);
+    }
+  } else {
+    pending_.append(record);
+    my_seq = ++next_seq_;
+  }
+  // Drain whatever queued while we were (or still are) committing.
+  while (!broken_ && committed_seq_ < next_seq_) {
+    std::string batch = std::move(pending_);
+    pending_.clear();
+    const uint64_t batch_end = next_seq_;
+    CommitGroup(lock, batch.data(), batch.size(), batch_end);
+  }
+  bool ok = committed_seq_ >= my_seq;
+  leader_active_ = false;
+  if (waiters_ > 0) cv_.notify_all();
+  if (ok && stats_ != nullptr) {
+    stats_->wal_appends.fetch_add(1, std::memory_order_relaxed);
+  }
+  return ok;
+}
+
+bool WalWriter::Sync() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (broken_) return false;
+  // Wait out any in-flight leader so the sync covers every committed
+  // record.
+  ++waiters_;
+  cv_.wait(lock, [&] { return !leader_active_ || broken_; });
+  --waiters_;
+  if (broken_) return false;
+#ifndef _WIN32
+  // The mapping's dirty pages already belong to the page cache; msync
+  // pushes them (and thus every committed record) to stable storage.
+  return offset_ == 0 ||
+         ::msync(map_, (offset_ + 4095) & ~size_t{4095}, MS_SYNC) == 0;
+#else
+  return std::fflush(file_) == 0;
+#endif
+}
+
+}  // namespace bloomrf

@@ -1,0 +1,141 @@
+// Write-ahead log of the mini-LSM store: group-commit writer + replay
+// reader.
+//
+// Record format (little-endian):
+//   crc:fixed32  length:fixed32  type:1  payload[length]
+//   payload (type kBatch): count:fixed32 then count x
+//     { key:fixed64 value_len:fixed32 value[value_len] }
+// The CRC-32C covers type+payload, so recovery distinguishes a torn
+// tail (truncated write at crash) from real data: replay stops at the
+// first record that is short, fails its checksum, or has an unknown
+// type, and everything before it is trusted.
+//
+// Group commit: writers encode their record and, under the writer
+// mutex, either become the leader — which commits its own record
+// straight from the caller's buffer when the queue is empty (the
+// uncontended fast path), then drains anything that queued meanwhile
+// as one append per group (plus one msync when fsync is on) and wakes
+// the followers — or enqueue and wait on the commit sequence.
+//
+// The log file is mmap-backed on POSIX: committing a group is a
+// memcpy into a shared mapping, which lands the bytes in the kernel
+// page cache with no syscall — the same durability class as write()
+// without fsync (a process crash loses nothing; dirty pages belong to
+// the kernel, only a power loss can drop them), at a fraction of the
+// per-record cost. wal_fsync upgrades each commit with an msync of
+// the dirty range.
+//
+// One WalWriter serves exactly one log file; the Db rotates to a new
+// file at every memtable seal and deletes files once their memtable's
+// flush has durably completed.
+
+#ifndef BLOOMRF_LSM_WAL_H_
+#define BLOOMRF_LSM_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bloomrf {
+
+struct LsmStats;
+
+/// One write-path entry: the unit of Db::Put / Db::PutBatch. The view
+/// must stay valid for the duration of the call that receives it.
+struct KV {
+  uint64_t key = 0;
+  std::string_view value;
+};
+
+/// Encodes one CRC-framed kBatch record covering all of `kvs`.
+std::string WalEncodeRecord(std::span<const KV> kvs);
+/// Same, into a caller-owned buffer (cleared first) — the hot write
+/// path reuses a thread_local string to avoid an allocation per Put.
+void WalEncodeRecordTo(std::span<const KV> kvs, std::string* record);
+
+struct WalReplayResult {
+  uint64_t records = 0;   // intact records applied
+  uint64_t entries = 0;   // key/value pairs applied
+  uint64_t bytes = 0;     // file bytes consumed by intact records
+  bool clean = true;      // false: stopped at a torn/corrupt tail
+};
+
+/// Replays every intact record of the log at `path` in order, calling
+/// `apply(key, value)` per entry. Tolerates (and reports) a corrupt or
+/// truncated tail; a missing file replays zero records cleanly.
+WalReplayResult WalReplay(
+    const std::string& path,
+    const std::function<void(uint64_t, std::string_view)>& apply);
+
+class WalWriter {
+ public:
+  /// Opens (truncating) the log file. `stats` may be null; when set,
+  /// wal_appends / wal_synced_bytes / group_commit_batches and
+  /// last_error are maintained on it. `fsync_on_commit` makes every
+  /// group commit durable before Append returns.
+  WalWriter(std::string path, bool fsync_on_commit, LsmStats* stats);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// True when the log file could not be opened; every Append fails.
+  bool broken() const;
+
+  /// Appends one encoded record through the group-commit protocol.
+  /// Blocks until the record's group has been written (and synced when
+  /// fsync_on_commit). Returns false when the write failed — the error
+  /// is sticky for the writer's remaining lifetime (the Db rotates to
+  /// a fresh file on the next seal).
+  bool Append(std::string_view record);
+
+  /// Forces any OS-buffered bytes down (no-op when fsync_on_commit).
+  bool Sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  bool FileOk() const;
+  /// Appends one group's bytes to the log (memcpy into the mapping,
+  /// plus msync when fsync_on_commit) — called by the leader only.
+  bool WriteBytes(const char* data, size_t n);
+  /// Leader helper: drops `lock`, writes the group, retakes `lock`,
+  /// publishes `batch_end` (or marks broken_) and wakes followers.
+  void CommitGroup(std::unique_lock<std::mutex>& lock, const char* data,
+                   size_t n, uint64_t batch_end);
+#ifndef _WIN32
+  /// (Re)maps the file at `new_size` preallocated bytes.
+  bool Remap(size_t new_size);
+#endif
+
+  const std::string path_;
+  const bool fsync_on_commit_;
+  LsmStats* const stats_;
+  int fd_ = -1;
+#ifndef _WIN32
+  char* map_ = nullptr;   // shared file mapping (page-cache-backed)
+  size_t map_size_ = 0;   // preallocated mapped bytes
+  size_t offset_ = 0;     // bytes of committed records (leader-only)
+#else
+  std::FILE* file_ = nullptr;
+#endif
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::string pending_;         // concatenated not-yet-written records
+  uint64_t next_seq_ = 0;       // last enqueued record
+  uint64_t committed_seq_ = 0;  // last record written (+synced) OK
+  size_t waiters_ = 0;          // followers (and Sync) blocked on cv_
+  bool leader_active_ = false;
+  bool broken_ = false;         // sticky after an open/write/sync error
+};
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_LSM_WAL_H_

@@ -1,0 +1,56 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace bloomrf {
+namespace {
+
+// 8 tables of 256 entries: table[0] is the plain byte-at-a-time CRC-32C
+// table, table[k] advances a CRC by one byte followed by k zero bytes,
+// which lets the hot loop fold 8 input bytes per iteration.
+struct Tables {
+  uint32_t t[8][256];
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xff];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t crc) {
+  const auto& tb = tables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (n >= 8) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tb.t[7][crc & 0xff] ^ tb.t[6][(crc >> 8) & 0xff] ^
+          tb.t[5][(crc >> 16) & 0xff] ^ tb.t[4][crc >> 24] ^ tb.t[3][p[4]] ^
+          tb.t[2][p[5]] ^ tb.t[1][p[6]] ^ tb.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xff];
+  }
+  return ~crc;
+}
+
+}  // namespace bloomrf
