@@ -121,6 +121,15 @@ def lsm_concurrent_checks(current, committed):
             ("WAL-on/off put ratio (1s/1t)", wal["put_ratio_1s1t"],
              guard["wal_put_ratio"]),
         ]
+    # Read-amplification floor arrived with leveled compaction; the
+    # ratio (single-threaded Get, compaction on / off) is core-count
+    # independent. Tolerate committed files that predate it.
+    if "read_amp_get_ratio" in guard and "read_amp" in current:
+        checks.append(
+            ("compaction read-amp Get ratio (on/off)",
+             current["read_amp"]["get_ratio"],
+             guard["read_amp_get_ratio"])
+        )
     return checks
 
 

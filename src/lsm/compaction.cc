@@ -1,0 +1,87 @@
+#include "lsm/compaction.h"
+
+#include <algorithm>
+
+namespace bloomrf {
+
+namespace {
+
+/// Appends every file of `level` overlapping [lo, hi] to the job
+/// (inputs + input_files). Levels >= 1 are disjoint sorted runs, so
+/// the overlap is a contiguous slice.
+void AddOverlapping(const Version::TableList& level_files, uint32_t level,
+                    uint64_t lo, uint64_t hi, CompactionJob* job) {
+  for (const auto& table : level_files) {
+    if (table->max_key() < lo || table->min_key() > hi) continue;
+    job->inputs.push_back(table);
+    job->input_files.emplace_back(level, table->file_number());
+  }
+}
+
+}  // namespace
+
+uint64_t LevelTargetBytes(const CompactionConfig& cfg, size_t level) {
+  uint64_t target = cfg.level_base_bytes;
+  for (size_t i = 1; i < level; ++i) target *= cfg.level_multiplier;
+  return target;
+}
+
+std::optional<CompactionJob> PickCompaction(const Version& v,
+                                            const CompactionConfig& cfg,
+                                            std::vector<uint64_t>* cursors) {
+  const auto& levels = v.levels();
+  if (cfg.max_levels < 2) return std::nullopt;  // nowhere to compact to
+
+  // L0 pressure: file count, since L0 files span the whole key range.
+  // All of L0 goes at once (any subset could strand older values above
+  // newer ones), newest first so the merge's precedence order matches
+  // flush order, plus the slice of L1 the combined range overlaps.
+  if (levels[0].size() >= cfg.l0_trigger) {
+    CompactionJob job;
+    job.output_level = 1;
+    uint64_t lo = UINT64_MAX, hi = 0;
+    for (auto it = levels[0].rbegin(); it != levels[0].rend(); ++it) {
+      job.inputs.push_back(*it);
+      job.input_files.emplace_back(0, (*it)->file_number());
+      lo = std::min(lo, (*it)->min_key());
+      hi = std::max(hi, (*it)->max_key());
+    }
+    if (levels.size() > 1) AddOverlapping(levels[1], 1, lo, hi, &job);
+    return job;
+  }
+
+  // Deeper levels: byte budget. One file per job — the one after the
+  // level's cursor, wrapping, so successive jobs sweep the key space
+  // instead of re-compacting one hot range.
+  for (size_t level = 1; level < levels.size() && level + 1 < cfg.max_levels;
+       ++level) {
+    if (levels[level].empty()) continue;
+    if (v.level_bytes(level) <= LevelTargetBytes(cfg, level)) continue;
+
+    const uint64_t cursor =
+        level < cursors->size() ? (*cursors)[level] : 0;
+    const std::shared_ptr<const TableReader>* pick = nullptr;
+    for (const auto& table : levels[level]) {  // sorted by min_key
+      if (table->min_key() > cursor) {
+        pick = &table;
+        break;
+      }
+    }
+    if (pick == nullptr) pick = &levels[level].front();  // wrap around
+    if (level < cursors->size()) (*cursors)[level] = (*pick)->max_key();
+
+    CompactionJob job;
+    job.output_level = level + 1;
+    job.inputs.push_back(*pick);
+    job.input_files.emplace_back(static_cast<uint32_t>(level),
+                                 (*pick)->file_number());
+    if (level + 1 < levels.size()) {
+      AddOverlapping(levels[level + 1], static_cast<uint32_t>(level + 1),
+                     (*pick)->min_key(), (*pick)->max_key(), &job);
+    }
+    return job;
+  }
+  return std::nullopt;
+}
+
+}  // namespace bloomrf

@@ -1,0 +1,57 @@
+// Leveled-compaction picking for the mini-LSM store.
+//
+// Shape (classic leveled, RocksDB-style): L0 holds whole flushed
+// memtables and its files may overlap; every deeper level is a sorted
+// run of disjoint files. When L0 reaches l0_trigger files, ALL of L0
+// (plus the overlapping slice of L1) merges into L1; when level i>=1
+// exceeds its byte budget (level_base_bytes * multiplier^(i-1)), one
+// of its files (round-robin across the key space via a per-level
+// cursor, so repeated compactions sweep the whole level) merges with
+// the overlapping slice of level i+1.
+//
+// Picking is pure — it inspects an immutable Version and returns a
+// job description; the Db's compaction thread executes the merge and
+// commits it through the MANIFEST + Version publication.
+
+#ifndef BLOOMRF_LSM_COMPACTION_H_
+#define BLOOMRF_LSM_COMPACTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lsm/version.h"
+
+namespace bloomrf {
+
+struct CompactionConfig {
+  size_t l0_trigger = 4;
+  uint64_t level_base_bytes = 8ull << 20;
+  size_t level_multiplier = 8;
+  size_t max_levels = 6;
+};
+
+/// Byte budget of level `i` (i >= 1) before it spills downward.
+uint64_t LevelTargetBytes(const CompactionConfig& cfg, size_t level);
+
+struct CompactionJob {
+  size_t output_level = 1;
+  /// Inputs in precedence order: inputs[0] is the newest source; on
+  /// duplicate keys the earliest input's value wins.
+  std::vector<std::shared_ptr<const TableReader>> inputs;
+  /// The same files as (level, file_number) pairs, for the manifest
+  /// edit and the Version replacement.
+  std::vector<std::pair<uint32_t, uint64_t>> input_files;
+};
+
+/// Picks the most pressing job on `v`, or nullopt when the tree is in
+/// shape. `cursors` must hold cfg.max_levels entries and persists
+/// across calls (round-robin position per level).
+std::optional<CompactionJob> PickCompaction(const Version& v,
+                                            const CompactionConfig& cfg,
+                                            std::vector<uint64_t>* cursors);
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_LSM_COMPACTION_H_

@@ -6,13 +6,9 @@
 #include <filesystem>
 #include <map>
 #include <system_error>
+#include <unordered_set>
 
 #include "lsm/table_builder.h"
-
-#ifndef _WIN32
-#include <fcntl.h>
-#include <unistd.h>
-#endif
 
 namespace bloomrf {
 
@@ -55,27 +51,27 @@ std::vector<std::pair<uint64_t, std::string>> ListNumberedFiles(
   return files;
 }
 
-/// Forces file contents to stable storage (durable-flush requirement
-/// before the covering WAL may be deleted when wal_fsync is on).
-bool SyncFile(const std::string& path) {
-#ifndef _WIN32
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return false;
-#ifdef __linux__
-  bool ok = ::fdatasync(fd) == 0;
-#else
-  bool ok = ::fsync(fd) == 0;
-#endif
-  ::close(fd);
-  return ok;
-#else
-  return true;  // stdio writes were already flushed at fclose
-#endif
+/// All SSTs of the current Version in read precedence order: L0
+/// newest-first (flush order reversed), then each deeper level. Within
+/// a deeper level the files are disjoint, so their order carries no
+/// recency meaning.
+std::vector<const TableReader*> TablesNewestFirst(const Version& v) {
+  std::vector<const TableReader*> out;
+  const auto& levels = v.levels();
+  out.reserve(v.table_count());
+  for (auto it = levels[0].rbegin(); it != levels[0].rend(); ++it) {
+    out.push_back(it->get());
+  }
+  for (size_t level = 1; level < levels.size(); ++level) {
+    for (const auto& table : levels[level]) out.push_back(table.get());
+  }
+  return out;
 }
 
 }  // namespace
 
 Db::Db(DbOptions options) : options_(std::move(options)) {
+  env_ = options_.env != nullptr ? options_.env : Env::Default();
   std::error_code ec;
   std::filesystem::create_directories(options_.dir, ec);
   if (!options_.wal_dir.empty()) {
@@ -85,11 +81,21 @@ Db::Db(DbOptions options) : options_(std::move(options)) {
     options_.block_cache =
         std::make_shared<BlockCache>(options_.block_cache_bytes);
   }
-  active_ = versions_.Current()->active();
+  compact_cfg_.l0_trigger = std::max<size_t>(2, options_.l0_compaction_trigger);
+  compact_cfg_.level_base_bytes = std::max<uint64_t>(1, options_.level_base_bytes);
+  compact_cfg_.level_multiplier =
+      std::max<size_t>(2, options_.level_size_multiplier);
+  compact_cfg_.max_levels =
+      std::min<size_t>(64, std::max<size_t>(2, options_.max_levels));
+  compact_cursors_.assign(compact_cfg_.max_levels, 0);
   Recover();
+  active_ = versions_.Current()->active();
   if (options_.wal) RotateWal();
   if (options_.background_flush) {
     flush_thread_ = std::thread([this] { FlushWorker(); });
+  }
+  if (options_.compaction) {
+    compact_thread_ = std::thread([this] { CompactionWorker(); });
   }
 }
 
@@ -102,6 +108,14 @@ Db::~Db() {
     flush_work_cv_.notify_all();
     flush_thread_.join();  // worker drains the queue before exiting
   }
+  if (compact_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(compact_mu_);
+      compact_stop_ = true;
+    }
+    compact_work_cv_.notify_all();
+    compact_thread_.join();
+  }
   if (wal_ != nullptr) {
     if (active_->empty()) {
       // Clean close with nothing unflushed: zero records went into the
@@ -109,8 +123,7 @@ Db::~Db() {
       // travel together), so it is empty — remove the litter.
       std::string path = wal_->path();
       wal_.reset();
-      std::error_code ec;
-      std::filesystem::remove(path, ec);
+      env_->DeleteFile(path);
     } else {
       // Push any OS-buffered WAL bytes down so a clean close is
       // recoverable even without wal_fsync.
@@ -119,44 +132,165 @@ Db::~Db() {
   }
 }
 
+void Db::QuarantineTable(const std::string& path) {
+  env_->RenameFile(path, path + ".corrupt");
+  ++stats_.tables_quarantined;
+  ++recovery_stats_.tables_quarantined;
+  stats_.SetLastError("recover: quarantined unreadable " + path);
+}
+
+std::vector<Version::TableList> Db::OpenTablesFromManifest(
+    const ManifestState& state, uint64_t* max_file_seen) {
+  std::vector<Version::TableList> levels(
+      std::max<size_t>(1, state.levels.size()));
+  for (size_t level = 0; level < state.levels.size(); ++level) {
+    for (const FileMeta& meta : state.levels[level]) {
+      *max_file_seen = std::max(*max_file_seen, meta.file_number);
+      std::string path = SstPath(meta.file_number);
+      auto reader =
+          TableReader::Open(path, options_.filter_policy.get(), &stats_,
+                            options_.block_cache, meta.file_number);
+      if (reader == nullptr) {
+        // A manifest-referenced SST was fsynced before the manifest
+        // record existed, so this is real corruption (or deletion by
+        // hand), not a torn flush: move it aside and keep serving the
+        // rest of the tree.
+        QuarantineTable(path);
+        continue;
+      }
+      levels[level].push_back(std::move(reader));
+      ++recovery_stats_.tables_loaded;
+    }
+  }
+  return levels;
+}
+
 void Db::Recover() {
-  // SSTs first: file-number order is seal order (flushes install
-  // strictly oldest-first), so appending in that order rebuilds the
-  // newest-last table list readers expect.
-  auto ssts = ListNumberedFiles(options_.dir, "", ".sst");
-  std::shared_ptr<const Version> version = versions_.Current();
-  uint64_t max_sst = 0;
-  for (const auto& [number, path] : ssts) {
-    max_sst = std::max(max_sst, number);
-    auto reader =
-        TableReader::Open(path, options_.filter_policy.get(), &stats_,
-                          options_.block_cache);
-    if (reader == nullptr) {
-      // Torn SST from a crash mid-flush: its WAL was never deleted, so
-      // the data comes back through replay below.
-      stats_.SetLastError("recover: skipping unreadable " + path);
+  // Transient staging litter from a previous life (crash between a
+  // tmp-file write and its rename) is never referenced by anything:
+  // delete it before it can shadow real files.
+  {
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(options_.dir, ec)) {
+      if (entry.path().extension() == ".tmp") {
+        env_->DeleteFile(entry.path().string());
+      }
+    }
+  }
+
+  // Manifest first: CURRENT names the live one; a missing or torn
+  // CURRENT falls back to the newest manifest holding any decodable
+  // edits; a directory with neither gets its *.sst files imported at
+  // L0 by number order (pre-MANIFEST layout, one-shot).
+  ManifestState state;
+  bool have_manifest = false;
+  uint64_t manifest_number = ReadCurrentManifestNumber(options_.dir);
+  uint64_t max_manifest_seen = manifest_number;
+  if (manifest_number != 0 &&
+      env_->FileExists(ManifestFileName(options_.dir, manifest_number))) {
+    ManifestReplay(ManifestFileName(options_.dir, manifest_number), &state);
+    have_manifest = true;
+  }
+  auto manifests = ListNumberedFiles(options_.dir, "MANIFEST-", "");
+  if (!manifests.empty()) {
+    max_manifest_seen = std::max(max_manifest_seen, manifests.back().first);
+  }
+  if (!have_manifest) {
+    for (auto it = manifests.rbegin(); it != manifests.rend(); ++it) {
+      ManifestState candidate;
+      ManifestReplay(it->second, &candidate);
+      if (candidate.edits > 0) {
+        state = std::move(candidate);
+        manifest_number = it->first;
+        have_manifest = true;
+        break;
+      }
+    }
+  }
+  recovery_stats_.manifest_edits_replayed = state.edits;
+  recovery_stats_.manifest_clean = state.clean;
+
+  uint64_t max_file = 0;
+  std::vector<Version::TableList> levels;
+  if (have_manifest) {
+    levels = OpenTablesFromManifest(state, &max_file);
+    // SSTs on disk but absent from the manifest were written durably
+    // and then orphaned by a crash before their manifest edit landed;
+    // their WAL files survived (deletion follows the edit), so the
+    // data returns through replay below. Remove the orphans — but keep
+    // their numbers burned so a reused number can never pair a stale
+    // file with a new manifest entry.
+    std::unordered_set<uint64_t> referenced;
+    for (const auto& level : state.levels) {
+      for (const FileMeta& meta : level) referenced.insert(meta.file_number);
+    }
+    for (const auto& [number, path] :
+         ListNumberedFiles(options_.dir, "", ".sst")) {
+      max_file = std::max(max_file, number);
+      if (referenced.count(number) == 0) env_->DeleteFile(path);
+    }
+  } else {
+    auto ssts = ListNumberedFiles(options_.dir, "", ".sst");
+    levels.resize(1);
+    for (const auto& [number, path] : ssts) {
+      recovery_stats_.legacy_import = true;
+      max_file = std::max(max_file, number);
+      auto reader =
+          TableReader::Open(path, options_.filter_policy.get(), &stats_,
+                            options_.block_cache, number);
+      if (reader == nullptr) {
+        // Legacy torn SST from a crash mid-flush: its WAL was never
+        // deleted, so the data comes back through replay below.
+        QuarantineTable(path);
+        continue;
+      }
+      levels[0].push_back(std::move(reader));
+      ++recovery_stats_.tables_loaded;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(version_mu_);
+    versions_.Publish(Version::FromLevels(std::move(levels)));
+  }
+  next_file_number_.store(std::max(state.next_file_number, max_file + 1),
+                          std::memory_order_relaxed);
+  flushed_through_log_ = state.log_number;
+  next_manifest_number_ = max_manifest_seen + 1;
+
+  // Every open starts a fresh snapshot manifest, so recovery work
+  // (quarantines, orphan cleanup, legacy import) is captured durably
+  // and old manifests never grow without bound. Failure (unwritable
+  // directory) is tolerated: the store runs, flushes will keep failing
+  // until the disk heals, and last_error says why.
+  {
+    std::lock_guard<std::mutex> lock(version_mu_);
+    if (WriteManifestSnapshotLocked(*versions_.Current())) {
+      for (const auto& [number, path] : manifests) {
+        if (number != manifest_->number()) env_->DeleteFile(path);
+      }
+    }
+  }
+
+  // WAL replay: logs the manifest proved flushed are deleted unread; a
+  // crash between a flush's manifest commit and its log deletion just
+  // leaves them here for us. Every surviving newer log replays oldest
+  // first into the fresh active memtable, so overwrites re-apply in
+  // original order and the memtable ends bit-identical to the
+  // pre-crash one.
+  auto logs = ListNumberedFiles(WalDirPath(), "wal-", ".log");
+  uint64_t max_log = state.log_number;
+  auto* active = versions_.Current()->active().get();
+  for (const auto& [number, path] : logs) {
+    if (number <= state.log_number) {
+      env_->DeleteFile(path);
+      ++recovery_stats_.wal_files_skipped;
       continue;
     }
-    version = version->WithFlushed(nullptr, std::move(reader));
-    ++recovery_stats_.tables_loaded;
-  }
-  if (recovery_stats_.tables_loaded > 0) {
-    std::lock_guard<std::mutex> lock(version_mu_);
-    versions_.Publish(version);
-  }
-  next_file_number_.store(max_sst + 1, std::memory_order_relaxed);
-
-  // WAL replay: every surviving log, oldest first, into the fresh
-  // active memtable. Overwrites re-apply in original order, so the
-  // memtable ends bit-identical to the pre-crash one (and shadows the
-  // SSTs it may partially duplicate, with identical values).
-  auto logs = ListNumberedFiles(WalDirPath(), "wal-", ".log");
-  uint64_t max_log = 0;
-  for (const auto& [number, path] : logs) {
     max_log = std::max(max_log, number);
     WalReplayResult replay =
-        WalReplay(path, [this](uint64_t key, std::string_view value) {
-          active_->Put(key, value);
+        WalReplay(path, [active](uint64_t key, std::string_view value) {
+          active->Put(key, value);
         });
     ++recovery_stats_.wal_files_replayed;
     recovery_stats_.wal_records_replayed += replay.records;
@@ -170,20 +304,74 @@ void Db::Recover() {
   active_max_log_ = max_log;
 }
 
+bool Db::WriteManifestSnapshotLocked(const Version& v) {
+  const uint64_t number = next_manifest_number_++;
+  auto writer = std::make_unique<ManifestWriter>(env_, options_.dir, number);
+  VersionEdit snap;
+  snap.SetLogNumber(flushed_through_log_);
+  snap.SetNextFileNumber(next_file_number_.load(std::memory_order_relaxed));
+  const auto& levels = v.levels();
+  for (size_t level = 0; level < levels.size(); ++level) {
+    for (const auto& table : levels[level]) {
+      FileMeta meta;
+      meta.file_number = table->file_number();
+      meta.smallest = table->min_key();
+      meta.largest = table->max_key();
+      meta.file_bytes = table->file_size();
+      snap.added.emplace_back(static_cast<uint32_t>(level), meta);
+    }
+  }
+  if (!writer->ok() || !writer->Append(snap) ||
+      !SetCurrentFile(env_, options_.dir, number)) {
+    env_->DeleteFile(ManifestFileName(options_.dir, number));
+    stats_.SetLastError("manifest: snapshot rewrite failed");
+    // Back off the size trigger so a persistently failing rewrite is
+    // not re-attempted on every subsequent edit; a broken live
+    // manifest still forces a retry each time.
+    if (manifest_ != nullptr && manifest_->ok()) {
+      manifest_rewrite_limit_ = std::max<uint64_t>(
+          manifest_rewrite_limit_ * 2, manifest_->bytes_written() * 2);
+    }
+    return false;
+  }
+  const uint64_t old_number = manifest_ != nullptr ? manifest_->number() : 0;
+  manifest_ = std::move(writer);
+  manifest_rewrite_limit_ = std::max<uint64_t>(
+      options_.manifest_rewrite_bytes, manifest_->bytes_written() + 1);
+  ++stats_.manifest_rewrites;
+  if (old_number != 0) {
+    env_->DeleteFile(ManifestFileName(options_.dir, old_number));
+  }
+  return true;
+}
+
+bool Db::AppendManifestEdit(const VersionEdit& edit, const Version& post) {
+  if (manifest_ != nullptr && manifest_->ok() &&
+      manifest_->bytes_written() < manifest_rewrite_limit_) {
+    if (manifest_->Append(edit)) {
+      ++stats_.manifest_appends;
+      return true;
+    }
+    stats_.SetLastError("manifest: append failed on " + manifest_->path());
+  }
+  // Broken or oversized: self-heal by starting a fresh manifest whose
+  // one record snapshots the post-edit state.
+  return WriteManifestSnapshotLocked(post);
+}
+
 void Db::RotateWal() {
   uint64_t number = next_wal_number_++;
   wal_ = std::make_unique<WalWriter>(
       WalDirPath() + "/wal-" + std::to_string(number) + ".log",
-      options_.wal_fsync, &stats_);
+      options_.wal_fsync, &stats_, env_);
   active_max_log_ = number;
 }
 
 void Db::DeleteLogsThrough(uint64_t max_log) {
   if (max_log == 0) return;
-  std::error_code ec;
   for (const auto& [number, path] :
        ListNumberedFiles(WalDirPath(), "wal-", ".log")) {
-    if (number <= max_log) std::filesystem::remove(path, ec);
+    if (number <= max_log) env_->DeleteFile(path);
   }
 }
 
@@ -256,35 +444,34 @@ bool Db::SealActive(bool force) {
   return !pending_failure;
 }
 
-std::shared_ptr<const TableReader> Db::WriteSst(const MemTable& mem) {
-  if (options_.flush_fault && options_.flush_fault()) {
-    stats_.SetLastError("flush: injected fault");
-    return nullptr;
-  }
+std::shared_ptr<const TableReader> Db::WriteSst(const MemTable& mem,
+                                                FileMeta* meta) {
   auto entries = mem.Snapshot();
   TableBuilder builder(options_.filter_policy.get(), options_.block_size);
   for (const auto& [key, value] : entries) builder.Add(key, value);
-  std::string path =
-      options_.dir + "/" +
-      std::to_string(next_file_number_.fetch_add(1, std::memory_order_relaxed)) +
-      ".sst";
+  const uint64_t file_number =
+      next_file_number_.fetch_add(1, std::memory_order_relaxed);
+  const std::string path = SstPath(file_number);
   TableBuildStats build_stats;
-  if (!builder.WriteTo(path, &build_stats)) {
+  // WriteTo stages path.tmp, fsyncs, renames and fsyncs the directory:
+  // the SST is durable before any manifest record can reference it.
+  if (!builder.WriteTo(env_, path, &build_stats)) {
     stats_.SetLastError("flush: cannot write " + path);
     return nullptr;
   }
-  // Durable before the covering WAL becomes deletable: match the WAL's
-  // own durability level (page cache by default, disk with wal_fsync).
-  if (options_.wal && options_.wal_fsync && !SyncFile(path)) {
-    stats_.SetLastError("flush: cannot sync " + path);
-    return nullptr;
-  }
-  std::shared_ptr<const TableReader> reader = TableReader::Open(
-      path, options_.filter_policy.get(), &stats_, options_.block_cache);
+  std::shared_ptr<const TableReader> reader =
+      TableReader::Open(path, options_.filter_policy.get(), &stats_,
+                        options_.block_cache, file_number);
   if (reader == nullptr) {
     stats_.SetLastError("flush: cannot reopen " + path);
+    env_->DeleteFile(path);
     return nullptr;
   }
+  meta->file_number = file_number;
+  meta->smallest = reader->min_key();
+  meta->largest = reader->max_key();
+  meta->entries = build_stats.num_entries;
+  meta->file_bytes = build_stats.file_bytes;
   {
     std::lock_guard<std::mutex> lock(flush_stats_mu_);
     flush_stats_.filter_create_seconds += build_stats.filter_create_seconds;
@@ -296,19 +483,38 @@ std::shared_ptr<const TableReader> Db::WriteSst(const MemTable& mem) {
 
 bool Db::FlushSealed(const QueuedFlush& entry) {
   // The sealed memtable is dropped from the Version only once the SST
-  // is written and readable; a failed flush keeps the data queryable
-  // from the Version's sealed list.
-  auto table = WriteSst(*entry.mem);
+  // is written AND its manifest edit is durable; a failed flush keeps
+  // the data queryable from the Version's sealed list (and its WAL on
+  // disk).
+  FileMeta meta;
+  auto table = WriteSst(*entry.mem, &meta);
   if (table == nullptr) return false;
   {
     std::lock_guard<std::mutex> lock(version_mu_);
-    versions_.Publish(
-        versions_.Current()->WithFlushed(entry.mem.get(), std::move(table)));
+    auto next = versions_.Current()->WithFlushed(entry.mem.get(), table);
+    VersionEdit edit;
+    edit.SetLogNumber(std::max(flushed_through_log_, entry.max_log));
+    edit.SetNextFileNumber(next_file_number_.load(std::memory_order_relaxed));
+    edit.added.emplace_back(0, meta);
+    // Advance before the append so a self-healing snapshot rewrite
+    // inside AppendManifestEdit records the post-flush log coverage.
+    const uint64_t prev_flushed = flushed_through_log_;
+    flushed_through_log_ = std::max(flushed_through_log_, entry.max_log);
+    if (!AppendManifestEdit(edit, *next)) {
+      // The flush is not durable without its edit: a crash now would
+      // orphan the SST while recovery replays the WAL — fine — but
+      // deleting the WAL below would not be. Undo and retry later.
+      flushed_through_log_ = prev_flushed;
+      env_->DeleteFile(table->path());
+      return false;
+    }
+    versions_.Publish(std::move(next));
   }
-  // The memtable's data now lives in an installed SST: every log up to
-  // its rotation point is obsolete (newer memtables only touch newer
-  // logs, by the rotation-under-exclusive-seal invariant).
+  // The memtable's data now lives in a manifest-committed SST: every
+  // log up to its rotation point is obsolete (newer memtables only
+  // touch newer logs, by the rotation-under-exclusive-seal invariant).
   DeleteLogsThrough(entry.max_log);
+  MaybeScheduleCompaction();
   return true;
 }
 
@@ -379,6 +585,190 @@ bool Db::WaitForFlush() {
   return !flush_error_;
 }
 
+void Db::MaybeScheduleCompaction() {
+  if (!compact_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(compact_mu_);
+    compact_requested_ = true;
+  }
+  compact_work_cv_.notify_one();
+}
+
+bool Db::RunCompaction(const CompactionJob& job) {
+  // Stream the inputs through a k-way merge: the smallest pending key
+  // wins each step, ties resolved to the lowest input index (newest
+  // source — PickCompaction orders inputs newest first), and every
+  // iterator holding the winning key advances, which is what drops the
+  // shadowed duplicates.
+  std::vector<TableReader::Iterator> inputs;
+  inputs.reserve(job.inputs.size());
+  uint64_t bytes_read = 0;
+  for (const auto& table : job.inputs) {
+    inputs.emplace_back(*table, &stats_);
+    bytes_read += table->file_size();
+  }
+
+  std::vector<std::string> output_paths;
+  auto fail = [&](const std::string& msg) {
+    stats_.SetLastError(msg);
+    ++stats_.compaction_failures;
+    for (const auto& path : output_paths) env_->DeleteFile(path);
+    return false;
+  };
+
+  // Split outputs near half the level's base budget so deeper levels
+  // hold several disjoint files and later compactions can pick them
+  // one at a time.
+  const uint64_t target_file_bytes =
+      std::max<uint64_t>(1, compact_cfg_.level_base_bytes / 2);
+  Version::TableList outputs;
+  std::vector<FileMeta> output_meta;
+  std::unique_ptr<TableBuilder> builder;
+  uint64_t bytes_written = 0;
+
+  auto finish_output = [&]() -> bool {
+    const uint64_t file_number =
+        next_file_number_.fetch_add(1, std::memory_order_relaxed);
+    const std::string path = SstPath(file_number);
+    const uint64_t entries = builder->num_entries();
+    TableBuildStats build_stats;
+    if (!builder->WriteTo(env_, path, &build_stats)) {
+      return fail("compact: cannot write " + path);
+    }
+    output_paths.push_back(path);
+    auto reader =
+        TableReader::Open(path, options_.filter_policy.get(), &stats_,
+                          options_.block_cache, file_number);
+    if (reader == nullptr) return fail("compact: cannot reopen " + path);
+    FileMeta meta;
+    meta.file_number = file_number;
+    meta.smallest = reader->min_key();
+    meta.largest = reader->max_key();
+    meta.entries = entries;
+    meta.file_bytes = build_stats.file_bytes;
+    output_meta.push_back(meta);
+    outputs.push_back(std::move(reader));
+    bytes_written += build_stats.file_bytes;
+    builder.reset();
+    return true;
+  };
+
+  for (;;) {
+    size_t winner = inputs.size();
+    uint64_t min_key = 0;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if (!inputs[i].ok()) return fail("compact: input read error");
+      if (!inputs[i].Valid()) continue;
+      if (winner == inputs.size() || inputs[i].key() < min_key) {
+        winner = i;
+        min_key = inputs[i].key();
+      }
+    }
+    if (winner == inputs.size()) break;
+    if (builder == nullptr) {
+      builder = std::make_unique<TableBuilder>(options_.filter_policy.get(),
+                                               options_.block_size);
+    }
+    builder->Add(min_key, inputs[winner].value());
+    for (auto& input : inputs) {
+      while (input.Valid() && input.key() == min_key) input.Next();
+    }
+    if (builder->ApproximateBytes() >= target_file_bytes) {
+      if (!finish_output()) return false;
+    }
+  }
+  if (builder != nullptr && builder->num_entries() > 0) {
+    if (!finish_output()) return false;
+  }
+
+  // Commit: one manifest edit (deletes + adds) made durable before the
+  // Version swap publishes it. Input files are unlinked only after the
+  // publication; readers holding an older Version keep them open (and
+  // POSIX keeps unlinked-but-open files readable).
+  std::vector<uint64_t> input_numbers;
+  input_numbers.reserve(job.input_files.size());
+  for (const auto& [level, number] : job.input_files) {
+    input_numbers.push_back(number);
+  }
+  {
+    std::lock_guard<std::mutex> lock(version_mu_);
+    auto next = versions_.Current()->WithCompaction(
+        input_numbers, job.output_level, outputs);
+    VersionEdit edit;
+    edit.SetNextFileNumber(next_file_number_.load(std::memory_order_relaxed));
+    edit.deleted = job.input_files;
+    for (const FileMeta& meta : output_meta) {
+      edit.added.emplace_back(static_cast<uint32_t>(job.output_level), meta);
+    }
+    if (!AppendManifestEdit(edit, *next)) {
+      return fail("compact: manifest append failed");
+    }
+    versions_.Publish(std::move(next));
+  }
+  ++stats_.compactions;
+  stats_.compaction_bytes_read += bytes_read;
+  stats_.compaction_bytes_written += bytes_written;
+  for (const auto& table : job.inputs) env_->DeleteFile(table->path());
+  return true;
+}
+
+void Db::CompactionWorker() {
+  std::unique_lock<std::mutex> lock(compact_mu_);
+  while (!compact_stop_) {
+    if (!compact_requested_) {
+      compact_work_cv_.wait(lock, [this] {
+        return compact_stop_ || compact_requested_;
+      });
+      continue;
+    }
+    compact_requested_ = false;
+    compact_idle_ = false;
+    bool failed = false;
+    lock.unlock();
+    // Drain: re-pick from the freshest Version after every job, so a
+    // flush landing mid-compaction is folded into the next pick.
+    for (;;) {
+      auto job =
+          PickCompaction(*versions_.Current(), compact_cfg_, &compact_cursors_);
+      if (!job.has_value()) break;
+      if (!RunCompaction(*job)) {
+        failed = true;
+        break;
+      }
+      std::lock_guard<std::mutex> check(compact_mu_);
+      if (compact_stop_) break;
+    }
+    lock.lock();
+    if (failed && !compact_stop_) {
+      compact_error_ = true;
+      compact_idle_ = true;
+      compact_done_cv_.notify_all();
+      // Exponential-backoff retry: park for the delay (or until a
+      // waiter/shutdown pokes us), then re-pick.
+      compact_work_cv_.wait_for(lock, compact_backoff_.Next(), [this] {
+        return compact_stop_ || compact_requested_;
+      });
+      if (!compact_stop_) compact_requested_ = true;
+    } else {
+      compact_backoff_.Reset();
+      compact_idle_ = true;
+      compact_done_cv_.notify_all();
+    }
+  }
+}
+
+bool Db::WaitForCompaction() {
+  if (!compact_thread_.joinable()) return true;
+  std::unique_lock<std::mutex> lock(compact_mu_);
+  compact_error_ = false;  // this call doubles as the retry trigger
+  compact_requested_ = true;
+  compact_work_cv_.notify_all();
+  compact_done_cv_.wait(lock, [this] {
+    return (compact_idle_ && !compact_requested_) || compact_error_;
+  });
+  return !compact_error_;
+}
+
 bool Db::Get(uint64_t key, std::string* value) {
   auto version = versions_.Current();
   if (version->active()->Get(key, value)) return true;
@@ -386,9 +776,12 @@ bool Db::Get(uint64_t key, std::string* value) {
   for (auto it = sealed.rbegin(); it != sealed.rend(); ++it) {
     if ((*it)->Get(key, value)) return true;
   }
-  const auto& tables = version->tables();
-  for (auto it = tables.rbegin(); it != tables.rend(); ++it) {
-    if ((*it)->Get(key, value, &stats_)) return true;
+  for (const TableReader* table : TablesNewestFirst(*version)) {
+    // Leveled compaction leaves L1+ files key-disjoint, so most tables
+    // can't contain the key at all — skip them before the filter probe
+    // or read amplification grows with file count instead of shrinking.
+    if (key < table->min_key() || key > table->max_key()) continue;
+    if (table->Get(key, value, &stats_)) return true;
   }
   return false;
 }
@@ -426,11 +819,16 @@ std::vector<std::optional<std::string>> Db::MultiGet(
   }
 
   // Then the tables newest-first, chaining one found/values array pair
-  // so each table only probes keys no newer source resolved.
+  // so each table only probes keys no newer source resolved. Tables
+  // whose key range misses the whole batch are skipped outright.
+  const auto [lo_it, hi_it] = std::minmax_element(keys.begin(), keys.end());
+  const uint64_t batch_lo = *lo_it;
+  const uint64_t batch_hi = *hi_it;
   std::vector<std::string> values(keys.size());
-  const auto& tables = version->tables();
-  for (auto it = tables.rbegin(); it != tables.rend() && remaining > 0; ++it) {
-    remaining -= (*it)->MultiGet(keys, found.get(), values.data(), &stats_);
+  for (const TableReader* table : TablesNewestFirst(*version)) {
+    if (remaining == 0) break;
+    if (batch_hi < table->min_key() || batch_lo > table->max_key()) continue;
+    remaining -= table->MultiGet(keys, found.get(), values.data(), &stats_);
   }
   for (size_t i = 0; i < keys.size(); ++i) {
     if (found[i] && !result[i].has_value()) result[i] = std::move(values[i]);
@@ -454,10 +852,9 @@ std::vector<std::pair<uint64_t, std::string>> Db::RangeScan(uint64_t lo,
     (*it)->RangeScan(lo, hi, limit, &chunk);
     for (auto& [k, v] : chunk) merged.emplace(k, std::move(v));
   }
-  const auto& tables = version->tables();
-  for (auto it = tables.rbegin(); it != tables.rend(); ++it) {
+  for (const TableReader* table : TablesNewestFirst(*version)) {
     chunk.clear();
-    (*it)->RangeScan(lo, hi, limit, &chunk, &stats_);
+    table->RangeScan(lo, hi, limit, &chunk, &stats_);
     for (auto& [k, v] : chunk) merged.emplace(k, std::move(v));
   }
   std::vector<std::pair<uint64_t, std::string>> out;
@@ -499,13 +896,12 @@ std::vector<std::vector<std::pair<uint64_t, std::string>>> Db::ScanRange(
   // One batched filter probe per table; only ranges the filter cannot
   // exclude touch data blocks (cache-served via GetBlock).
   auto may_match = std::make_unique<bool[]>(n);
-  const auto& tables = version->tables();
-  for (auto it = tables.rbegin(); it != tables.rend(); ++it) {
-    (*it)->RangeMultiProbe(los, his, may_match.get(), &stats_);
+  for (const TableReader* table : TablesNewestFirst(*version)) {
+    table->RangeMultiProbe(los, his, may_match.get(), &stats_);
     for (size_t i = 0; i < n; ++i) {
       if (!may_match[i]) continue;
       chunk.clear();
-      (*it)->ScanBlocks(los[i], his[i], limit, &chunk, &stats_);
+      table->ScanBlocks(los[i], his[i], limit, &chunk, &stats_);
       for (auto& [k, v] : chunk) merged[i].emplace(k, std::move(v));
     }
   }
@@ -530,7 +926,7 @@ bool Db::RangeMayMatch(uint64_t lo, uint64_t hi) {
     if (!probe.empty()) return true;
   }
   bool any = false;
-  for (const auto& table : version->tables()) {
+  for (const TableReader* table : TablesNewestFirst(*version)) {
     if (table->filter() != nullptr) {
       if (table->RangeScan(lo, hi, 0, nullptr, &stats_)) any = true;
     } else {
@@ -545,9 +941,18 @@ DbFlushStats Db::flush_stats() const {
   return flush_stats_;
 }
 
+std::vector<size_t> Db::level_table_counts() const {
+  auto version = versions_.Current();
+  std::vector<size_t> counts;
+  counts.reserve(version->levels().size());
+  for (const auto& level : version->levels()) counts.push_back(level.size());
+  return counts;
+}
+
 uint64_t Db::filter_memory_bits() const {
   uint64_t total = 0;
-  for (const auto& table : versions_.Current()->tables()) {
+  auto version = versions_.Current();
+  for (const TableReader* table : TablesNewestFirst(*version)) {
     total += table->filter_memory_bits();
   }
   return total;

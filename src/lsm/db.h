@@ -3,8 +3,11 @@
 // RocksDB").
 //
 // Behaviour mirrored from the paper's setup:
-//  - compaction disabled: flushed SSTs accumulate at level 0 and every
-//    read consults all of them, newest first;
+//  - compaction disabled by default: flushed SSTs accumulate at level
+//    0 and every read consults all of them, newest first (the paper's
+//    measurement configuration). DbOptions::compaction enables a
+//    background leveled compaction (L0 by file count, deeper levels by
+//    byte budget) that keeps read amplification bounded;
 //  - one full filter block per SST, built through a pluggable
 //    FilterPolicy extended with range information (RangeMayMatch);
 //  - probe-cost accounting (filter time, I/O wait, deserialization)
@@ -14,8 +17,8 @@
 //  - Get/MultiGet/RangeScan/ScanRange/RangeMayMatch are safe from any
 //    number of threads concurrently with writers. Each read takes one
 //    snapshot of the current immutable Version (active memtable +
-//    sealed memtables + SST readers, published through an atomically-
-//    swapped shared_ptr) and runs lock-free against that stable list.
+//    sealed memtables + leveled SST tree, published through an
+//    atomically-swapped shared_ptr) and runs lock-free against it.
 //  - Put/PutBatch from multiple threads run concurrently: the memtable
 //    is an arena-backed concurrent skiplist (CAS-spliced inserts), the
 //    WAL batches all concurrent appends into one group-commit write,
@@ -24,9 +27,14 @@
 //    lock-free; sealing takes the lock exclusively for one pointer
 //    swap + WAL rotation).
 //  - Durability: with DbOptions::wal every Put is logged before it is
-//    applied; reopening a Db replays the log tail into a fresh
-//    memtable and re-opens the existing SSTs, so a crash loses at most
-//    the records after the last group commit (none with wal_fsync).
+//    applied. The durable table state lives in a versioned MANIFEST
+//    (see lsm/manifest.h): every flush and compaction appends a synced
+//    edit before its Version publishes, recovery replays CURRENT →
+//    MANIFEST → WAL in that order, and an SST is fsynced and renamed
+//    into place before the manifest references it — so a crash at any
+//    instant loses at most the records after the last group commit
+//    (none with wal_fsync) and never loses, duplicates or resurrects
+//    a flushed key.
 //
 //   DbOptions options;
 //   options.dir = "/tmp/db";
@@ -45,7 +53,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -56,11 +63,15 @@
 #include <vector>
 
 #include "lsm/block_cache.h"
+#include "lsm/compaction.h"
+#include "lsm/env.h"
 #include "lsm/filter_policy.h"
+#include "lsm/manifest.h"
 #include "lsm/memtable.h"
 #include "lsm/table_reader.h"
 #include "lsm/version.h"
 #include "lsm/wal.h"
+#include "util/backoff.h"
 
 namespace bloomrf {
 
@@ -82,7 +93,8 @@ struct DbOptions {
   /// Write-ahead log: every Put/PutBatch is group-committed to a
   /// CRC-framed log before it is applied, the log rotates at each
   /// memtable seal and is deleted once that memtable's flush has
-  /// completed, and opening a Db replays any surviving logs. Off =
+  /// committed to the MANIFEST, and opening a Db replays any surviving
+  /// logs newer than the manifest's flushed-through log number. Off =
   /// the pre-WAL behaviour (a crash loses the memtable).
   bool wal = true;
   /// fdatasync every group commit before Append returns. Off (default)
@@ -92,10 +104,26 @@ struct DbOptions {
   /// Directory for wal-*.log files; empty = `dir` (set it to place the
   /// log on a separate device).
   std::string wal_dir;
-  /// Test-only failure injection: when set and returning true, the
-  /// next SST write fails as if the disk did. Exercises the
-  /// failed-flush retry path without an unwritable filesystem.
-  std::function<bool()> flush_fault;
+  /// Filesystem seam for every durable mutation: SST/MANIFEST/CURRENT
+  /// creation, renames, deletions, directory syncs. Null = the
+  /// process-wide POSIX Env. Tests pass a FaultInjectionEnv here to
+  /// fail or "crash" any individual call site (see lsm/env.h).
+  Env* env = nullptr;
+  /// Background leveled compaction. Off (the paper's measurement
+  /// setup) leaves every flushed SST at L0. On, a dedicated thread
+  /// merges L0 into L1 whenever L0 reaches l0_compaction_trigger
+  /// files, and level i (>= 1) into level i+1 whenever it exceeds
+  /// level_base_bytes * level_size_multiplier^(i-1). Failed
+  /// compactions retry with exponential backoff and never unpublish
+  /// readable state (see stats().last_error()).
+  bool compaction = false;
+  size_t l0_compaction_trigger = 4;
+  uint64_t level_base_bytes = 8ull << 20;
+  size_t level_size_multiplier = 8;
+  size_t max_levels = 6;
+  /// The live MANIFEST is rewritten as a one-record snapshot once it
+  /// grows past this many bytes (and on any append failure).
+  uint64_t manifest_rewrite_bytes = 1ull << 20;
 };
 
 struct DbFlushStats {
@@ -107,8 +135,20 @@ struct DbFlushStats {
 /// What Db's constructor found and replayed from a previous life of
 /// the same directory. Immutable after open.
 struct DbRecoveryStats {
-  uint64_t tables_loaded = 0;        // existing SSTs re-opened
+  uint64_t tables_loaded = 0;        // manifest-referenced SSTs re-opened
+  uint64_t manifest_edits_replayed = 0;
+  bool manifest_clean = true;  // false: manifest replay stopped at a torn tail
+  /// True when the directory predates the MANIFEST: its *.sst files
+  /// were imported into L0 by number order (one-shot; this open writes
+  /// the first manifest).
+  bool legacy_import = false;
+  /// Manifest-referenced SSTs that failed open-time validation and
+  /// were renamed aside as <name>.corrupt.
+  uint64_t tables_quarantined = 0;
   uint64_t wal_files_replayed = 0;
+  /// Logs at or below the manifest's flushed-through number: their
+  /// data already lives in SSTs, so they are deleted without replay.
+  uint64_t wal_files_skipped = 0;
   uint64_t wal_records_replayed = 0;
   uint64_t wal_entries_replayed = 0;  // key/value pairs re-applied
   bool wal_clean = true;  // false: replay stopped at a torn/corrupt tail
@@ -117,9 +157,9 @@ struct DbRecoveryStats {
 class Db {
  public:
   explicit Db(DbOptions options);
-  /// Drains pending background flushes, syncs the WAL, then joins the
-  /// flush thread. Unflushed memtable data stays recoverable from the
-  /// WAL (when enabled).
+  /// Drains pending background flushes, parks the compaction thread,
+  /// syncs the WAL, then joins both threads. Unflushed memtable data
+  /// stays recoverable from the WAL (when enabled).
   ~Db();
 
   Db(const Db&) = delete;
@@ -140,8 +180,7 @@ class Db {
   bool PutBatch(std::span<const KV> kvs);
 
   /// Point read: active memtable, then the snapshot Version (sealed
-  /// memtables newest-first, then L0 tables newest-first through their
-  /// filters).
+  /// memtables newest-first, L0 newest-first, then each deeper level).
   bool Get(uint64_t key, std::string* value);
 
   /// Batched point read: result[i] holds keys[i]'s value, or nullopt
@@ -187,14 +226,22 @@ class Db {
   /// while the queue cannot drain.
   bool WaitForFlush();
 
+  /// Kicks the compaction thread and waits until the tree satisfies
+  /// every trigger (or a compaction fails — returns false then, after
+  /// clearing the error so the call acts as a retry). No-op true when
+  /// compaction is off. Never blocks indefinitely on a broken disk.
+  bool WaitForCompaction();
+
   const LsmStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
   /// Snapshot of flush-side counters. Exact after Flush()/
   /// WaitForFlush(); may lag mid-flight flushes otherwise.
   DbFlushStats flush_stats() const;
-  /// What open() recovered from the directory (SSTs + WAL replay).
+  /// What open() recovered from the directory (MANIFEST + SSTs + WAL).
   const DbRecoveryStats& recovery_stats() const { return recovery_stats_; }
-  size_t num_tables() const { return versions_.Current()->tables().size(); }
+  size_t num_tables() const { return versions_.Current()->table_count(); }
+  /// File count per level of the current Version (index 0 = L0).
+  std::vector<size_t> level_table_counts() const;
   uint64_t filter_memory_bits() const;
   const std::shared_ptr<BlockCache>& block_cache() const {
     return options_.block_cache;
@@ -212,9 +259,22 @@ class Db {
   std::string WalDirPath() const {
     return options_.wal_dir.empty() ? options_.dir : options_.wal_dir;
   }
-  /// Loads pre-existing SSTs (file-number order = seal order) and
-  /// replays surviving WAL files into the fresh active memtable.
+  std::string SstPath(uint64_t file_number) const {
+    return options_.dir + "/" + std::to_string(file_number) + ".sst";
+  }
+  /// Rebuilds the table tree from CURRENT → MANIFEST (falling back to
+  /// the newest manifest on disk, then to a legacy *.sst import),
+  /// quarantines unreadable tables, writes a fresh snapshot manifest
+  /// for this life, and replays surviving WAL files into the fresh
+  /// active memtable.
   void Recover();
+  /// Opens the manifest-referenced tables into a level structure;
+  /// shared by the CURRENT and fallback recovery paths.
+  std::vector<Version::TableList> OpenTablesFromManifest(
+      const ManifestState& state, uint64_t* max_file_seen);
+  /// Renames an unreadable SST to <path>.corrupt so recovery does not
+  /// retry it forever, and accounts it.
+  void QuarantineTable(const std::string& path);
   /// Opens the next wal-<n>.log and makes it current. Caller holds
   /// seal_mu_ exclusively (or is the constructor).
   void RotateWal();
@@ -226,18 +286,42 @@ class Db {
   /// non-empty memtable; otherwise only one still over budget (a
   /// concurrent sealer may have won).
   bool SealActive(bool force);
-  /// Writes one sealed memtable to an SST and swaps it for the new
-  /// table in the Version. The sealed memtable stays in the Version on
-  /// failure.
+  /// Writes one sealed memtable to an SST, appends the manifest edit,
+  /// and swaps the memtable for the new table in the Version. The
+  /// sealed memtable stays in the Version on any failure.
   bool FlushSealed(const QueuedFlush& entry);
-  std::shared_ptr<const TableReader> WriteSst(const MemTable& mem);
+  /// Durably writes `mem` as a new SST through env_ and reopens it;
+  /// fills *meta with its manifest metadata.
+  std::shared_ptr<const TableReader> WriteSst(const MemTable& mem,
+                                              FileMeta* meta);
   /// Synchronous-mode drain: flushes queued memtables front to back,
   /// stopping (and keeping the failed one at the front for the next
   /// call) on the first failure.
   bool DrainQueueInline();
   void FlushWorker();
 
+  /// Appends `edit` to the live manifest, or — when the manifest is
+  /// broken, absent, or past its rewrite threshold — replaces it with
+  /// a fresh one whose first record snapshots `post` (the Version the
+  /// edit produces). Caller holds version_mu_. False means the edit is
+  /// NOT durable and the caller must not publish the state change.
+  bool AppendManifestEdit(const VersionEdit& edit, const Version& post);
+  /// Writes MANIFEST-<next>, snapshots `v` into it, swaps CURRENT, and
+  /// deletes the previous manifest. Caller holds version_mu_.
+  bool WriteManifestSnapshotLocked(const Version& v);
+
+  void MaybeScheduleCompaction();
+  /// Merges one picked job: streams the inputs through a k-way merge
+  /// (newest input wins duplicates), splits outputs near the level's
+  /// file-size target, commits via one manifest edit + Version
+  /// publication, then deletes the input files. False on any I/O
+  /// failure — outputs are removed, inputs stay published, the store
+  /// remains fully readable.
+  bool RunCompaction(const CompactionJob& job);
+  void CompactionWorker();
+
   DbOptions options_;
+  Env* env_ = nullptr;  // resolved: options_.env or Env::Default()
 
   // Write path. Writers take seal_mu_ shared — among themselves they
   // are lock-free (concurrent skiplist inserts, group-committed WAL
@@ -251,10 +335,21 @@ class Db {
   uint64_t active_max_log_ = 0;        // guarded by seal_mu_
 
   // Read-state publication. version_mu_ serializes read-modify-publish
-  // sequences (seal on the write path, install on the flush thread);
-  // readers go straight to versions_.Current().
+  // sequences (seal on the write path, install on the flush thread,
+  // replace on the compaction thread) and the manifest append that
+  // makes each publication durable; readers go straight to
+  // versions_.Current().
   std::mutex version_mu_;
   VersionSet versions_;
+
+  // Manifest state, guarded by version_mu_ (every edit is appended in
+  // the same critical section as the publication it describes).
+  std::unique_ptr<ManifestWriter> manifest_;
+  uint64_t next_manifest_number_ = 1;
+  uint64_t manifest_rewrite_limit_ = 0;
+  /// Highest WAL number whose data has fully reached manifest-committed
+  /// SSTs; recovery skips logs at or below it.
+  uint64_t flushed_through_log_ = 0;
 
   // Flush pipeline, all guarded by flush_mu_. Sealed memtables drain
   // strictly front to back — a memtable leaves the queue only once its
@@ -273,6 +368,22 @@ class Db {
   bool stop_ = false;
   std::mutex inline_drain_mu_;  // serializes sync-mode DrainQueueInline
   std::thread flush_thread_;
+
+  // Compaction pipeline, guarded by compact_mu_. The worker re-picks
+  // from the freshest Version after every job; a failed job sets
+  // compact_error_ (visible through WaitForCompaction) and retries on
+  // an exponential-backoff timer.
+  std::mutex compact_mu_;
+  std::condition_variable compact_work_cv_;  // wakes the worker
+  std::condition_variable compact_done_cv_;  // wakes WaitForCompaction
+  bool compact_requested_ = false;
+  bool compact_idle_ = true;
+  bool compact_error_ = false;
+  bool compact_stop_ = false;
+  std::thread compact_thread_;
+  CompactionConfig compact_cfg_;
+  std::vector<uint64_t> compact_cursors_;  // compaction thread only
+  Backoff compact_backoff_;                // compaction thread only
 
   std::atomic<uint64_t> next_file_number_{1};
   LsmStats stats_;

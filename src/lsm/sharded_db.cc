@@ -26,6 +26,13 @@ ShardedDb::ShardedDb(ShardedDbOptions options) : options_(std::move(options)) {
     if (!options_.wal_dir.empty()) {
       shard_options.wal_dir = options_.wal_dir + "/shard-" + std::to_string(i);
     }
+    shard_options.env = options_.env;
+    shard_options.compaction = options_.compaction;
+    shard_options.l0_compaction_trigger = options_.l0_compaction_trigger;
+    shard_options.level_base_bytes = options_.level_base_bytes;
+    shard_options.level_size_multiplier = options_.level_size_multiplier;
+    shard_options.max_levels = options_.max_levels;
+    shard_options.manifest_rewrite_bytes = options_.manifest_rewrite_bytes;
     shards_.push_back(std::make_unique<Db>(std::move(shard_options)));
   }
   size_t workers = options_.worker_threads > 0 ? options_.worker_threads
@@ -149,6 +156,12 @@ bool ShardedDb::Flush() {
 bool ShardedDb::WaitForFlush() {
   bool ok = true;
   for (auto& shard : shards_) ok &= shard->WaitForFlush();
+  return ok;
+}
+
+bool ShardedDb::WaitForCompaction() {
+  bool ok = true;
+  for (auto& shard : shards_) ok &= shard->WaitForCompaction();
   return ok;
 }
 

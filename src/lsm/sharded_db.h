@@ -51,6 +51,17 @@ struct ShardedDbOptions {
   bool wal = true;
   bool wal_fsync = false;
   std::string wal_dir;
+  /// Filesystem seam shared by every shard (see DbOptions::env). Null
+  /// = the process-wide POSIX Env.
+  Env* env = nullptr;
+  /// Per-shard background leveled compaction (see DbOptions). Each
+  /// shard runs its own compaction thread over its own level tree.
+  bool compaction = false;
+  size_t l0_compaction_trigger = 4;
+  uint64_t level_base_bytes = 8ull << 20;
+  size_t level_size_multiplier = 8;
+  size_t max_levels = 6;
+  uint64_t manifest_rewrite_bytes = 1ull << 20;
   /// Fan-out workers for batch APIs; 0 sizes the pool to num_shards.
   /// Callers of MultiGet/ScanRange also steal tasks while waiting, so
   /// even worker_threads == 0 with a 1-shard engine stays a plain
@@ -108,6 +119,9 @@ class ShardedDb {
   bool Flush();
   /// Drains already-queued background flushes on every shard.
   bool WaitForFlush();
+  /// Waits until every shard's compaction triggers are satisfied (see
+  /// Db::WaitForCompaction). False if any shard's compaction failed.
+  bool WaitForCompaction();
 
   size_t num_shards() const { return shards_.size(); }
   Db& shard(size_t i) { return *shards_[i]; }

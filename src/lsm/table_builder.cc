@@ -1,11 +1,21 @@
 #include "lsm/table_builder.h"
 
-#include <cstdio>
-
 #include "util/coding.h"
+#include "util/crc32c.h"
 #include "util/timer.h"
 
 namespace bloomrf {
+
+namespace {
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of("/\\");
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
 
 void TableBuilder::Add(uint64_t key, std::string_view value) {
   current_.Add(key, value);
@@ -19,11 +29,13 @@ void TableBuilder::FlushBlock() {
   std::string block = current_.Finish();
   PutFixed64(&index_, last);
   PutFixed64(&index_, file_data_.size());
-  PutFixed64(&index_, block.size());
+  PutFixed64(&index_, block.size());  // payload size; trailing CRC excluded
   file_data_ += block;
+  PutFixed32(&file_data_, Crc32c(block));
 }
 
-bool TableBuilder::WriteTo(const std::string& path, TableBuildStats* stats) {
+bool TableBuilder::WriteTo(Env* env, const std::string& path,
+                           TableBuildStats* stats) {
   FlushBlock();
   uint64_t index_off = file_data_.size();
   uint64_t index_size = index_.size();
@@ -47,20 +59,28 @@ bool TableBuilder::WriteTo(const std::string& path, TableBuildStats* stats) {
   PutFixed64(&file_data_, index_size);
   PutFixed64(&file_data_, filter_off);
   PutFixed64(&file_data_, filter_size);
-  PutFixed64(&file_data_, kMagic);
+  PutFixed32(&file_data_, Crc32c(index_));
+  PutFixed32(&file_data_, Crc32c(filter_block));
+  PutFixed64(&file_data_, kMagicV2);
 
   if (stats != nullptr) {
     stats->filter_create_seconds = filter_seconds;
     stats->filter_block_bytes = filter_size;
     stats->data_bytes = index_off;
     stats->num_entries = keys_.size();
+    stats->file_bytes = file_data_.size();
   }
 
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
-  bool ok = std::fwrite(file_data_.data(), 1, file_data_.size(), f) ==
-            file_data_.size();
-  std::fclose(f);
+  // Durable create: stage as .tmp, fsync the bytes, rename into place,
+  // fsync the directory. A crash at any boundary leaves either no
+  // visible SST (a .tmp leftover recovery deletes) or a complete one.
+  const std::string tmp = path + ".tmp";
+  auto file = env->NewWritableFile(tmp);
+  bool ok = file != nullptr && file->Append(file_data_) && file->Sync() &&
+            file->Close();
+  ok = ok && env->RenameFile(tmp, path);
+  ok = ok && env->SyncDir(DirName(path));
+  if (!ok) env->DeleteFile(tmp);  // best effort
   return ok;
 }
 

@@ -1,10 +1,24 @@
 // SST (sorted string table) writer of the mini-LSM store.
 //
-// File layout (all offsets little-endian):
-//   [data block]*  [index block]  [filter block]  [footer]
+// File layout, format v2 (all offsets little-endian):
+//   [data block  block_crc:fixed32]*  [index block]  [filter block]
+//   [footer]
 //   index entry  := last_key:fixed64 offset:fixed64 size:fixed64
+//                   (size = block payload bytes, CRC excluded)
 //   filter block := name:len-prefixed data:len-prefixed
-//   footer       := index_off index_size filter_off filter_size magic
+//   footer       := index_off index_size filter_off filter_size
+//                   index_crc:fixed32 filter_crc:fixed32 magic_v2
+// Every data block carries a trailing CRC-32C; the index and filter
+// blocks are covered by footer CRCs, so TableReader::Open validates
+// all metadata before serving a byte, and a flipped bit in a data
+// block is detected at read time instead of returning garbage.
+//
+// Format v1 (magic kMagicV1, 40-byte footer, no CRCs) is still read.
+//
+// Durability: WriteTo stages the file as `path.tmp`, fsyncs it,
+// renames it into place and fsyncs the parent directory — a crash at
+// any point leaves either no SST or a complete one, never a torn file
+// under the final name.
 //
 // Filters are built over the full key set of the file ("full filter"
 // placement, as in the paper's RocksDB integration with
@@ -18,6 +32,7 @@
 #include <vector>
 
 #include "lsm/block.h"
+#include "lsm/env.h"
 #include "lsm/filter_policy.h"
 
 namespace bloomrf {
@@ -27,11 +42,15 @@ struct TableBuildStats {
   uint64_t filter_block_bytes = 0;
   uint64_t data_bytes = 0;
   uint64_t num_entries = 0;
+  uint64_t file_bytes = 0;  // total bytes written
 };
 
 class TableBuilder {
  public:
-  static constexpr uint64_t kMagic = 0xb100f54b1e5ULL;
+  static constexpr uint64_t kMagicV1 = 0xb100f54b1e5ULL;
+  static constexpr uint64_t kMagicV2 = 0xb100f54b1e52ULL;
+  /// Legacy alias; new code should name the version explicitly.
+  static constexpr uint64_t kMagic = kMagicV1;
 
   /// `policy` may be null (no filter block). Does not take ownership.
   TableBuilder(const FilterPolicy* policy, size_t block_size)
@@ -40,9 +59,22 @@ class TableBuilder {
   /// Adds an entry; keys must arrive in strictly increasing order.
   void Add(uint64_t key, std::string_view value);
 
-  /// Serializes the complete table and writes it to `path`. Returns
-  /// false on I/O failure.
-  bool WriteTo(const std::string& path, TableBuildStats* stats);
+  size_t num_entries() const { return keys_.size(); }
+  /// Serialized bytes so far (data written + current block); the
+  /// compaction uses it to split outputs near a target file size.
+  size_t ApproximateBytes() const {
+    return file_data_.size() + current_.SizeBytes();
+  }
+
+  /// Serializes the complete table and writes it durably through
+  /// `env`: staged at `path.tmp`, fsynced, renamed to `path`, parent
+  /// directory fsynced. False on any I/O failure (the tmp file is
+  /// best-effort removed; `path` is never left torn).
+  bool WriteTo(Env* env, const std::string& path, TableBuildStats* stats);
+  /// Same through the default Env.
+  bool WriteTo(const std::string& path, TableBuildStats* stats) {
+    return WriteTo(Env::Default(), path, stats);
+  }
 
  private:
   void FlushBlock();

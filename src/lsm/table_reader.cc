@@ -11,6 +11,7 @@
 #include "lsm/block.h"
 #include "lsm/table_builder.h"
 #include "util/coding.h"
+#include "util/crc32c.h"
 #include "util/timer.h"
 
 namespace bloomrf {
@@ -66,44 +67,94 @@ TableReader::~TableReader() {
 
 std::unique_ptr<TableReader> TableReader::Open(
     const std::string& path, const FilterPolicy* policy, LsmStats* stats,
-    std::shared_ptr<BlockCache> cache) {
+    std::shared_ptr<BlockCache> cache, uint64_t file_number) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return nullptr;
   std::unique_ptr<TableReader> reader(new TableReader());
   reader->file_ = f;
   reader->cache_ = std::move(cache);
   reader->table_id_ = g_next_table_id.fetch_add(1, std::memory_order_relaxed);
+  reader->path_ = path;
+  reader->file_number_ = file_number;
 
   int64_t file_size = FileSize(f);
   if (file_size < 40) return nullptr;
+  reader->file_size_ = static_cast<uint64_t>(file_size);
 
+  // Footer dispatch on the trailing magic: v2 (48 bytes, index/filter
+  // CRCs, per-block CRCs) first, legacy v1 (40 bytes, no checksums)
+  // still readable.
+  uint64_t index_off, index_size, filter_off, filter_size;
+  uint32_t index_crc = 0, filter_crc = 0;
+  bool v2 = false;
   std::string footer;
-  if (!reader->ReadFileAt(static_cast<uint64_t>(file_size) - 40, 40,
-                          &footer)) {
-    return nullptr;
+  if (file_size >= 48) {
+    if (!reader->ReadFileAt(reader->file_size_ - 48, 48, &footer)) {
+      return nullptr;
+    }
+    v2 = DecodeFixed64(footer.data() + 40) == TableBuilder::kMagicV2;
   }
-  uint64_t index_off = DecodeFixed64(footer.data());
-  uint64_t index_size = DecodeFixed64(footer.data() + 8);
-  uint64_t filter_off = DecodeFixed64(footer.data() + 16);
-  uint64_t filter_size = DecodeFixed64(footer.data() + 24);
-  if (DecodeFixed64(footer.data() + 32) != TableBuilder::kMagic) {
+  if (v2) {
+    index_off = DecodeFixed64(footer.data());
+    index_size = DecodeFixed64(footer.data() + 8);
+    filter_off = DecodeFixed64(footer.data() + 16);
+    filter_size = DecodeFixed64(footer.data() + 24);
+    index_crc = DecodeFixed32(footer.data() + 32);
+    filter_crc = DecodeFixed32(footer.data() + 36);
+    reader->has_block_crc_ = true;
+  } else {
+    if (!reader->ReadFileAt(reader->file_size_ - 40, 40, &footer)) {
+      return nullptr;
+    }
+    if (DecodeFixed64(footer.data() + 32) != TableBuilder::kMagicV1) {
+      return nullptr;
+    }
+    index_off = DecodeFixed64(footer.data());
+    index_size = DecodeFixed64(footer.data() + 8);
+    filter_off = DecodeFixed64(footer.data() + 16);
+    filter_size = DecodeFixed64(footer.data() + 24);
+  }
+
+  // Metadata bounds before any dependent read: a corrupt footer must
+  // not direct reads past the file or allocate absurd buffers.
+  if (index_off > reader->file_size_ ||
+      index_size > reader->file_size_ - index_off ||
+      filter_off > reader->file_size_ ||
+      filter_size > reader->file_size_ - filter_off ||
+      index_size % 24 != 0) {
     return nullptr;
   }
 
   std::string index_data;
   if (!reader->ReadFileAt(index_off, index_size, &index_data)) return nullptr;
-  if (index_size % 24 != 0) return nullptr;
+  if (v2 && Crc32c(index_data) != index_crc) return nullptr;
+  const uint64_t block_overhead = v2 ? 4 : 0;  // trailing per-block CRC
+  uint64_t expected_offset = 0;
   for (size_t pos = 0; pos < index_data.size(); pos += 24) {
-    reader->index_.push_back({DecodeFixed64(index_data.data() + pos),
-                              DecodeFixed64(index_data.data() + pos + 8),
-                              DecodeFixed64(index_data.data() + pos + 16)});
+    IndexEntry entry{DecodeFixed64(index_data.data() + pos),
+                     DecodeFixed64(index_data.data() + pos + 8),
+                     DecodeFixed64(index_data.data() + pos + 16)};
+    // Blocks are laid out contiguously with strictly increasing last
+    // keys; anything else is corruption the read paths must never see.
+    if (entry.offset != expected_offset || entry.size == 0 ||
+        entry.size > index_off - entry.offset) {
+      return nullptr;
+    }
+    if (!reader->index_.empty() &&
+        entry.last_key <= reader->index_.back().last_key) {
+      return nullptr;
+    }
+    expected_offset = entry.offset + entry.size + block_overhead;
+    reader->index_.push_back(entry);
   }
+  if (expected_offset != index_off) return nullptr;
 
   if (policy != nullptr && filter_size > 0) {
     std::string filter_data;
     if (!reader->ReadFileAt(filter_off, filter_size, &filter_data)) {
       return nullptr;
     }
+    if (v2 && Crc32c(filter_data) != filter_crc) return nullptr;
     // The block is registry-framed; a corrupt or unknown block loads as
     // null and the table falls back to scanning.
     if (stats != nullptr) {
@@ -128,15 +179,30 @@ std::unique_ptr<TableReader> TableReader::Open(
 bool TableReader::ReadBlockAt(size_t index_pos, std::string* buffer,
                               LsmStats* stats) const {
   const IndexEntry& entry = index_[index_pos];
+  // v2 blocks carry a trailing CRC-32C: read payload+4, verify, trim.
+  const uint64_t physical = entry.size + (has_block_crc_ ? 4 : 0);
   bool ok;
   if (stats != nullptr) {
     Timer timer;
-    ok = ReadFileAt(entry.offset, entry.size, buffer);
+    ok = ReadFileAt(entry.offset, physical, buffer);
     stats->io_nanos += timer.ElapsedNanos();
     ++stats->blocks_read;
-    stats->bytes_read += entry.size;
+    stats->bytes_read += physical;
   } else {
-    ok = ReadFileAt(entry.offset, entry.size, buffer);
+    ok = ReadFileAt(entry.offset, physical, buffer);
+  }
+  if (ok && has_block_crc_) {
+    uint32_t expected = DecodeFixed32(buffer->data() + entry.size);
+    buffer->resize(entry.size);
+    if (Crc32c(*buffer) != expected) {
+      // Served as "block unreadable" (callers skip or stop), never as
+      // garbage entries.
+      if (stats != nullptr) {
+        ++stats->block_crc_errors;
+        stats->SetLastError("sst: block crc mismatch in " + path_);
+      }
+      return false;
+    }
   }
   return ok;
 }
@@ -299,6 +365,32 @@ void TableReader::RangeMultiProbe(std::span<const uint64_t> los,
   } else {
     filter_->MayContainRangeBatch(los, his, may_match);
   }
+}
+
+TableReader::Iterator::Iterator(const TableReader& table, LsmStats* stats)
+    : table_(table), stats_(stats) {
+  LoadBlock(0);
+}
+
+void TableReader::Iterator::LoadBlock(size_t block_idx) {
+  block_.reset();
+  block_idx_ = block_idx;
+  pos_ = 0;
+  if (block_idx >= table_.index_.size()) return;  // end of table
+  // Direct read, not GetBlock: a full-table compaction sweep must not
+  // wash the shared cache's hot read-path blocks out.
+  auto block = std::make_shared<CachedBlock>();
+  if (!table_.ReadBlockAt(block_idx, &block->raw, stats_) ||
+      !ParseBlock(block->raw, &block->entries)) {
+    ok_ = false;
+    return;
+  }
+  block_ = std::move(block);
+}
+
+void TableReader::Iterator::Next() {
+  if (!Valid()) return;
+  if (++pos_ >= block_->entries.size()) LoadBlock(block_idx_ + 1);
 }
 
 void TableReader::ScanBlocks(uint64_t lo, uint64_t hi, size_t limit,

@@ -51,6 +51,18 @@ struct LsmStats {
   std::atomic<uint64_t> wal_appends{0};
   std::atomic<uint64_t> wal_synced_bytes{0};
   std::atomic<uint64_t> group_commit_batches{0};
+  // Maintenance path: background compactions completed/failed and the
+  // bytes they moved; manifest edits appended and full snapshot
+  // rewrites; tables quarantined (renamed aside as unreadable) at open
+  // and data-block CRC mismatches caught at read time.
+  std::atomic<uint64_t> compactions{0};
+  std::atomic<uint64_t> compaction_failures{0};
+  std::atomic<uint64_t> compaction_bytes_read{0};
+  std::atomic<uint64_t> compaction_bytes_written{0};
+  std::atomic<uint64_t> manifest_appends{0};
+  std::atomic<uint64_t> manifest_rewrites{0};
+  std::atomic<uint64_t> tables_quarantined{0};
+  std::atomic<uint64_t> block_crc_errors{0};
 
   LsmStats() = default;
   LsmStats(const LsmStats& o) { *this = o; }
@@ -69,6 +81,17 @@ struct LsmStats {
     wal_synced_bytes = o.wal_synced_bytes.load(std::memory_order_relaxed);
     group_commit_batches =
         o.group_commit_batches.load(std::memory_order_relaxed);
+    compactions = o.compactions.load(std::memory_order_relaxed);
+    compaction_failures =
+        o.compaction_failures.load(std::memory_order_relaxed);
+    compaction_bytes_read =
+        o.compaction_bytes_read.load(std::memory_order_relaxed);
+    compaction_bytes_written =
+        o.compaction_bytes_written.load(std::memory_order_relaxed);
+    manifest_appends = o.manifest_appends.load(std::memory_order_relaxed);
+    manifest_rewrites = o.manifest_rewrites.load(std::memory_order_relaxed);
+    tables_quarantined = o.tables_quarantined.load(std::memory_order_relaxed);
+    block_crc_errors = o.block_crc_errors.load(std::memory_order_relaxed);
     SetLastError(o.last_error());
     return *this;
   }
@@ -88,6 +111,18 @@ struct LsmStats {
     wal_synced_bytes += o.wal_synced_bytes.load(std::memory_order_relaxed);
     group_commit_batches +=
         o.group_commit_batches.load(std::memory_order_relaxed);
+    compactions += o.compactions.load(std::memory_order_relaxed);
+    compaction_failures +=
+        o.compaction_failures.load(std::memory_order_relaxed);
+    compaction_bytes_read +=
+        o.compaction_bytes_read.load(std::memory_order_relaxed);
+    compaction_bytes_written +=
+        o.compaction_bytes_written.load(std::memory_order_relaxed);
+    manifest_appends += o.manifest_appends.load(std::memory_order_relaxed);
+    manifest_rewrites += o.manifest_rewrites.load(std::memory_order_relaxed);
+    tables_quarantined +=
+        o.tables_quarantined.load(std::memory_order_relaxed);
+    block_crc_errors += o.block_crc_errors.load(std::memory_order_relaxed);
     if (last_error().empty()) SetLastError(o.last_error());
   }
 
@@ -112,13 +147,18 @@ struct LsmStats {
 
 class TableReader {
  public:
-  /// Opens `path`, parses footer/index and deserializes the filter
-  /// block via `policy` (may be null). Returns null on corruption.
-  /// `cache`, when non-null, serves repeated block reads across all
-  /// read paths of this table.
+  /// Opens `path` and validates its metadata before serving a byte:
+  /// footer magic (v2 48-byte footer with index/filter CRCs, or the
+  /// legacy v1 40-byte footer), index/filter bounds against the file
+  /// size, index CRC and shape (strictly increasing last keys,
+  /// contiguous block extents), filter CRC. Deserializes the filter
+  /// block via `policy` (may be null). Returns null on any corruption
+  /// — the Db quarantines such files. `cache`, when non-null, serves
+  /// repeated block reads across all read paths of this table.
+  /// `file_number` is the SST's manifest identity (0 when unknown).
   static std::unique_ptr<TableReader> Open(
       const std::string& path, const FilterPolicy* policy, LsmStats* stats,
-      std::shared_ptr<BlockCache> cache = nullptr);
+      std::shared_ptr<BlockCache> cache = nullptr, uint64_t file_number = 0);
 
   ~TableReader();
 
@@ -162,6 +202,36 @@ class TableReader {
     return filter_ ? filter_->MemoryBits() : 0;
   }
   const PointRangeFilter* filter() const { return filter_.get(); }
+  uint64_t file_number() const { return file_number_; }
+  uint64_t file_size() const { return file_size_; }
+  const std::string& path() const { return path_; }
+
+  /// Sequential full-table cursor for compaction merges. Reads blocks
+  /// directly (bypassing the shared cache, so a compaction sweep never
+  /// evicts hot read-path blocks). `ok()` turns false if a block fails
+  /// to read or checksum — the cursor then ends early and the caller
+  /// must abort the merge.
+  class Iterator {
+   public:
+    Iterator(const TableReader& table, LsmStats* stats);
+    bool Valid() const {
+      return block_ != nullptr && pos_ < block_->entries.size();
+    }
+    uint64_t key() const { return block_->entries[pos_].key; }
+    std::string_view value() const { return block_->entries[pos_].value; }
+    void Next();
+    bool ok() const { return ok_; }
+
+   private:
+    void LoadBlock(size_t block_idx);
+
+    const TableReader& table_;
+    LsmStats* const stats_;
+    std::shared_ptr<const CachedBlock> block_;
+    size_t block_idx_ = 0;
+    size_t pos_ = 0;
+    bool ok_ = true;
+  };
 
  private:
   TableReader() = default;
@@ -195,6 +265,10 @@ class TableReader {
   uint64_t table_id_ = 0;  // process-unique cache-key namespace
   uint64_t min_key_ = 0;
   uint64_t max_key_ = 0;
+  uint64_t file_number_ = 0;  // manifest identity (0 = unknown/legacy)
+  uint64_t file_size_ = 0;
+  bool has_block_crc_ = false;  // v2: data blocks carry trailing CRCs
+  std::string path_;
 };
 
 }  // namespace bloomrf

@@ -1,20 +1,26 @@
 // Immutable snapshot of a Db's complete readable state: the active
-// memtable, the sealed (flush-pending) memtables, and the SST reader
-// set, newest last in both lists.
+// memtable, the sealed (flush-pending) memtables, and the leveled SST
+// tree.
+//
+// Table precedence (newest data first): active memtable, sealed
+// memtables newest-first, L0 newest-first (flush order, files may
+// overlap), then L1, L2, ... — each deeper level is a sorted run of
+// disjoint key ranges, so within a level at most one file can contain
+// a given key and order inside the level carries no recency meaning.
 //
 // A Version is never mutated after construction (the active MemTable's
 // *contents* grow — it is internally locked — but which object is
 // active only changes by publishing a new Version). State changes
 // build a new Version from the current one (WithSealedActive /
-// WithFlushed) and publish it through VersionSet's atomically-swapped
-// shared_ptr, so a reader takes one snapshot (Current()) and runs
-// lock-free against a stable memtable/table list while writers seal
-// and the background flush thread installs freshly written SSTs.
-// Because sealing swaps the active memtable and records it as sealed
-// in a single publication, no read interleaving can miss or
-// double-count a memtable. Readers holding an old Version keep its
-// memtables and tables alive through shared ownership; nothing is torn
-// down under them.
+// WithFlushed / WithCompaction) and publish it through VersionSet's
+// atomically-swapped shared_ptr, so a reader takes one snapshot
+// (Current()) and runs lock-free against a stable memtable/table tree
+// while writers seal, the flush thread installs L0 tables and the
+// compaction thread replaces whole input sets in one publication.
+// Readers holding an old Version keep its memtables and tables alive
+// through shared ownership; nothing is torn down under them (POSIX
+// keeps unlinked-but-open SSTs readable, so obsolete-file deletion
+// after a compaction commit cannot hurt a reader either).
 //
 // Mutators must externally serialize their read-modify-publish
 // sequences (Db uses one version mutex); VersionSet makes the
@@ -39,8 +45,10 @@ namespace bloomrf {
 
 class Version {
  public:
-  /// Base version: fresh empty active memtable, nothing else.
-  Version() : active_(std::make_shared<MemTable>()) {}
+  using TableList = std::vector<std::shared_ptr<const TableReader>>;
+
+  /// Base version: fresh empty active memtable, one empty level.
+  Version() : active_(std::make_shared<MemTable>()), levels_(1) {}
 
   /// The memtable currently absorbing writes (newest data of all).
   const std::shared_ptr<MemTable>& active() const { return active_; }
@@ -49,9 +57,22 @@ class Version {
   const std::vector<std::shared_ptr<const MemTable>>& sealed() const {
     return sealed_;
   }
-  /// L0 SST readers, oldest first (append order = flush order).
-  const std::vector<std::shared_ptr<const TableReader>>& tables() const {
-    return tables_;
+  /// levels()[0] = L0 in flush order (oldest first, files may
+  /// overlap); levels()[i>=1] = a sorted run (by min_key) of disjoint
+  /// files. Always at least one level.
+  const std::vector<TableList>& levels() const { return levels_; }
+
+  size_t table_count() const {
+    size_t n = 0;
+    for (const auto& level : levels_) n += level.size();
+    return n;
+  }
+  /// Sum of the level's on-disk file sizes (compaction pressure).
+  uint64_t level_bytes(size_t level) const {
+    if (level >= levels_.size()) return 0;
+    uint64_t bytes = 0;
+    for (const auto& table : levels_[level]) bytes += table->file_size();
+    return bytes;
   }
 
   /// New Version whose active memtable is `fresh` and whose sealed
@@ -61,9 +82,23 @@ class Version {
       std::shared_ptr<MemTable> fresh) const;
 
   /// New Version with the sealed entry `flushed` removed (compared by
-  /// address; a no-op removal is fine) and `table` appended.
+  /// address; a no-op removal is fine) and `table` appended to L0.
   std::shared_ptr<const Version> WithFlushed(
       const MemTable* flushed, std::shared_ptr<const TableReader> table) const;
+
+  /// New Version with the compaction inputs (located by file number
+  /// across all levels) removed and `outputs` merged into
+  /// `output_level`, which is kept sorted by min_key. Non-input files
+  /// keep their relative order, so L0 files that were flushed while
+  /// the compaction ran retain their recency position.
+  std::shared_ptr<const Version> WithCompaction(
+      const std::vector<uint64_t>& input_files, size_t output_level,
+      TableList outputs) const;
+
+  /// Recovery constructor: a Version holding exactly `levels` (plus a
+  /// fresh active memtable).
+  static std::shared_ptr<const Version> FromLevels(
+      std::vector<TableList> levels);
 
  private:
   struct Raw {};  // tag: the With* builders fill every field themselves
@@ -71,7 +106,7 @@ class Version {
 
   std::shared_ptr<MemTable> active_;
   std::vector<std::shared_ptr<const MemTable>> sealed_;
-  std::vector<std::shared_ptr<const TableReader>> tables_;
+  std::vector<TableList> levels_;
 };
 
 /// Holder of the current Version: readers copy the pointer in one

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "lsm/env.h"
 #include "lsm/table_reader.h"  // LsmStats
 #include "util/coding.h"
 #include "util/crc32c.h"
@@ -26,6 +27,75 @@ constexpr uint32_t kMaxRecordPayload = 1u << 30;
 // that a typical memtable's worth of records remaps only a few times.
 constexpr size_t kInitialMapBytes = 64 << 10;
 }  // namespace
+
+void AppendFramedRecord(char type, std::string_view payload,
+                        std::string* out) {
+  uint32_t crc = Crc32c(&type, 1);
+  crc = Crc32c(payload.data(), payload.size(), crc);
+  char header[kHeaderSize];
+  std::memcpy(header, &crc, 4);
+  uint32_t length = static_cast<uint32_t>(payload.size());
+  std::memcpy(header + 4, &length, 4);
+  header[8] = type;
+  out->append(header, kHeaderSize);
+  out->append(payload);
+}
+
+FramedReplayResult ReplayFramedRecords(
+    std::string_view data,
+    const std::function<bool(char, std::string_view)>& apply) {
+  FramedReplayResult result;
+  size_t pos = 0;
+  while (pos + kHeaderSize <= data.size()) {
+    uint32_t crc = DecodeFixed32(data.data() + pos);
+    uint32_t length = DecodeFixed32(data.data() + pos + 4);
+    char type = data[pos + 8];
+    if (crc == 0 && length == 0 && type == 0) {
+      // All-zero header: the preallocated-but-never-written tail of an
+      // mmap-backed log whose writer died before trimming it. Clean
+      // end of log iff the whole remainder really is zero (no valid
+      // record starts with a zero type byte).
+      result.clean = data.find_first_not_of('\0', pos) == std::string_view::npos;
+      return result;
+    }
+    // A length beyond any plausible record keeps a garbage header from
+    // directing replay past the end (or allocating gigabytes upstream).
+    if (length > kMaxRecordPayload ||
+        pos + kHeaderSize + length > data.size()) {
+      result.clean = false;  // torn tail or garbage header
+      return result;
+    }
+    std::string_view payload(data.data() + pos + kHeaderSize, length);
+    uint32_t actual = Crc32c(&type, 1);
+    actual = Crc32c(payload.data(), payload.size(), actual);
+    if (actual != crc) {
+      result.clean = false;
+      return result;
+    }
+    if (!apply(type, payload)) {
+      result.clean = false;
+      return result;
+    }
+    result.records += 1;
+    pos += kHeaderSize + length;
+    result.bytes = pos;
+  }
+  if (pos != data.size()) result.clean = false;  // trailing partial header
+  return result;
+}
+
+FramedReplayResult ReplayFramedFile(
+    const std::string& path,
+    const std::function<bool(char, std::string_view)>& apply) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};  // nothing logged: clean empty replay
+  std::string data;
+  char buf[64 << 10];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+  return ReplayFramedRecords(data, apply);
+}
 
 void WalEncodeRecordTo(std::span<const KV> kvs, std::string* record) {
   record->clear();
@@ -58,75 +128,33 @@ WalReplayResult WalReplay(
     const std::string& path,
     const std::function<void(uint64_t, std::string_view)>& apply) {
   WalReplayResult result;
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return result;  // nothing logged: clean empty replay
-  std::string data;
-  char buf[64 << 10];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
-  std::fclose(f);
-
-  size_t pos = 0;
-  while (pos + kHeaderSize <= data.size()) {
-    uint32_t crc = DecodeFixed32(data.data() + pos);
-    uint32_t length = DecodeFixed32(data.data() + pos + 4);
-    char type = data[pos + 8];
-    if (crc == 0 && length == 0 && type == 0) {
-      // All-zero header: the preallocated-but-never-written tail of an
-      // mmap-backed log whose writer died before trimming it. Clean
-      // end of log iff the whole remainder really is zero (no valid
-      // record starts with a zero type byte).
-      result.clean = data.find_first_not_of('\0', pos) == std::string::npos;
-      return result;
-    }
-    if (type != kBatchRecord || length > kMaxRecordPayload ||
-        pos + kHeaderSize + length > data.size()) {
-      result.clean = false;  // torn tail or garbage header
-      return result;
-    }
-    std::string_view payload(data.data() + pos + kHeaderSize, length);
-    uint32_t actual = Crc32c(&type, 1);
-    actual = Crc32c(payload.data(), payload.size(), actual);
-    if (actual != crc) {
-      result.clean = false;
-      return result;
-    }
-    // Validate the whole record before applying any of it: a random
-    // tail can collide with the CRC, and half-applied records would
-    // silently diverge from history.
-    if (payload.size() < 4) {
-      result.clean = false;
-      return result;
-    }
-    uint32_t count = DecodeFixed32(payload.data());
-    std::vector<std::pair<uint64_t, std::string_view>> batch;
-    batch.reserve(count);
-    size_t at = 4;
-    for (uint32_t i = 0; i < count; ++i) {
-      if (at + 8 > payload.size()) {
-        result.clean = false;
-        return result;
-      }
-      uint64_t key = DecodeFixed64(payload.data() + at);
-      at += 8;
-      std::string_view value;
-      if (!GetLengthPrefixed(payload, &at, &value)) {
-        result.clean = false;
-        return result;
-      }
-      batch.emplace_back(key, value);
-    }
-    if (at != payload.size()) {
-      result.clean = false;
-      return result;
-    }
-    for (const auto& [key, value] : batch) apply(key, value);
-    result.records += 1;
-    result.entries += batch.size();
-    pos += kHeaderSize + length;
-    result.bytes = pos;
-  }
-  if (pos != data.size()) result.clean = false;  // trailing partial header
+  FramedReplayResult framed = ReplayFramedFile(
+      path, [&](char type, std::string_view payload) {
+        if (type != kBatchRecord) return false;  // unknown type: garbage
+        // Validate the whole record before applying any of it: a
+        // random tail can collide with the CRC, and half-applied
+        // records would silently diverge from history.
+        if (payload.size() < 4) return false;
+        uint32_t count = DecodeFixed32(payload.data());
+        std::vector<std::pair<uint64_t, std::string_view>> batch;
+        batch.reserve(count);
+        size_t at = 4;
+        for (uint32_t i = 0; i < count; ++i) {
+          if (at + 8 > payload.size()) return false;
+          uint64_t key = DecodeFixed64(payload.data() + at);
+          at += 8;
+          std::string_view value;
+          if (!GetLengthPrefixed(payload, &at, &value)) return false;
+          batch.emplace_back(key, value);
+        }
+        if (at != payload.size()) return false;
+        for (const auto& [key, value] : batch) apply(key, value);
+        result.entries += batch.size();
+        return true;
+      });
+  result.records = framed.records;
+  result.bytes = framed.bytes;
+  result.clean = framed.clean;
   return result;
 }
 
@@ -141,9 +169,17 @@ WalReplayResult WalReplay(
 // and trimmed to the bytes actually written when the writer closes.
 // ---------------------------------------------------------------------
 
-WalWriter::WalWriter(std::string path, bool fsync_on_commit, LsmStats* stats)
+WalWriter::WalWriter(std::string path, bool fsync_on_commit, LsmStats* stats,
+                     Env* env)
     : path_(std::move(path)), fsync_on_commit_(fsync_on_commit),
-      stats_(stats) {
+      stats_(stats), env_(env) {
+  if (env_ != nullptr && env_->InjectFault("wal.open")) {
+    broken_ = true;
+    if (stats_ != nullptr) {
+      stats_->SetLastError("wal: injected open fault on " + path_);
+    }
+    return;
+  }
 #ifndef _WIN32
   fd_ = ::open(path_.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
   if (fd_ >= 0 && !Remap(kInitialMapBytes)) {
@@ -220,6 +256,10 @@ bool WalWriter::Remap(size_t new_size) {
 #endif
 
 bool WalWriter::WriteBytes(const char* data, size_t n) {
+  // Fault checkpoint only — the bytes still travel through the mmap
+  // below when allowed. Crash-mode envs never fail this site (page
+  // cache survives a process kill); site hooks can.
+  if (env_ != nullptr && env_->InjectFault("wal.append")) return false;
 #ifndef _WIN32
   while (offset_ + n > map_size_) {
     size_t grown = map_size_ * 2;

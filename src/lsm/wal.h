@@ -44,7 +44,41 @@
 
 namespace bloomrf {
 
+class Env;
 struct LsmStats;
+
+// ---------------------------------------------------------------------
+// Generic CRC-framed record log. The WAL defined this format; the
+// MANIFEST reuses it verbatim (different record type byte), so both
+// share one torn-tail-tolerant replay.
+// ---------------------------------------------------------------------
+
+/// Appends one `crc | length | type | payload` frame to *out. The
+/// CRC-32C covers type+payload.
+void AppendFramedRecord(char type, std::string_view payload,
+                        std::string* out);
+
+struct FramedReplayResult {
+  uint64_t records = 0;  // intact records applied
+  uint64_t bytes = 0;    // bytes consumed by intact records
+  bool clean = true;     // false: stopped at a torn/corrupt tail
+};
+
+/// Walks the intact framed records of `data` in order, calling
+/// `apply(type, payload)` per record; apply returning false (malformed
+/// payload / unknown type) stops replay uncleanly at that record. An
+/// all-zero tail (the preallocated remainder of an mmap-backed log
+/// whose writer died before trimming) is a clean EOF; a torn or
+/// corrupt tail stops replay uncleanly, trusting everything before it.
+FramedReplayResult ReplayFramedRecords(
+    std::string_view data,
+    const std::function<bool(char, std::string_view)>& apply);
+
+/// Reads the file at `path` fully, then replays it. A missing file
+/// replays zero records cleanly.
+FramedReplayResult ReplayFramedFile(
+    const std::string& path,
+    const std::function<bool(char, std::string_view)>& apply);
 
 /// One write-path entry: the unit of Db::Put / Db::PutBatch. The view
 /// must stay valid for the duration of the call that receives it.
@@ -78,8 +112,11 @@ class WalWriter {
   /// Opens (truncating) the log file. `stats` may be null; when set,
   /// wal_appends / wal_synced_bytes / group_commit_batches and
   /// last_error are maintained on it. `fsync_on_commit` makes every
-  /// group commit durable before Append returns.
-  WalWriter(std::string path, bool fsync_on_commit, LsmStats* stats);
+  /// group commit durable before Append returns. `env` is consulted
+  /// only as a fault checkpoint ("wal.open" / "wal.append" sites) —
+  /// the byte path stays the mmap below; null checks nothing.
+  WalWriter(std::string path, bool fsync_on_commit, LsmStats* stats,
+            Env* env = nullptr);
   ~WalWriter();
 
   WalWriter(const WalWriter&) = delete;
@@ -117,6 +154,7 @@ class WalWriter {
   const std::string path_;
   const bool fsync_on_commit_;
   LsmStats* const stats_;
+  Env* const env_;  // fault checkpoints only; may be null
   int fd_ = -1;
 #ifndef _WIN32
   char* map_ = nullptr;   // shared file mapping (page-cache-backed)

@@ -94,10 +94,12 @@ TEST_F(EndToEndTest, ReopenedFiltersKeepWorking) {
     for (uint64_t k : data.keys) db.Put(k, MakeValue(k, 32));
     db.Flush();
   }
-  // Open the SST files directly through TableReader.
+  // Open the SST files directly through TableReader (the directory
+  // also holds the MANIFEST and CURRENT files now).
   LsmStats stats;
   size_t tables = 0;
   for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() != ".sst") continue;
     auto reader = TableReader::Open(entry.path().string(), policy.get(),
                                     &stats);
     ASSERT_NE(reader, nullptr);

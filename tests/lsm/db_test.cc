@@ -177,12 +177,13 @@ TEST_F(DbTest, FailedFlushRetriesInSealOrder) {
   // order even across failures, or the stuck (older) sealed memtable
   // would shadow the newer table's values on reads. Each drain call
   // retries the failed flush until the "disk" heals.
-  bool fail = true;
+  FaultInjectionEnv fenv;
+  fenv.FailAlways("sst");
   DbOptions options;
   options.dir = dir_;
   options.filter_policy = NewBloomPolicy(10.0);
   options.memtable_bytes = 16 << 10;
-  options.flush_fault = [&fail] { return fail; };
+  options.env = &fenv;
   Db db(options);
 
   ASSERT_TRUE(db.Put(7, "v1"));
@@ -205,7 +206,7 @@ TEST_F(DbTest, FailedFlushRetriesInSealOrder) {
   ASSERT_TRUE(db.Get(7, &value));
   EXPECT_EQ(value, "v2");  // newest sealed memtable wins
 
-  fail = false;  // disk heals: next drain flushes both, oldest first
+  fenv.HealAll();  // disk heals: next drain flushes both, oldest first
   EXPECT_TRUE(db.Flush());
   EXPECT_GE(db.num_tables(), 2u);
   ASSERT_TRUE(db.Get(7, &value));
@@ -219,20 +220,21 @@ TEST_F(DbTest, FailedFlushRetriesInSealOrderSynchronous) {
   // Same ordering guarantee with background_flush off: the sealing
   // Put/Flush drains inline and keeps the failed memtable at the
   // queue front.
-  bool fail = true;
+  FaultInjectionEnv fenv;
+  fenv.FailAlways("sst");
   DbOptions options;
   options.dir = dir_;
   options.filter_policy = NewBloomPolicy(10.0);
   options.memtable_bytes = 1 << 20;
   options.background_flush = false;
-  options.flush_fault = [&fail] { return fail; };
+  options.env = &fenv;
   Db db(options);
 
   ASSERT_TRUE(db.Put(7, "v1"));
   EXPECT_FALSE(db.Flush());
   ASSERT_TRUE(db.Put(7, "v2"));
   EXPECT_FALSE(db.Flush());
-  fail = false;
+  fenv.HealAll();
   EXPECT_TRUE(db.Flush());
   EXPECT_EQ(db.num_tables(), 2u);
   std::string value;

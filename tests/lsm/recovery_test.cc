@@ -192,8 +192,10 @@ TEST_P(RecoveryTest, SealedButUnflushedMemtableRecovers) {
   // flush the sealed data can never reach an SST, so after the "crash"
   // it must come back from the logs alone.
   {
+    FaultInjectionEnv fenv;
+    fenv.FailAlways("sst");
     DbOptions options = Options(/*memtable_bytes=*/4 << 10);
-    options.flush_fault = [] { return true; };
+    options.env = &fenv;
     Db db(options);
     for (uint64_t k = 0; k < 400; ++k) db.Put(k, MakeValue(k, 64));
     // Puts may return false once a flush failed; the WAL still has
