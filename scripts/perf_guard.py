@@ -13,6 +13,11 @@ dispatched on the committed file's "bench" field:
                   the 1-shard/plain-Db MultiGet throughput ratio, and
                   the WAL-on/WAL-off put-throughput ratio (group-commit
                   overhead, wal_fsync=false).
+  adaptive        bench_adaptive_filters --smoke  adaptive-vs-static
+                  throughput ratios per workload phase (the tuning
+                  loop keeps up with the best static policy and beats
+                  the worst in at least one phase) and the
+                  sampling-on/off Get ratio (sampler hot-path tax).
 
 The committed `guard` floors are intentionally conservative (the
 benches write them as 0.8x of their measured values, scaling floors
@@ -133,6 +138,34 @@ def lsm_concurrent_checks(current, committed):
     return checks
 
 
+def phase_row(doc, name):
+    for row in doc["phases"]:
+        if row["phase"] == name:
+            return row
+    raise SystemExit(f"perf_guard: no '{name}' phase row")
+
+
+def adaptive_checks(current, committed):
+    guard = committed["guard"]
+    checks = [
+        (f"adaptive/best-static ratio ({phase})",
+         phase_row(current, phase)["adaptive_over_best"],
+         guard[f"adaptive_over_best_{phase}"])
+        for phase in ("point", "wide", "zipf")
+    ]
+    # The "beats the worst static" bar only has to hold somewhere: the
+    # whole point of re-tuning is that no phase is a disaster, so the
+    # best phase's margin is the honest summary statistic.
+    over_worst_max = max(row["adaptive_over_worst"]
+                         for row in current["phases"])
+    checks.append(("adaptive/worst-static ratio (best phase)",
+                   over_worst_max, guard["adaptive_over_worst_max"]))
+    checks.append(("sampling-on/off Get ratio",
+                   current["sampler"]["ratio"],
+                   guard["sampler_get_ratio"]))
+    return checks
+
+
 def main():
     if len(sys.argv) < 3:
         raise SystemExit(__doc__)
@@ -151,6 +184,8 @@ def main():
         checks = batch_probe_checks(current, committed)
     elif bench == "lsm_concurrent":
         checks = lsm_concurrent_checks(current, committed)
+    elif bench == "adaptive":
+        checks = adaptive_checks(current, committed)
     else:
         raise SystemExit(f"perf_guard: unknown bench '{bench}'")
 

@@ -39,6 +39,20 @@ double FprModelResult::MaxFprUpToRange(double range_size) const {
   return worst;
 }
 
+double WeightedRangeFpr(const FprModelResult& model,
+                        std::span<const double> weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  if (total <= 0) return model.point_fpr;
+  double fpr = 0;
+  for (size_t l = 0; l < weights.size(); ++l) {
+    if (weights[l] <= 0) continue;
+    fpr += (weights[l] / total) *
+           model.MaxFprUpToRange(std::ldexp(1.0, static_cast<int>(l)));
+  }
+  return fpr;
+}
+
 FprModelResult EvaluateFprModel(const BloomRFConfig& cfg, uint64_t n,
                                 double C) {
   const uint32_t d = cfg.domain_bits;

@@ -14,6 +14,7 @@
 #define BLOOMRF_CORE_FPR_MODEL_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/config.h"
@@ -37,6 +38,17 @@ struct FprModelResult {
   /// constituent of a range of size R.
   double MaxFprUpToRange(double range_size) const;
 };
+
+/// Range FPR of `model` under a measured range-width histogram:
+/// weights[l] is the observed frequency of query widths in
+/// [2^l, 2^{l+1}), and each bucket contributes its worst dyadic
+/// constituent, MaxFprUpToRange(2^l). Weights are normalized
+/// internally, so a histogram with all mass in bucket L reduces
+/// exactly to MaxFprUpToRange(2^L) — the old single-max_range scoring.
+/// Empty (or all-zero) weights return model.point_fpr, the width-1
+/// degenerate.
+double WeightedRangeFpr(const FprModelResult& model,
+                        std::span<const double> weights);
 
 /// Evaluates the extended model for `cfg` holding `n` keys. `C` models
 /// the data-distribution scatter constant (Sect. 5/7; C = 1 for

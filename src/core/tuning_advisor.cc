@@ -33,10 +33,13 @@ std::vector<uint8_t> BuildDeltaLadder(uint32_t target) {
   return deltas;
 }
 
-double Score(const FprModelResult& model, double max_range, double weight,
+double Score(const FprModelResult& model, const AdvisorParams& params,
              double* fpr_m, double* fpr_p) {
-  *fpr_m = model.MaxFprUpToRange(max_range);
+  *fpr_m = params.range_weights.empty()
+               ? model.MaxFprUpToRange(params.max_range)
+               : WeightedRangeFpr(model, params.range_weights);
   *fpr_p = model.point_fpr;
+  const double weight = params.point_weight;
   return (*fpr_m) * (*fpr_m) + weight * weight * (*fpr_p) * (*fpr_p);
 }
 
@@ -54,9 +57,8 @@ AdvisorResult AdviseConfig(const AdvisorParams& params) {
         n, static_cast<double>(m) / static_cast<double>(n), d, 7);
     FprModelResult model = EvaluateFprModel(basic, n);
     best.config = basic;
-    best.weighted_score =
-        Score(model, params.max_range, params.point_weight,
-              &best.expected_range_fpr, &best.expected_point_fpr);
+    best.weighted_score = Score(model, params, &best.expected_range_fpr,
+                                &best.expected_point_fpr);
   }
 
   // Exact-layer candidates: the lowest level whose exact bitmap fits in
@@ -112,8 +114,7 @@ AdvisorResult AdviseConfig(const AdvisorParams& params) {
       if (!cfg.Validate().empty()) continue;
       FprModelResult model = EvaluateFprModel(cfg, n);
       double fpr_m, fpr_p;
-      double score =
-          Score(model, params.max_range, params.point_weight, &fpr_m, &fpr_p);
+      double score = Score(model, params, &fpr_m, &fpr_p);
       if (score < best.weighted_score) {
         best.config = cfg;
         best.weighted_score = score;

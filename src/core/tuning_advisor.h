@@ -11,6 +11,7 @@
 #define BLOOMRF_CORE_TUNING_ADVISOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "core/config.h"
 #include "core/fpr_model.h"
@@ -23,6 +24,15 @@ struct AdvisorParams {
   double max_range = 1;      ///< approximate maximum query range R
   uint32_t domain_bits = 64;
   double point_weight = 2.0;  ///< C in fpr_w^2 = fpr_m^2 + C^2 fpr_p^2
+  /// Measured range-width histogram: range_weights[l] is the observed
+  /// frequency of query widths in [2^l, 2^{l+1}) (the workload
+  /// sampler's buckets). When non-empty it replaces the single
+  /// `max_range` scalar in scoring — candidates are judged by the
+  /// width-weighted expectation of the per-level model FPR instead of
+  /// the worst level up to R, so a workload of mostly-narrow ranges no
+  /// longer pays for a rare wide one. A histogram with all mass in one
+  /// bucket L scores identically to max_range = 2^L.
+  std::vector<double> range_weights;
 };
 
 struct AdvisorResult {

@@ -1,0 +1,139 @@
+#include "core/workload_sampler.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace bloomrf {
+
+namespace {
+
+/// Log2 bucket of a range [lo, hi]: floor(log2(hi - lo + 1)), with the
+/// full-domain wrap (hi - lo + 1 == 0 in uint64) landing in bucket 64.
+size_t WidthBucket(uint64_t lo, uint64_t hi) {
+  if (hi <= lo) return 0;
+  uint64_t width = hi - lo + 1;
+  if (width == 0) return 64;  // [0, UINT64_MAX]
+  return 63 - static_cast<size_t>(std::countl_zero(width));
+}
+
+}  // namespace
+
+double WorkloadSnapshot::point_fraction() const {
+  uint64_t total = total_samples();
+  if (total == 0) return 1.0;
+  return static_cast<double>(point_samples) / static_cast<double>(total);
+}
+
+std::vector<double> WorkloadSnapshot::RangeWeights() const {
+  size_t top = range_width_log2.size();
+  while (top > 0 && range_width_log2[top - 1] == 0) --top;
+  if (top == 0) return {};
+  uint64_t total = 0;
+  for (size_t l = 0; l < top; ++l) total += range_width_log2[l];
+  std::vector<double> weights(top, 0.0);
+  for (size_t l = 0; l < top; ++l) {
+    weights[l] =
+        static_cast<double>(range_width_log2[l]) / static_cast<double>(total);
+  }
+  return weights;
+}
+
+double WorkloadSnapshot::MaxRangeWidth() const {
+  for (size_t l = range_width_log2.size(); l-- > 0;) {
+    if (range_width_log2[l] != 0) {
+      return std::ldexp(1.0, static_cast<int>(std::min<size_t>(l + 1, 64)));
+    }
+  }
+  return 1.0;
+}
+
+WorkloadSampler::WorkloadSampler(uint32_t period_log2)
+    : period_log2_(std::min<uint32_t>(period_log2, 20)),
+      mask_((uint64_t{1} << period_log2_) - 1) {}
+
+void WorkloadSampler::PushKey(uint64_t key) {
+  uint64_t seq = key_seq_.fetch_add(1, std::memory_order_relaxed);
+  keys_[seq & (kKeyRing - 1)].store(key, std::memory_order_relaxed);
+}
+
+void WorkloadSampler::SamplePoint(uint64_t key) {
+  point_samples_.fetch_add(1, std::memory_order_relaxed);
+  PushKey(key);
+}
+
+void WorkloadSampler::SampleRange(uint64_t lo, uint64_t hi) {
+  range_samples_.fetch_add(1, std::memory_order_relaxed);
+  range_width_log2_[WidthBucket(lo, hi)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  PushKey(lo);
+}
+
+void WorkloadSampler::RecordPoint(uint64_t key) {
+  uint64_t n = ops_.fetch_add(1, std::memory_order_relaxed);
+  if ((n & mask_) != 0) return;
+  SamplePoint(key);
+}
+
+void WorkloadSampler::RecordRange(uint64_t lo, uint64_t hi) {
+  uint64_t n = ops_.fetch_add(1, std::memory_order_relaxed);
+  if ((n & mask_) != 0) return;
+  SampleRange(lo, hi);
+}
+
+void WorkloadSampler::RecordPoints(std::span<const uint64_t> keys) {
+  if (keys.empty()) return;
+  uint64_t n = ops_.fetch_add(keys.size(), std::memory_order_relaxed);
+  // One sample per period boundary inside [n, n + keys.size()): the
+  // batch contributes exactly as many samples as the same operations
+  // issued one by one would have.
+  uint64_t crossings =
+      ((n + keys.size()) >> period_log2_) - (n >> period_log2_);
+  for (uint64_t c = 0; c < crossings; ++c) {
+    size_t at = static_cast<size_t>(
+        std::min<uint64_t>(c << period_log2_, keys.size() - 1));
+    SamplePoint(keys[at]);
+  }
+}
+
+void WorkloadSampler::RecordRanges(std::span<const uint64_t> los,
+                                   std::span<const uint64_t> his) {
+  if (los.empty() || los.size() != his.size()) return;
+  uint64_t n = ops_.fetch_add(los.size(), std::memory_order_relaxed);
+  uint64_t crossings = ((n + los.size()) >> period_log2_) - (n >> period_log2_);
+  for (uint64_t c = 0; c < crossings; ++c) {
+    size_t at = static_cast<size_t>(
+        std::min<uint64_t>(c << period_log2_, los.size() - 1));
+    SampleRange(los[at], his[at]);
+  }
+}
+
+WorkloadSnapshot WorkloadSampler::Snapshot() const {
+  WorkloadSnapshot snap;
+  snap.ops = ops_.load(std::memory_order_relaxed);
+  snap.point_samples = point_samples_.load(std::memory_order_relaxed);
+  snap.range_samples = range_samples_.load(std::memory_order_relaxed);
+  for (size_t l = 0; l < snap.range_width_log2.size(); ++l) {
+    snap.range_width_log2[l] =
+        range_width_log2_[l].load(std::memory_order_relaxed);
+  }
+  uint64_t seq = key_seq_.load(std::memory_order_relaxed);
+  size_t valid = static_cast<size_t>(std::min<uint64_t>(seq, kKeyRing));
+  snap.sampled_keys.reserve(valid);
+  for (size_t i = 0; i < valid; ++i) {
+    snap.sampled_keys.push_back(keys_[i].load(std::memory_order_relaxed));
+  }
+  return snap;
+}
+
+void WorkloadSampler::Reset() {
+  ops_.store(0, std::memory_order_relaxed);
+  point_samples_.store(0, std::memory_order_relaxed);
+  range_samples_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : range_width_log2_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  key_seq_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace bloomrf

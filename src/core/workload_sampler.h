@@ -1,0 +1,97 @@
+// Lock-light query sampler feeding the adaptive filter planner
+// (ROADMAP "workload-adaptive filter auto-tuning"; Proteus samples
+// recent queries the same way before modeling its filter choice).
+//
+// Every Db read path calls Record*; the hot-path cost is one relaxed
+// fetch_add, and only 1-in-2^period_log2 operations pay for the actual
+// sample (a handful of relaxed stores). The collected state is
+//  - the point/range operation mix,
+//  - a log2 histogram of range widths (bucket l = widths in
+//    [2^l, 2^{l+1})), replacing the single static max_range scalar the
+//    tuning advisor used to be fed,
+//  - a small ring of recently sampled keys (range anchors use lo) as a
+//    coarse key-distribution sketch.
+// Everything is relaxed atomics: concurrent readers never serialize on
+// the sampler, and a Snapshot() taken mid-traffic is approximate in
+// exactly the way a workload model can tolerate.
+
+#ifndef BLOOMRF_CORE_WORKLOAD_SAMPLER_H_
+#define BLOOMRF_CORE_WORKLOAD_SAMPLER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bloomrf {
+
+/// Plain (non-atomic) copy of the sampler state, safe to hand to the
+/// planner or across threads.
+struct WorkloadSnapshot {
+  uint64_t ops = 0;            ///< total recorded operations
+  uint64_t point_samples = 0;  ///< sampled point lookups
+  uint64_t range_samples = 0;  ///< sampled range queries
+  /// Bucket l counts sampled ranges of width in [2^l, 2^{l+1});
+  /// bucket 64 is the full-domain overflow bucket.
+  std::array<uint64_t, 65> range_width_log2{};
+  /// Recently sampled keys (lo for ranges), newest-last not guaranteed.
+  std::vector<uint64_t> sampled_keys;
+
+  uint64_t total_samples() const { return point_samples + range_samples; }
+  /// Fraction of sampled operations that were point lookups (1.0 when
+  /// nothing was sampled — the conservative point-biased default).
+  double point_fraction() const;
+  /// Normalized range-width weights, trimmed after the last non-empty
+  /// bucket; empty when no range was sampled. weights[l] is the
+  /// fraction of sampled ranges with width in [2^l, 2^{l+1}).
+  std::vector<double> RangeWeights() const;
+  /// Upper bound of the widest sampled range bucket (2^{l+1} for the
+  /// top non-empty bucket l), or 1 when no range was sampled.
+  double MaxRangeWidth() const;
+};
+
+class WorkloadSampler {
+ public:
+  static constexpr size_t kKeyRing = 256;
+
+  /// Samples 1 in 2^period_log2 operations (clamped to [0, 20]).
+  explicit WorkloadSampler(uint32_t period_log2 = 6);
+
+  /// O(1) amortized; one relaxed fetch_add on the non-sampled path.
+  void RecordPoint(uint64_t key);
+  void RecordRange(uint64_t lo, uint64_t hi);
+  /// Batch variants: the op counter advances by the batch size and one
+  /// element is sampled per period boundary the batch crosses, so a
+  /// MultiGet of 1024 keys costs one fetch_add, not 1024.
+  void RecordPoints(std::span<const uint64_t> keys);
+  void RecordRanges(std::span<const uint64_t> los,
+                    std::span<const uint64_t> his);
+
+  WorkloadSnapshot Snapshot() const;
+
+  /// Forgets all samples (the bench's phase boundary; a production
+  /// caller would reset periodically for a sliding window).
+  void Reset();
+
+  uint64_t ops() const { return ops_.load(std::memory_order_relaxed); }
+  uint64_t period() const { return uint64_t{1} << period_log2_; }
+
+ private:
+  void SamplePoint(uint64_t key);
+  void SampleRange(uint64_t lo, uint64_t hi);
+  void PushKey(uint64_t key);
+
+  uint32_t period_log2_;
+  uint64_t mask_;  // period - 1
+  std::atomic<uint64_t> ops_{0};
+  std::atomic<uint64_t> point_samples_{0};
+  std::atomic<uint64_t> range_samples_{0};
+  std::array<std::atomic<uint64_t>, 65> range_width_log2_{};
+  std::atomic<uint64_t> key_seq_{0};  // ring write cursor
+  std::array<std::atomic<uint64_t>, kKeyRing> keys_{};
+};
+
+}  // namespace bloomrf
+
+#endif  // BLOOMRF_CORE_WORKLOAD_SAMPLER_H_

@@ -81,6 +81,17 @@ Db::Db(DbOptions options) : options_(std::move(options)) {
     options_.block_cache =
         std::make_shared<BlockCache>(options_.block_cache_bytes);
   }
+  // Sampling is on when asked for explicitly or implied by an adaptive
+  // policy; a caller-supplied sampler is honored either way.
+  const bool wants_sampling =
+      options_.sample_queries ||
+      (options_.filter_policy != nullptr &&
+       options_.filter_policy->WantsQueryFeedback());
+  if (options_.workload_sampler == nullptr && wants_sampling) {
+    options_.workload_sampler =
+        std::make_shared<WorkloadSampler>(options_.sampler_period_log2);
+  }
+  sampler_ = options_.workload_sampler.get();
   compact_cfg_.l0_trigger = std::max<size_t>(2, options_.l0_compaction_trigger);
   compact_cfg_.level_base_bytes = std::max<uint64_t>(1, options_.level_base_bytes);
   compact_cfg_.level_multiplier =
@@ -158,6 +169,7 @@ std::vector<Version::TableList> Db::OpenTablesFromManifest(
         QuarantineTable(path);
         continue;
       }
+      reader->set_level(static_cast<uint32_t>(level));
       levels[level].push_back(std::move(reader));
       ++recovery_stats_.tables_loaded;
     }
@@ -448,6 +460,18 @@ std::shared_ptr<const TableReader> Db::WriteSst(const MemTable& mem,
                                                 FileMeta* meta) {
   auto entries = mem.Snapshot();
   TableBuilder builder(options_.filter_policy.get(), options_.block_size);
+  FilterFeedback feedback;
+  if (sampler_ != nullptr) {
+    // Hand the policy what the loop has learned: the live workload
+    // sketch and the measured FPR of every backend currently serving.
+    feedback = CollectFilterFeedback();
+    FilterBuildContext ctx;
+    ctx.sampler = sampler_;
+    ctx.feedback = &feedback;
+    ctx.level = 0;
+    ctx.table_keys = entries.size();
+    builder.SetFilterContext(ctx);
+  }
   for (const auto& [key, value] : entries) builder.Add(key, value);
   const uint64_t file_number =
       next_file_number_.fetch_add(1, std::memory_order_relaxed);
@@ -459,14 +483,16 @@ std::shared_ptr<const TableReader> Db::WriteSst(const MemTable& mem,
     stats_.SetLastError("flush: cannot write " + path);
     return nullptr;
   }
-  std::shared_ptr<const TableReader> reader =
+  std::unique_ptr<TableReader> opened =
       TableReader::Open(path, options_.filter_policy.get(), &stats_,
                         options_.block_cache, file_number);
-  if (reader == nullptr) {
+  if (opened == nullptr) {
     stats_.SetLastError("flush: cannot reopen " + path);
     env_->DeleteFile(path);
     return nullptr;
   }
+  opened->set_level(0);  // flush outputs land at L0
+  std::shared_ptr<const TableReader> reader = std::move(opened);
   meta->file_number = file_number;
   meta->smallest = reader->min_key();
   meta->largest = reader->max_key();
@@ -608,6 +634,19 @@ bool Db::RunCompaction(const CompactionJob& job) {
     bytes_read += table->file_size();
   }
 
+  // Re-tuning seam of the adaptive loop: every compaction output is
+  // rebuilt through the policy with the workload sketch and measured
+  // FPRs as they stand now, so the tree's filters follow the workload
+  // as compaction naturally rewrites tables.
+  FilterFeedback feedback;
+  FilterBuildContext build_ctx;
+  if (sampler_ != nullptr) {
+    feedback = CollectFilterFeedback();
+    build_ctx.sampler = sampler_;
+    build_ctx.feedback = &feedback;
+    build_ctx.level = static_cast<uint32_t>(job.output_level);
+  }
+
   std::vector<std::string> output_paths;
   auto fail = [&](const std::string& msg) {
     stats_.SetLastError(msg);
@@ -640,6 +679,7 @@ bool Db::RunCompaction(const CompactionJob& job) {
         TableReader::Open(path, options_.filter_policy.get(), &stats_,
                           options_.block_cache, file_number);
     if (reader == nullptr) return fail("compact: cannot reopen " + path);
+    reader->set_level(static_cast<uint32_t>(job.output_level));
     FileMeta meta;
     meta.file_number = file_number;
     meta.smallest = reader->min_key();
@@ -668,6 +708,7 @@ bool Db::RunCompaction(const CompactionJob& job) {
     if (builder == nullptr) {
       builder = std::make_unique<TableBuilder>(options_.filter_policy.get(),
                                                options_.block_size);
+      if (sampler_ != nullptr) builder->SetFilterContext(build_ctx);
     }
     builder->Add(min_key, inputs[winner].value());
     for (auto& input : inputs) {
@@ -769,7 +810,54 @@ bool Db::WaitForCompaction() {
   return !compact_error_;
 }
 
+bool Db::CompactAll() {
+  // The background picker owns the tree when its thread runs; this
+  // manual lever is for the compaction-off configuration (the paper's
+  // measurement setup, and the adaptive-filter benches).
+  if (compact_thread_.joinable()) return false;
+  if (!Flush()) return false;
+  auto version = versions_.Current();
+  CompactionJob job;
+  job.output_level = 1;
+  // Inputs in read precedence order (L0 newest-first, then L1+): the
+  // merge resolves duplicate keys to the lowest input index.
+  const auto& levels = version->levels();
+  for (auto it = levels[0].rbegin(); it != levels[0].rend(); ++it) {
+    job.inputs.push_back(*it);
+    job.input_files.emplace_back(0, (*it)->file_number());
+  }
+  for (size_t level = 1; level < levels.size(); ++level) {
+    for (const auto& table : levels[level]) {
+      job.inputs.push_back(table);
+      job.input_files.emplace_back(static_cast<uint32_t>(level),
+                                   table->file_number());
+    }
+  }
+  if (job.inputs.empty()) return true;
+  return RunCompaction(job);
+}
+
+FilterFeedback Db::CollectFilterFeedback() const {
+  FilterFeedback feedback;
+  auto version = versions_.Current();
+  for (const TableReader* table : TablesNewestFirst(*version)) {
+    if (table->filter() == nullptr || table->filter_backend().empty()) {
+      continue;
+    }
+    TableReader::FilterOutcomes o = table->filter_outcomes();
+    BackendObservation* obs = feedback.FindOrAdd(table->filter_backend());
+    obs->point_allowed += o.point_allowed;
+    obs->point_false += o.point_false;
+    obs->point_negatives += o.point_negatives;
+    obs->range_allowed += o.range_allowed;
+    obs->range_false += o.range_false;
+    obs->range_negatives += o.range_negatives;
+  }
+  return feedback;
+}
+
 bool Db::Get(uint64_t key, std::string* value) {
+  if (sampler_ != nullptr) sampler_->RecordPoint(key);
   auto version = versions_.Current();
   if (version->active()->Get(key, value)) return true;
   const auto& sealed = version->sealed();
@@ -790,6 +878,7 @@ std::vector<std::optional<std::string>> Db::MultiGet(
     std::span<const uint64_t> keys) {
   std::vector<std::optional<std::string>> result(keys.size());
   if (keys.empty()) return result;
+  if (sampler_ != nullptr) sampler_->RecordPoints(keys);
 
   auto version = versions_.Current();
 
@@ -839,6 +928,7 @@ std::vector<std::optional<std::string>> Db::MultiGet(
 std::vector<std::pair<uint64_t, std::string>> Db::RangeScan(uint64_t lo,
                                                             uint64_t hi,
                                                             size_t limit) {
+  if (sampler_ != nullptr) sampler_->RecordRange(lo, hi);
   auto version = versions_.Current();
 
   // Newest-first merge: the first writer of a key wins.
@@ -872,6 +962,7 @@ std::vector<std::vector<std::pair<uint64_t, std::string>>> Db::ScanRange(
   const size_t n = los.size();
   std::vector<std::vector<std::pair<uint64_t, std::string>>> results(n);
   if (n == 0) return results;
+  if (sampler_ != nullptr) sampler_->RecordRanges(los, his);
 
   auto version = versions_.Current();
 
@@ -902,6 +993,9 @@ std::vector<std::vector<std::pair<uint64_t, std::string>>> Db::ScanRange(
       if (!may_match[i]) continue;
       chunk.clear();
       table->ScanBlocks(los[i], his[i], limit, &chunk, &stats_);
+      // Close the loop on the allowed probe: an empty block scan means
+      // the filter's "maybe" was a false positive.
+      table->AccountRangeOutcome(!chunk.empty(), &stats_);
       for (auto& [k, v] : chunk) merged[i].emplace(k, std::move(v));
     }
   }
@@ -916,6 +1010,7 @@ std::vector<std::vector<std::pair<uint64_t, std::string>>> Db::ScanRange(
 }
 
 bool Db::RangeMayMatch(uint64_t lo, uint64_t hi) {
+  if (sampler_ != nullptr) sampler_->RecordRange(lo, hi);
   auto version = versions_.Current();
   std::vector<std::pair<uint64_t, std::string>> probe;
   version->active()->RangeScan(lo, hi, 1, &probe);

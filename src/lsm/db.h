@@ -124,6 +124,17 @@ struct DbOptions {
   /// The live MANIFEST is rewritten as a one-record snapshot once it
   /// grows past this many bytes (and on any append failure).
   uint64_t manifest_rewrite_bytes = 1ull << 20;
+  /// Workload sampling for the adaptive filter loop: every read path
+  /// (Get/MultiGet/RangeScan/ScanRange/RangeMayMatch) records a
+  /// 1-in-2^sampler_period_log2 sample of its queries into a
+  /// WorkloadSampler, which flush and compaction hand to the filter
+  /// policy at build time. On automatically when the policy wants
+  /// feedback (AdaptiveFilterPolicy); `sample_queries` forces it on
+  /// for any policy. A non-null `workload_sampler` is used as-is
+  /// (sharing one sampler across Dbs); null auto-creates one.
+  bool sample_queries = false;
+  std::shared_ptr<WorkloadSampler> workload_sampler;
+  uint32_t sampler_period_log2 = 6;
 };
 
 struct DbFlushStats {
@@ -232,6 +243,25 @@ class Db {
   /// compaction is off. Never blocks indefinitely on a broken disk.
   bool WaitForCompaction();
 
+  /// Merges every L0/L1+ table into one fresh run at L1 — the manual
+  /// "re-tune now" lever for the adaptive filter loop (each output is
+  /// rebuilt through the policy with the current workload snapshot).
+  /// Requires background compaction off (returns false otherwise; the
+  /// background picker owns the tree then). True when there was
+  /// nothing to do.
+  bool CompactAll();
+
+  /// The sampler observing this Db's queries; null unless sampling is
+  /// on (see DbOptions::sample_queries).
+  const std::shared_ptr<WorkloadSampler>& workload_sampler() const {
+    return options_.workload_sampler;
+  }
+
+  /// Aggregated filter probe outcomes of every live table, grouped by
+  /// filter backend — the measured-FPR feedback the planner uses to
+  /// distrust a diverging model.
+  FilterFeedback CollectFilterFeedback() const;
+
   const LsmStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
   /// Snapshot of flush-side counters. Exact after Flush()/
@@ -322,6 +352,9 @@ class Db {
 
   DbOptions options_;
   Env* env_ = nullptr;  // resolved: options_.env or Env::Default()
+  /// Raw alias of options_.workload_sampler (hot-path access without a
+  /// shared_ptr copy); null when sampling is off.
+  WorkloadSampler* sampler_ = nullptr;
 
   // Write path. Writers take seal_mu_ shared — among themselves they
   // are lock-free (concurrent skiplist inserts, group-committed WAL

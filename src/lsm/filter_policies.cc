@@ -7,6 +7,9 @@
 
 #include <utility>
 
+#include "core/bloomrf.h"
+#include "filters/bloomrf_filter.h"
+
 namespace bloomrf {
 
 namespace {
@@ -49,6 +52,126 @@ class RegistryFilterPolicy : public FilterPolicy {
 };
 
 }  // namespace
+
+AdaptiveFilterPolicy::AdaptiveFilterPolicy(AdaptiveFilterOptions options)
+    : options_(std::move(options)) {
+  last_plan_.backend = options_.fallback_backend;
+  last_plan_.bits_per_key = options_.bits_per_key;
+  last_plan_.max_range = options_.fallback_max_range;
+  last_plan_.used_fallback = true;
+  last_plan_.rationale = "no build yet";
+}
+
+std::string AdaptiveFilterPolicy::Name() const { return "adaptive"; }
+
+std::string AdaptiveFilterPolicy::BuildFallback(
+    const std::vector<uint64_t>& sorted_keys) const {
+  const FilterRegistry::Entry* entry =
+      FilterRegistry::Instance().Find(options_.fallback_backend);
+  if (entry == nullptr) return "";
+  FilterBuildParams params;
+  params.bits_per_key = options_.bits_per_key;
+  params.max_range = options_.fallback_max_range;
+  std::unique_ptr<PointRangeFilter> filter =
+      entry->build_from_sorted_keys(sorted_keys, params);
+  if (filter == nullptr) return "";
+  return FilterRegistry::Frame(entry->name, filter->Serialize());
+}
+
+std::string AdaptiveFilterPolicy::CreateFilter(
+    const std::vector<uint64_t>& sorted_keys) const {
+  return CreateFilter(sorted_keys, FilterBuildContext{});
+}
+
+std::string AdaptiveFilterPolicy::CreateFilter(
+    const std::vector<uint64_t>& sorted_keys,
+    const FilterBuildContext& context) const {
+  PlannerOptions planner;
+  planner.bits_per_key = options_.bits_per_key;
+  planner.min_samples = options_.min_samples;
+  planner.fallback_backend = options_.fallback_backend;
+  planner.fallback_max_range = options_.fallback_max_range;
+  planner.feedback_min_probes = options_.feedback_min_probes;
+  planner.distrust_cap = options_.distrust_cap;
+
+  FilterPlan plan;
+  if (context.sampler == nullptr) {
+    plan.backend = options_.fallback_backend;
+    plan.bits_per_key = options_.bits_per_key;
+    plan.max_range = options_.fallback_max_range;
+    plan.used_fallback = true;
+    plan.rationale = "fallback: no workload sampler wired";
+  } else {
+    // Plan from the actual key count, not the context hint: the filter
+    // must be sized for what it stores.
+    plan = PlanFilter(context.sampler->Snapshot(), sorted_keys.size(), planner,
+                      context.feedback);
+  }
+
+  std::string block;
+  if (plan.has_bloomrf_config) {
+    // The advisor-tuned configuration cannot be expressed through the
+    // registry's scalar FilterBuildParams; build the core type directly.
+    BloomRF filter(plan.bloomrf_config);
+    for (uint64_t key : sorted_keys) filter.Insert(key);
+    block = FilterRegistry::Frame("bloomrf", filter.Serialize());
+  } else {
+    const FilterRegistry::Entry* entry =
+        FilterRegistry::Instance().Find(plan.backend);
+    if (entry != nullptr) {
+      FilterBuildParams params;
+      params.bits_per_key = plan.bits_per_key;
+      params.max_range = plan.max_range;
+      params.prefix_level = plan.prefix_level;
+      std::unique_ptr<PointRangeFilter> filter =
+          entry->build_from_sorted_keys(sorted_keys, params);
+      if (filter != nullptr) {
+        block = FilterRegistry::Frame(entry->name, filter->Serialize());
+      }
+    }
+    if (block.empty() && plan.backend != options_.fallback_backend) {
+      block = BuildFallback(sorted_keys);
+      plan.used_fallback = true;
+      plan.rationale += " (backend build failed; fallback built)";
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_plan_ = plan;
+    if (plan.used_fallback) {
+      ++fallback_builds_;
+    } else {
+      ++planned_builds_;
+    }
+  }
+  return block;
+}
+
+std::unique_ptr<PointRangeFilter> AdaptiveFilterPolicy::LoadFilter(
+    std::string_view data) const {
+  return FilterRegistry::Instance().Deserialize(data);
+}
+
+FilterPlan AdaptiveFilterPolicy::LastPlan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_plan_;
+}
+
+uint64_t AdaptiveFilterPolicy::planned_builds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return planned_builds_;
+}
+
+uint64_t AdaptiveFilterPolicy::fallback_builds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fallback_builds_;
+}
+
+std::unique_ptr<AdaptiveFilterPolicy> NewAdaptiveFilterPolicy(
+    AdaptiveFilterOptions options) {
+  return std::make_unique<AdaptiveFilterPolicy>(std::move(options));
+}
 
 std::unique_ptr<FilterPolicy> NewRegistryPolicy(std::string_view name,
                                                 FilterBuildParams params) {

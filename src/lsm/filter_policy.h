@@ -17,14 +17,28 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/filter_planner.h"
+#include "core/workload_sampler.h"
 #include "filters/filter.h"
 #include "filters/registry.h"
 
 namespace bloomrf {
+
+/// Everything the LSM knows about the table being built that a policy
+/// may want for filter selection. All pointers are borrowed for the
+/// duration of the CreateFilter call; either may be null (the policy
+/// must degrade to its static behavior).
+struct FilterBuildContext {
+  const WorkloadSampler* sampler = nullptr;  ///< recent-query sketch
+  const FilterFeedback* feedback = nullptr;  ///< measured FPR per backend
+  uint32_t level = 0;                        ///< output LSM level
+  uint64_t table_keys = 0;                   ///< planned key count (hint)
+};
 
 class FilterPolicy {
  public:
@@ -37,11 +51,72 @@ class FilterPolicy {
   virtual std::string CreateFilter(
       const std::vector<uint64_t>& sorted_keys) const = 0;
 
+  /// Context-aware build used by the LSM write path. Static policies
+  /// ignore the context; AdaptiveFilterPolicy plans from it.
+  virtual std::string CreateFilter(const std::vector<uint64_t>& sorted_keys,
+                                   const FilterBuildContext& /*context*/)
+      const {
+    return CreateFilter(sorted_keys);
+  }
+
+  /// True when the policy consumes workload samples and measured-FPR
+  /// feedback; the Db then auto-creates a WorkloadSampler and collects
+  /// per-table probe outcomes for it.
+  virtual bool WantsQueryFeedback() const { return false; }
+
   /// Reconstructs the probe object from a filter block. Returns null
   /// on corruption (the table then probes nothing and scans).
   virtual std::unique_ptr<PointRangeFilter> LoadFilter(
       std::string_view data) const = 0;
 };
+
+struct AdaptiveFilterOptions {
+  double bits_per_key = 16.0;
+  /// Built verbatim while the sampler has fewer than `min_samples`
+  /// observations (cold start, or sampling disabled).
+  std::string fallback_backend = "bloomrf";
+  double fallback_max_range = 1 << 16;
+  uint64_t min_samples = 32;
+  /// Feedback gates, forwarded to PlannerOptions.
+  uint64_t feedback_min_probes = 512;
+  double distrust_cap = 16.0;
+};
+
+/// The tentpole policy: re-plans the filter backend for every SST it
+/// builds (flush and compaction outputs alike) from the live workload
+/// snapshot plus measured false-positive feedback. Tables built under
+/// different plans coexist in one tree — blocks are registry-framed, so
+/// LoadFilter dispatches on the stored name.
+class AdaptiveFilterPolicy : public FilterPolicy {
+ public:
+  explicit AdaptiveFilterPolicy(AdaptiveFilterOptions options = {});
+
+  std::string Name() const override;
+  std::string CreateFilter(
+      const std::vector<uint64_t>& sorted_keys) const override;
+  std::string CreateFilter(const std::vector<uint64_t>& sorted_keys,
+                           const FilterBuildContext& context) const override;
+  bool WantsQueryFeedback() const override { return true; }
+  std::unique_ptr<PointRangeFilter> LoadFilter(
+      std::string_view data) const override;
+
+  /// The decision behind the most recent build (introspection/tests).
+  FilterPlan LastPlan() const;
+  uint64_t planned_builds() const;
+  uint64_t fallback_builds() const;
+
+ private:
+  std::string BuildFallback(const std::vector<uint64_t>& sorted_keys) const;
+
+  AdaptiveFilterOptions options_;
+  mutable std::mutex mu_;  // guards the introspection state below
+  mutable FilterPlan last_plan_;
+  mutable uint64_t planned_builds_ = 0;
+  mutable uint64_t fallback_builds_ = 0;
+};
+
+std::unique_ptr<AdaptiveFilterPolicy> NewAdaptiveFilterPolicy(
+    AdaptiveFilterOptions options = {});
 
 /// The generic policy: backend selected by registry name ("bloomrf",
 /// "rosetta", ...), construction tuned via `params`.

@@ -33,6 +33,10 @@ ShardedDb::ShardedDb(ShardedDbOptions options) : options_(std::move(options)) {
     shard_options.level_size_multiplier = options_.level_size_multiplier;
     shard_options.max_levels = options_.max_levels;
     shard_options.manifest_rewrite_bytes = options_.manifest_rewrite_bytes;
+    // One sampler per shard (each shard Db creates its own): the
+    // adaptive loop tunes shard-local filters from shard-local traffic.
+    shard_options.sample_queries = options_.sample_queries;
+    shard_options.sampler_period_log2 = options_.sampler_period_log2;
     shards_.push_back(std::make_unique<Db>(std::move(shard_options)));
   }
   size_t workers = options_.worker_threads > 0 ? options_.worker_threads
@@ -163,6 +167,17 @@ bool ShardedDb::WaitForCompaction() {
   bool ok = true;
   for (auto& shard : shards_) ok &= shard->WaitForCompaction();
   return ok;
+}
+
+bool ShardedDb::CompactAll() {
+  // Parallel like Flush: each shard's full merge is independent I/O.
+  std::vector<char> ok(shards_.size(), 1);
+  TaskGroup group(pool_.get());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    group.Submit([this, s, &ok] { ok[s] = shards_[s]->CompactAll() ? 1 : 0; });
+  }
+  group.Wait();
+  return std::all_of(ok.begin(), ok.end(), [](char c) { return c != 0; });
 }
 
 LsmStats ShardedDb::TotalStats() const {

@@ -62,6 +62,12 @@ struct ShardedDbOptions {
   size_t level_size_multiplier = 8;
   size_t max_levels = 6;
   uint64_t manifest_rewrite_bytes = 1ull << 20;
+  /// Per-shard workload sampling for the adaptive filter loop (see
+  /// DbOptions::sample_queries): each shard Db observes its own query
+  /// stream with its own sampler, so shard-local flushes and
+  /// compactions tune from shard-local traffic.
+  bool sample_queries = false;
+  uint32_t sampler_period_log2 = 6;
   /// Fan-out workers for batch APIs; 0 sizes the pool to num_shards.
   /// Callers of MultiGet/ScanRange also steal tasks while waiting, so
   /// even worker_threads == 0 with a 1-shard engine stays a plain
@@ -122,6 +128,10 @@ class ShardedDb {
   /// Waits until every shard's compaction triggers are satisfied (see
   /// Db::WaitForCompaction). False if any shard's compaction failed.
   bool WaitForCompaction();
+  /// Manual full compaction of every shard (see Db::CompactAll);
+  /// requires background compaction off. The adaptive filter loop's
+  /// "re-tune the whole tree now" lever.
+  bool CompactAll();
 
   size_t num_shards() const { return shards_.size(); }
   Db& shard(size_t i) { return *shards_[i]; }

@@ -48,7 +48,7 @@ bool TableBuilder::WriteTo(Env* env, const std::string& path,
   double filter_seconds = 0;
   if (policy_ != nullptr) {
     Timer timer;
-    filter_block = policy_->CreateFilter(keys_);
+    filter_block = policy_->CreateFilter(keys_, context_);
     filter_seconds = timer.ElapsedSeconds();
   }
   uint64_t filter_off = file_data_.size();

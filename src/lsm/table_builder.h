@@ -59,6 +59,13 @@ class TableBuilder {
   /// Adds an entry; keys must arrive in strictly increasing order.
   void Add(uint64_t key, std::string_view value);
 
+  /// Workload/feedback context handed to the policy at filter-build
+  /// time. Optional; the default context makes context-aware policies
+  /// fall back to their static behavior.
+  void SetFilterContext(const FilterBuildContext& context) {
+    context_ = context;
+  }
+
   size_t num_entries() const { return keys_.size(); }
   /// Serialized bytes so far (data written + current block); the
   /// compaction uses it to split outputs near a target file size.
@@ -80,6 +87,7 @@ class TableBuilder {
   void FlushBlock();
 
   const FilterPolicy* policy_;
+  FilterBuildContext context_;
   size_t block_size_;
   BlockBuilder current_;
   std::string file_data_;

@@ -164,6 +164,14 @@ std::unique_ptr<TableReader> TableReader::Open(
     } else {
       reader->filter_ = policy->LoadFilter(filter_data);
     }
+    if (reader->filter_ != nullptr) {
+      // Remember which backend the block carries: measured FP/TN
+      // outcomes are aggregated per backend for the filter planner.
+      std::string_view backend, payload;
+      if (FilterRegistry::ParseFrame(filter_data, &backend, &payload)) {
+        reader->filter_backend_ = std::string(backend);
+      }
+    }
   }
 
   // Min/max keys: first key of first block, last key of last block.
@@ -234,7 +242,8 @@ int64_t TableReader::FindBlock(uint64_t key) const {
 
 bool TableReader::Get(uint64_t key, std::string* value,
                       LsmStats* stats) const {
-  if (filter_ != nullptr) {
+  const bool filtered = filter_ != nullptr;
+  if (filtered) {
     bool may_match;
     if (stats != nullptr) {
       Timer timer;
@@ -245,16 +254,41 @@ bool TableReader::Get(uint64_t key, std::string* value,
     } else {
       may_match = filter_->MayContain(key);
     }
-    if (!may_match) return false;
+    if (!may_match) {
+      // Filters have no false negatives: a rejection is a definite
+      // true negative.
+      pt_neg_.fetch_add(1, std::memory_order_relaxed);
+      if (stats != nullptr) {
+        ++stats->filter_true_negatives[LsmStats::StatsLevel(level_)];
+      }
+      return false;
+    }
+    pt_allowed_.fetch_add(1, std::memory_order_relaxed);
   }
+  // The filter said "maybe"; if the data blocks now say "no", that
+  // probe was a false positive. I/O errors (block == nullptr) get no
+  // attribution — the outcome is unknown, not a model miss.
+  auto false_positive = [&] {
+    if (!filtered) return;
+    pt_false_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) {
+      ++stats->filter_false_positives[LsmStats::StatsLevel(level_)];
+    }
+  };
   int64_t block_idx = FindBlock(key);
-  if (block_idx < 0) return false;
+  if (block_idx < 0) {
+    false_positive();
+    return false;
+  }
   auto block = GetBlock(static_cast<size_t>(block_idx), stats);
   if (block == nullptr) return false;
   auto it = std::lower_bound(
       block->entries.begin(), block->entries.end(), key,
       [](const BlockEntry& e, uint64_t k) { return e.key < k; });
-  if (it == block->entries.end() || it->key != key) return false;
+  if (it == block->entries.end() || it->key != key) {
+    false_positive();
+    return false;
+  }
   if (value != nullptr) value->assign(it->value);
   return true;
 }
@@ -272,7 +306,9 @@ size_t TableReader::MultiGet(std::span<const uint64_t> keys, bool* found,
 
   // One batched (planned, prefetching) filter probe for the batch.
   std::vector<std::pair<int64_t, uint32_t>> by_block;
-  if (filter_ != nullptr) {
+  size_t allowed = 0;
+  const bool filtered = filter_ != nullptr;
+  if (filtered) {
     std::vector<uint64_t> probe_keys;
     probe_keys.reserve(pending.size());
     for (uint32_t i : pending) probe_keys.push_back(keys[i]);
@@ -289,12 +325,18 @@ size_t TableReader::MultiGet(std::span<const uint64_t> keys, bool* found,
     by_block.reserve(pending.size());
     for (size_t j = 0; j < pending.size(); ++j) {
       if (!may_out[j]) {
-        if (stats != nullptr) ++stats->filter_negatives;
+        if (stats != nullptr) {
+          ++stats->filter_negatives;
+          ++stats->filter_true_negatives[LsmStats::StatsLevel(level_)];
+        }
         continue;
       }
+      ++allowed;
       int64_t b = FindBlock(keys[pending[j]]);
       if (b >= 0) by_block.emplace_back(b, pending[j]);
     }
+    pt_neg_.fetch_add(pending.size() - allowed, std::memory_order_relaxed);
+    pt_allowed_.fetch_add(allowed, std::memory_order_relaxed);
   } else {
     by_block.reserve(pending.size());
     for (uint32_t i : pending) {
@@ -323,13 +365,23 @@ size_t TableReader::MultiGet(std::span<const uint64_t> keys, bool* found,
     if (values != nullptr) values[i].assign(it->value);
     ++hits;
   }
+  if (filtered && allowed > hits) {
+    // Every allowed probe the data blocks did not confirm was a false
+    // positive (conservatively including the rare unreadable block).
+    const uint64_t fp = allowed - hits;
+    pt_false_.fetch_add(fp, std::memory_order_relaxed);
+    if (stats != nullptr) {
+      stats->filter_false_positives[LsmStats::StatsLevel(level_)] += fp;
+    }
+  }
   return hits;
 }
 
 bool TableReader::RangeScan(uint64_t lo, uint64_t hi, size_t limit,
                             std::vector<std::pair<uint64_t, std::string>>* out,
                             LsmStats* stats) const {
-  if (filter_ != nullptr) {
+  const bool filtered = filter_ != nullptr;
+  if (filtered) {
     bool may_match;
     if (stats != nullptr) {
       Timer timer;
@@ -340,9 +392,27 @@ bool TableReader::RangeScan(uint64_t lo, uint64_t hi, size_t limit,
     } else {
       may_match = filter_->MayContainRange(lo, hi);
     }
-    if (!may_match) return false;
+    if (!may_match) {
+      rg_neg_.fetch_add(1, std::memory_order_relaxed);
+      if (stats != nullptr) {
+        ++stats->filter_true_negatives[LsmStats::StatsLevel(level_)];
+      }
+      return false;
+    }
+    rg_allowed_.fetch_add(1, std::memory_order_relaxed);
   }
+  const size_t before = out != nullptr ? out->size() : 0;
   ScanBlocks(lo, hi, limit, out, stats);
+  // Zero appended rows with headroom below `limit` means the blocks
+  // definitively rejected a range the filter allowed. Probes without
+  // an output vector (existence pre-checks) carry no outcome.
+  if (filtered && out != nullptr && out->size() == before &&
+      before < limit) {
+    rg_false_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) {
+      ++stats->filter_false_positives[LsmStats::StatsLevel(level_)];
+    }
+  }
   return true;
 }
 
@@ -359,11 +429,26 @@ void TableReader::RangeMultiProbe(std::span<const uint64_t> los,
     filter_->MayContainRangeBatch(los, his, may_match);
     stats->filter_probe_nanos += timer.ElapsedNanos();
     stats->filter_probes += los.size();
-    for (size_t i = 0; i < los.size(); ++i) {
-      if (!may_match[i]) ++stats->filter_negatives;
-    }
   } else {
     filter_->MayContainRangeBatch(los, his, may_match);
+  }
+  size_t negatives = 0;
+  for (size_t i = 0; i < los.size(); ++i) {
+    if (!may_match[i]) ++negatives;
+  }
+  rg_neg_.fetch_add(negatives, std::memory_order_relaxed);
+  rg_allowed_.fetch_add(los.size() - negatives, std::memory_order_relaxed);
+  if (stats != nullptr) {
+    stats->filter_negatives += negatives;
+    stats->filter_true_negatives[LsmStats::StatsLevel(level_)] += negatives;
+  }
+}
+
+void TableReader::AccountRangeOutcome(bool any_rows, LsmStats* stats) const {
+  if (filter_ == nullptr || any_rows) return;
+  rg_false_.fetch_add(1, std::memory_order_relaxed);
+  if (stats != nullptr) {
+    ++stats->filter_false_positives[LsmStats::StatsLevel(level_)];
   }
 }
 

@@ -36,8 +36,18 @@ namespace bloomrf {
 /// whole) field-by-field snapshot, which is exact whenever the copier
 /// has quiesced the readers and merely approximate otherwise.
 struct LsmStats {
+  /// Levels with their own measured-FPR counters; deeper levels fold
+  /// into the last bucket.
+  static constexpr size_t kStatsLevels = 8;
+
   std::atomic<uint64_t> filter_probes{0};
   std::atomic<uint64_t> filter_negatives{0};
+  // True false-positive accounting, per level: a probe the filter
+  // allowed but the data blocks then rejected (false positive) vs a
+  // probe the filter rejected (true negative — the structures have no
+  // false negatives). measured FPR = fp / (fp + tn).
+  std::atomic<uint64_t> filter_false_positives[kStatsLevels]{};
+  std::atomic<uint64_t> filter_true_negatives[kStatsLevels]{};
   std::atomic<uint64_t> blocks_read{0};  // physical reads (cache misses incl.)
   std::atomic<uint64_t> bytes_read{0};
   std::atomic<uint64_t> block_cache_hits{0};
@@ -70,6 +80,12 @@ struct LsmStats {
     if (this == &o) return *this;
     filter_probes = o.filter_probes.load(std::memory_order_relaxed);
     filter_negatives = o.filter_negatives.load(std::memory_order_relaxed);
+    for (size_t l = 0; l < kStatsLevels; ++l) {
+      filter_false_positives[l] =
+          o.filter_false_positives[l].load(std::memory_order_relaxed);
+      filter_true_negatives[l] =
+          o.filter_true_negatives[l].load(std::memory_order_relaxed);
+    }
     blocks_read = o.blocks_read.load(std::memory_order_relaxed);
     bytes_read = o.bytes_read.load(std::memory_order_relaxed);
     block_cache_hits = o.block_cache_hits.load(std::memory_order_relaxed);
@@ -100,6 +116,12 @@ struct LsmStats {
   void Accumulate(const LsmStats& o) {
     filter_probes += o.filter_probes.load(std::memory_order_relaxed);
     filter_negatives += o.filter_negatives.load(std::memory_order_relaxed);
+    for (size_t l = 0; l < kStatsLevels; ++l) {
+      filter_false_positives[l] +=
+          o.filter_false_positives[l].load(std::memory_order_relaxed);
+      filter_true_negatives[l] +=
+          o.filter_true_negatives[l].load(std::memory_order_relaxed);
+    }
     blocks_read += o.blocks_read.load(std::memory_order_relaxed);
     bytes_read += o.bytes_read.load(std::memory_order_relaxed);
     block_cache_hits += o.block_cache_hits.load(std::memory_order_relaxed);
@@ -136,6 +158,34 @@ struct LsmStats {
   void SetLastError(std::string msg) {
     std::lock_guard<std::mutex> lock(err_mu_);
     last_error_ = std::move(msg);
+  }
+
+  /// Folds a table's level into the per-level counter bucket.
+  static size_t StatsLevel(uint32_t level) {
+    return level < kStatsLevels ? level : kStatsLevels - 1;
+  }
+
+  uint64_t total_filter_false_positives() const {
+    uint64_t total = 0;
+    for (size_t l = 0; l < kStatsLevels; ++l) {
+      total += filter_false_positives[l].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  uint64_t total_filter_true_negatives() const {
+    uint64_t total = 0;
+    for (size_t l = 0; l < kStatsLevels; ++l) {
+      total += filter_true_negatives[l].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  /// Measured FPR over all probes with a definite outcome; 0 when none.
+  double measured_fpr() const {
+    uint64_t fp = total_filter_false_positives();
+    uint64_t tn = total_filter_true_negatives();
+    return fp + tn > 0
+               ? static_cast<double>(fp) / static_cast<double>(fp + tn)
+               : 0.0;
   }
 
   void Reset() { *this = LsmStats{}; }
@@ -206,6 +256,41 @@ class TableReader {
   uint64_t file_size() const { return file_size_; }
   const std::string& path() const { return path_; }
 
+  /// LSM level of this table, for per-level stats attribution. Set
+  /// once by the Db before the reader is shared (no synchronization).
+  void set_level(uint32_t level) { level_ = level; }
+  uint32_t level() const { return level_; }
+  /// Registry name of the filter backend this table carries (parsed
+  /// from the framed filter block); "" when the table has no filter.
+  const std::string& filter_backend() const { return filter_backend_; }
+
+  /// Lifetime probe outcomes of this table's filter, keyed for
+  /// per-backend feedback aggregation (Db::CollectFilterFeedback).
+  struct FilterOutcomes {
+    uint64_t point_allowed = 0;
+    uint64_t point_false = 0;
+    uint64_t point_negatives = 0;
+    uint64_t range_allowed = 0;
+    uint64_t range_false = 0;
+    uint64_t range_negatives = 0;
+  };
+  FilterOutcomes filter_outcomes() const {
+    FilterOutcomes out;
+    out.point_allowed = pt_allowed_.load(std::memory_order_relaxed);
+    out.point_false = pt_false_.load(std::memory_order_relaxed);
+    out.point_negatives = pt_neg_.load(std::memory_order_relaxed);
+    out.range_allowed = rg_allowed_.load(std::memory_order_relaxed);
+    out.range_false = rg_false_.load(std::memory_order_relaxed);
+    out.range_negatives = rg_neg_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  /// Closes the loop for a range probe the filter allowed: callers of
+  /// RangeMultiProbe + ScanBlocks report whether any rows actually
+  /// matched; an empty result means the filter answer was a false
+  /// positive. No-op when the table has no filter.
+  void AccountRangeOutcome(bool any_rows, LsmStats* stats) const;
+
   /// Sequential full-table cursor for compaction merges. Reads blocks
   /// directly (bypassing the shared cache, so a compaction sweep never
   /// evicts hot read-path blocks). `ok()` turns false if a block fails
@@ -268,6 +353,15 @@ class TableReader {
   uint64_t file_number_ = 0;  // manifest identity (0 = unknown/legacy)
   uint64_t file_size_ = 0;
   bool has_block_crc_ = false;  // v2: data blocks carry trailing CRCs
+  uint32_t level_ = 0;          // LSM level (set before sharing)
+  std::string filter_backend_;  // registry name from the framed block
+  // Per-table probe outcomes (relaxed; read via filter_outcomes()).
+  mutable std::atomic<uint64_t> pt_allowed_{0};
+  mutable std::atomic<uint64_t> pt_false_{0};
+  mutable std::atomic<uint64_t> pt_neg_{0};
+  mutable std::atomic<uint64_t> rg_allowed_{0};
+  mutable std::atomic<uint64_t> rg_false_{0};
+  mutable std::atomic<uint64_t> rg_neg_{0};
   std::string path_;
 };
 

@@ -1,0 +1,130 @@
+#include "core/workload_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace bloomrf {
+namespace {
+
+TEST(WorkloadSamplerTest, CountsPointAndRangeMix) {
+  WorkloadSampler sampler(0);  // sample every operation
+  for (int i = 0; i < 300; ++i) sampler.RecordPoint(i);
+  for (int i = 0; i < 100; ++i) sampler.RecordRange(i, i + 7);
+  WorkloadSnapshot snap = sampler.Snapshot();
+  EXPECT_EQ(snap.ops, 400u);
+  EXPECT_EQ(snap.point_samples, 300u);
+  EXPECT_EQ(snap.range_samples, 100u);
+  EXPECT_DOUBLE_EQ(snap.point_fraction(), 0.75);
+}
+
+TEST(WorkloadSamplerTest, WidthBucketsAreLog2) {
+  WorkloadSampler sampler(0);
+  sampler.RecordRange(10, 10);    // width 1 -> bucket 0
+  sampler.RecordRange(10, 11);    // width 2 -> bucket 1
+  sampler.RecordRange(10, 13);    // width 4 -> bucket 2
+  sampler.RecordRange(0, 1023);   // width 1024 -> bucket 10
+  sampler.RecordRange(100, 50);   // inverted -> width treated as 1
+  WorkloadSnapshot snap = sampler.Snapshot();
+  EXPECT_EQ(snap.range_width_log2[0], 2u);  // width-1 + inverted
+  EXPECT_EQ(snap.range_width_log2[1], 1u);
+  EXPECT_EQ(snap.range_width_log2[2], 1u);
+  EXPECT_EQ(snap.range_width_log2[10], 1u);
+  EXPECT_DOUBLE_EQ(snap.MaxRangeWidth(), 2048.0);  // 2^(10+1)
+
+  std::vector<double> weights = snap.RangeWeights();
+  ASSERT_EQ(weights.size(), 11u);  // trimmed after bucket 10
+  EXPECT_DOUBLE_EQ(weights[0], 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(weights[10], 1.0 / 5.0);
+}
+
+TEST(WorkloadSamplerTest, EmptySnapshotDefaults) {
+  WorkloadSampler sampler;
+  WorkloadSnapshot snap = sampler.Snapshot();
+  EXPECT_EQ(snap.total_samples(), 0u);
+  EXPECT_DOUBLE_EQ(snap.point_fraction(), 1.0);  // point-biased default
+  EXPECT_TRUE(snap.RangeWeights().empty());
+  EXPECT_DOUBLE_EQ(snap.MaxRangeWidth(), 1.0);
+}
+
+TEST(WorkloadSamplerTest, SamplesOneInPeriod) {
+  WorkloadSampler sampler(4);  // 1 in 16
+  EXPECT_EQ(sampler.period(), 16u);
+  for (int i = 0; i < 1600; ++i) sampler.RecordPoint(i);
+  WorkloadSnapshot snap = sampler.Snapshot();
+  EXPECT_EQ(snap.ops, 1600u);
+  EXPECT_EQ(snap.point_samples, 100u);
+}
+
+TEST(WorkloadSamplerTest, BatchRecordCrossesPeriodsOnce) {
+  WorkloadSampler sampler(4);  // period 16
+  std::vector<uint64_t> keys(160);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i;
+  sampler.RecordPoints(keys);
+  WorkloadSnapshot snap = sampler.Snapshot();
+  // One batch advanced the counter by 160 = 10 period crossings.
+  EXPECT_EQ(snap.ops, 160u);
+  EXPECT_EQ(snap.point_samples, 10u);
+
+  std::vector<uint64_t> los(32), his(32);
+  for (size_t i = 0; i < los.size(); ++i) {
+    los[i] = i * 100;
+    his[i] = i * 100 + 63;  // width 64 -> bucket 6
+  }
+  sampler.RecordRanges(los, his);
+  snap = sampler.Snapshot();
+  EXPECT_EQ(snap.ops, 192u);
+  EXPECT_EQ(snap.range_samples, 2u);  // 32 ops = 2 more crossings
+  EXPECT_EQ(snap.range_width_log2[6], 2u);
+}
+
+TEST(WorkloadSamplerTest, KeyRingHoldsRecentKeys) {
+  WorkloadSampler sampler(0);
+  for (uint64_t i = 0; i < WorkloadSampler::kKeyRing + 50; ++i) {
+    sampler.RecordPoint(i);
+  }
+  WorkloadSnapshot snap = sampler.Snapshot();
+  EXPECT_EQ(snap.sampled_keys.size(), WorkloadSampler::kKeyRing);
+}
+
+TEST(WorkloadSamplerTest, ResetForgetsEverything) {
+  WorkloadSampler sampler(0);
+  for (int i = 0; i < 64; ++i) sampler.RecordRange(i, i + 100);
+  sampler.Reset();
+  WorkloadSnapshot snap = sampler.Snapshot();
+  EXPECT_EQ(snap.ops, 0u);
+  EXPECT_EQ(snap.total_samples(), 0u);
+  EXPECT_TRUE(snap.RangeWeights().empty());
+  EXPECT_TRUE(snap.sampled_keys.empty());
+}
+
+// Exercised under TSan in CI: concurrent writers plus a snapshotting
+// reader must be race-free (all relaxed atomics, no locks).
+TEST(WorkloadSamplerTest, ConcurrentRecordersAreRaceFree) {
+  WorkloadSampler sampler(2);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sampler, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if ((i & 3) == 0) {
+          sampler.RecordRange(i, i + t * 100);
+        } else {
+          sampler.RecordPoint(i * kThreads + t);
+        }
+      }
+    });
+  }
+  WorkloadSnapshot mid = sampler.Snapshot();  // racing snapshot is legal
+  (void)mid;
+  for (auto& thread : threads) thread.join();
+  WorkloadSnapshot snap = sampler.Snapshot();
+  EXPECT_EQ(snap.ops, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_GT(snap.total_samples(), 0u);
+}
+
+}  // namespace
+}  // namespace bloomrf

@@ -14,15 +14,55 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "lsm/db.h"
 #include "lsm/env.h"
 
 namespace bloomrf {
 namespace {
+
+/// Every successive filter build uses the next backend in the cycle, so
+/// a crashed-and-recovered tree mixes filter block formats — recovery
+/// must not care which backend each surviving SST carries.
+class CyclingPolicy : public FilterPolicy {
+ public:
+  std::string Name() const override { return "cycling"; }
+
+  std::string CreateFilter(
+      const std::vector<uint64_t>& sorted_keys) const override {
+    static const std::vector<std::string> kCycle = {
+        "bloomrf", "blocked_bloom", "rosetta", "prefix_bloom"};
+    size_t turn = turn_.fetch_add(1, std::memory_order_relaxed);
+    const FilterRegistry::Entry* entry =
+        FilterRegistry::Instance().Find(kCycle[turn % kCycle.size()]);
+    FilterBuildParams params;
+    params.bits_per_key = 12.0;
+    auto filter = entry->build_from_sorted_keys(sorted_keys, params);
+    if (filter == nullptr) return "";
+    return FilterRegistry::Frame(entry->name, filter->Serialize());
+  }
+
+  std::unique_ptr<PointRangeFilter> LoadFilter(
+      std::string_view data) const override {
+    return FilterRegistry::Instance().Deserialize(data);
+  }
+
+ private:
+  mutable std::atomic<size_t> turn_{0};
+};
+
+using PolicyFactory = std::shared_ptr<FilterPolicy> (*)();
+
+std::shared_ptr<FilterPolicy> BloomFactory() { return NewBloomPolicy(10.0); }
+std::shared_ptr<FilterPolicy> MixedFactory() {
+  return std::make_shared<CyclingPolicy>();
+}
 
 class CrashMatrixTest : public ::testing::Test {
  protected:
@@ -34,10 +74,11 @@ class CrashMatrixTest : public ::testing::Test {
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
-  static DbOptions WorkloadOptions(const std::string& dir, Env* env) {
+  static DbOptions WorkloadOptions(const std::string& dir, Env* env,
+                                   PolicyFactory policy = BloomFactory) {
     DbOptions options;
     options.dir = dir;
-    options.filter_policy = NewBloomPolicy(10.0);
+    options.filter_policy = policy();
     options.memtable_bytes = 1 << 20;  // sealed only by explicit Flush
     options.background_flush = false;  // inline: deterministic op order
     options.env = env;
@@ -54,8 +95,9 @@ class CrashMatrixTest : public ::testing::Test {
   /// Failure returns are deliberately ignored — after the kill point
   /// everything fails, but every Put still reached the WAL+memtable.
   static void RunWorkload(const std::string& dir, Env* env,
-                          std::map<uint64_t, std::string>* expected) {
-    Db db(WorkloadOptions(dir, env));
+                          std::map<uint64_t, std::string>* expected,
+                          PolicyFactory policy = BloomFactory) {
+    Db db(WorkloadOptions(dir, env, policy));
     for (int round = 0; round < 4; ++round) {
       for (int i = 0; i < 40; ++i) {
         uint64_t key = static_cast<uint64_t>((i * 13 + round * 5) % 97);
@@ -73,10 +115,11 @@ class CrashMatrixTest : public ::testing::Test {
   /// hold exactly `expected`: every key by Get, and the full keyspace
   /// by RangeScan with no missing, extra, or stale rows.
   static void VerifyExactly(const std::string& dir,
-                            const std::map<uint64_t, std::string>& expected) {
+                            const std::map<uint64_t, std::string>& expected,
+                            PolicyFactory policy = BloomFactory) {
     DbOptions options;
     options.dir = dir;
-    options.filter_policy = NewBloomPolicy(10.0);
+    options.filter_policy = policy();
     Db db(options);
     std::string value;
     for (const auto& [k, v] : expected) {
@@ -133,6 +176,45 @@ TEST_F(CrashMatrixTest, EveryKillPointRecoversExactly) {
     }
   }
   EXPECT_GT(fired, total_ops / 2) << "matrix barely exercised any crash";
+}
+
+TEST_F(CrashMatrixTest, MixedBackendTreeRecoversAtEveryThirdKillPoint) {
+  // Same recovery bar, but the tree under the crash carries a
+  // different filter backend per SST (the adaptive policy's steady
+  // state). A sparser sweep — every third op, torn every sixth —
+  // keeps the variant cheap; the dense sweep above already covers the
+  // op-ordering space with a single backend.
+  std::map<uint64_t, std::string> reference;
+  FaultInjectionEnv counter;
+  const std::string count_dir = dir_ + "/count";
+  RunWorkload(count_dir, &counter, &reference, MixedFactory);
+  const uint64_t total_ops = counter.op_count();
+  ASSERT_GT(total_ops, 20u);
+  VerifyExactly(count_dir, reference, MixedFactory);
+  std::filesystem::remove_all(count_dir);
+
+  uint64_t fired = 0;
+  for (uint64_t op = 0; op < total_ops; op += 3) {
+    for (bool torn : {false, true}) {
+      if (torn && op % 6 != 0) continue;
+      SCOPED_TRACE("kill at op " + std::to_string(op) +
+                   (torn ? " (torn write)" : " (clean cut)"));
+      const std::string run_dir = dir_ + "/op" + std::to_string(op) +
+                                  (torn ? "t" : "c");
+      std::map<uint64_t, std::string> expected;
+      FaultInjectionEnv fenv;
+      fenv.CrashAtOp(op, torn);
+      RunWorkload(run_dir, &fenv, &expected, MixedFactory);
+      if (fenv.crashed()) ++fired;
+      ASSERT_EQ(expected.size(), reference.size());
+      // Verify under the single-backend policy on purpose: filter
+      // blocks are self-describing, so recovery of a mixed tree must
+      // not depend on reopening with the policy that built it.
+      VerifyExactly(run_dir, expected, BloomFactory);
+      std::filesystem::remove_all(run_dir);
+    }
+  }
+  EXPECT_GT(fired, total_ops / 6) << "matrix barely exercised any crash";
 }
 
 TEST_F(CrashMatrixTest, CrashedStoreSurvivesASecondCrashDuringRecovery) {
