@@ -12,7 +12,10 @@
 //  - Put: random-key inserts into a fresh engine (WAL off, so the cell
 //    measures the memtable/seal path alone),
 //  - mixed: alternating Get (hitting keys the Put phase wrote) and Put
-//    on the populated engine — the 50/50 read-write mix
+//    on the populated engine — the 50/50 read-write mix,
+//  - Delete: tombstoning every key the Put phase wrote (delete-heavy),
+//  - 25/25/50 p/d/g: puts, deletes and point reads interleaved over
+//    the tombstone-churned store
 // and the aggregate Mops (queries/s for scans) is reported. The
 // baseline rows drive a plain Db with the same workload from one
 // thread, so the 1-shard/1-thread ShardedDb cell doubles as the
@@ -244,6 +247,71 @@ WriteCell BenchWrites(MakeEngine make, const Workload& w, size_t shards,
   return cell;
 }
 
+struct DeleteCell {
+  size_t shards = 0;
+  size_t threads = 0;
+  double delete_mops = 0;  // delete-heavy: tombstone every ingested key
+  double pdg_mops = 0;     // 25/25/50 put/delete/get mix
+};
+
+/// Delete-path throughput. Each run populates a fresh engine with the
+/// put phase's exact key streams (untimed), then times a delete-heavy
+/// pass (tombstoning every ingested key — the write path's cost for a
+/// delete record + memtable tombstone), then a 25/25/50 put/delete/get
+/// mix over the churned store — point reads now climb over live
+/// tombstones in the memtable and L0.
+template <typename MakeEngine>
+DeleteCell BenchDeletes(MakeEngine make, const Workload& w, size_t shards,
+                        size_t threads) {
+  DeleteCell cell;
+  cell.shards = shards;
+  cell.threads = threads;
+  std::atomic<uint64_t> sink{0};
+  for (int run = 0; run < 2; ++run) {
+    auto db = make();
+    TimedThreads(threads, [&](size_t t) {
+      Rng rng(0xbee5 + t);
+      for (uint64_t i = 0; i < w.put_ops_per_thread; ++i) {
+        db->Put(PutKey(&rng), kPutValue);
+      }
+    });
+    double secs = TimedThreads(threads, [&](size_t t) {
+      Rng rng(0xbee5 + t);  // replays the put phase's keys
+      for (uint64_t i = 0; i < w.put_ops_per_thread; ++i) {
+        db->Delete(PutKey(&rng));
+      }
+    });
+    cell.delete_mops =
+        std::max(cell.delete_mops, Mops(w.put_ops_per_thread * threads, secs));
+    if (run != 1) continue;
+    for (int mixed_run = 0; mixed_run < 2; ++mixed_run) {
+      double mixed_secs = TimedThreads(threads, [&](size_t t) {
+        Rng key_rng(0xbee5 + 977 * (mixed_run + 1) + t);
+        uint64_t hits = 0;
+        std::string value;
+        for (uint64_t i = 0; i < w.put_ops_per_thread; ++i) {
+          uint64_t key = PutKey(&key_rng);
+          switch (i & 3) {
+            case 0:
+              db->Put(key, kPutValue);
+              break;
+            case 1:
+              db->Delete(key);
+              break;
+            default:
+              hits += db->Get(key, &value);
+              break;
+          }
+        }
+        sink.fetch_add(hits, std::memory_order_relaxed);
+      });
+      cell.pdg_mops = std::max(
+          cell.pdg_mops, Mops(w.put_ops_per_thread * threads, mixed_secs));
+    }
+  }
+  return cell;
+}
+
 /// Times one put-only pass over a fresh engine.
 template <typename EnginePtr>
 double TimePuts(const EnginePtr& db, const Workload& w, size_t threads) {
@@ -411,6 +479,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Delete path: delete-heavy and 25/25/50 put/delete/get cells ---
+  std::vector<DeleteCell> delete_cells;
+  for (size_t shards : shard_counts) {
+    for (size_t threads : thread_counts) {
+      DeleteCell cell = BenchDeletes(
+          [&] { return make_sharded(shards, false); }, w, shards, threads);
+      std::printf("shards=%zu threads=%zu     Delete %7.2f Mops   25/25/50 "
+                  "p/d/g %7.2f Mops\n",
+                  shards, threads, cell.delete_mops, cell.pdg_mops);
+      delete_cells.push_back(cell);
+    }
+  }
+
   // ---- WAL overhead (group commit, wal_fsync=false) ------------------
   auto [wal_off_1s1t, wal_put_1s1t] = BenchWalPair(
       [&] { return make_sharded(1, false); },
@@ -441,6 +522,35 @@ int main(int argc, char** argv) {
   std::printf("write scaling 1->%zu threads (%zu shards): Put %.2fx  "
               "mixed %.2fx\n",
               max_threads, max_shards, put_scaling, mixed_scaling);
+
+  auto delete_cell_at = [&](size_t shards,
+                            size_t threads) -> const DeleteCell* {
+    for (const DeleteCell& c : delete_cells) {
+      if (c.shards == shards && c.threads == threads) return &c;
+    }
+    return nullptr;
+  };
+  const DeleteCell* d11 = delete_cell_at(1, 1);
+  const DeleteCell* dmax1 = delete_cell_at(max_shards, 1);
+  const DeleteCell* dmaxt = delete_cell_at(max_shards, max_threads);
+  const WriteCell* w11 = write_cell_at(1, 1);
+  double delete_scaling = dmax1 && dmaxt && dmax1->delete_mops > 0
+                              ? dmaxt->delete_mops / dmax1->delete_mops
+                              : 0;
+  double pdg_scaling = dmax1 && dmaxt && dmax1->pdg_mops > 0
+                           ? dmaxt->pdg_mops / dmax1->pdg_mops
+                           : 0;
+  // A delete is a smaller WAL record and a value-free memtable entry,
+  // so delete-heavy throughput should track put throughput; the ratio
+  // (1 shard, 1 thread) catches a delete path that grew an accidental
+  // extra cost (e.g. a read-before-write or a second lock pass).
+  double delete_put_ratio = d11 && w11 && w11->put_mops > 0
+                                ? d11->delete_mops / w11->put_mops
+                                : 0;
+  std::printf("delete scaling 1->%zu threads (%zu shards): Delete %.2fx  "
+              "25/25/50 %.2fx;  delete/put ratio (1s/1t) %.2f\n",
+              max_threads, max_shards, delete_scaling, pdg_scaling,
+              delete_put_ratio);
 
   // ---- Read amplification: L0 pile vs leveled tree -------------------
   // The same dataset flushed as ~16 small memtables, then point-read
@@ -564,6 +674,15 @@ int main(int argc, char** argv) {
                  c.shards, c.threads, c.put_mops, c.mixed_mops,
                  i + 1 < write_cells.size() ? "," : "");
   }
+  std::fprintf(json, "  ],\n  \"delete\": [\n");
+  for (size_t i = 0; i < delete_cells.size(); ++i) {
+    const DeleteCell& c = delete_cells[i];
+    std::fprintf(json,
+                 "    {\"shards\": %zu, \"threads\": %zu, "
+                 "\"delete_mops\": %.3f, \"pdg_mops\": %.3f}%s\n",
+                 c.shards, c.threads, c.delete_mops, c.pdg_mops,
+                 i + 1 < delete_cells.size() ? "," : "");
+  }
   std::fprintf(json,
                "  ],\n  \"wal\": {\"put_mops_1s1t\": %.3f, "
                "\"put_ratio_1s1t\": %.3f, \"put_mops_max\": %.3f, "
@@ -596,10 +715,14 @@ int main(int argc, char** argv) {
                "\"scanrange_scaling_8t\": %.3f, "
                "\"single_shard_multiget_ratio\": %.3f, "
                "\"put_scaling_8t\": %.3f, \"mixed_scaling_8t\": %.3f, "
+               "\"delete_scaling_8t\": %.3f, \"pdg_scaling_8t\": %.3f, "
+               "\"delete_put_ratio\": %.3f, "
                "\"wal_put_ratio\": %.3f, \"read_amp_get_ratio\": %.3f}\n}\n",
                multiget_scaling * 0.8, scanrange_scaling * 0.8,
                single_shard_ratio * 0.8, capped(put_scaling) * 0.8,
-               capped(mixed_scaling) * 0.8, capped(wal_ratio_1s1t) * 0.8,
+               capped(mixed_scaling) * 0.8, capped(delete_scaling) * 0.8,
+               capped(pdg_scaling) * 0.8, capped(delete_put_ratio) * 0.8,
+               capped(wal_ratio_1s1t) * 0.8,
                std::min(read_amp_ratio, 1.2) * 0.8);
   std::fclose(json);
   std::printf("wrote %s\n", out_path.c_str());

@@ -91,6 +91,44 @@ int main(int argc, char** argv) {
               static_cast<double>(db.filter_memory_bits()) /
                   static_cast<double>(kKeys));
 
+  // Phase 1b: concurrent delete traffic. Each client tombstones a
+  // slice of its own stripe (some singly, some via DeleteBatch), so the
+  // read phase below runs against a tree where deleted keys must stay
+  // dead across every shard's memtable, WAL, and SSTs.
+  std::printf("deleting every 5th ingested key from %zu threads...\n",
+              num_clients);
+  std::atomic<uint64_t> deletes{0};
+  timer.Restart();
+  {
+    std::vector<std::thread> clients;
+    for (size_t t = 0; t < num_clients; ++t) {
+      clients.emplace_back([&, t] {
+        std::vector<uint64_t> batch;
+        for (size_t i = t * 5; i < data.keys.size(); i += num_clients * 5) {
+          if (i % 2 == 0) {
+            db.Delete(data.keys[i]);
+          } else {
+            batch.push_back(data.keys[i]);
+          }
+          ++deletes;
+        }
+        db.DeleteBatch(batch);
+      });
+    }
+    for (auto& c : clients) c.join();
+  }
+  db.Flush();
+  {
+    LsmStats after = db.TotalStats();
+    std::printf("  %.2fs; %llu deletes -> tombstones written=%llu "
+                "live=%llu dropped=%llu\n",
+                timer.ElapsedSeconds(),
+                static_cast<unsigned long long>(deletes.load()),
+                static_cast<unsigned long long>(after.tombstones_written.load()),
+                static_cast<unsigned long long>(after.tombstones_live.load()),
+                static_cast<unsigned long long>(after.tombstones_dropped.load()));
+  }
+
   // Phase 2: concurrent mixed reads. Every client issues MultiGet
   // batches (half hits / half misses the filters exclude) and ScanRange
   // batches over populated and empty regions.

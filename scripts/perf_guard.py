@@ -68,6 +68,15 @@ def write_cell(doc, shards, threads):
     )
 
 
+def delete_cell(doc, shards, threads):
+    for row in doc["delete"]:
+        if row["shards"] == shards and row["threads"] == threads:
+            return row
+    raise SystemExit(
+        f"perf_guard: no delete row for shards={shards} threads={threads}"
+    )
+
+
 def lsm_concurrent_checks(current, committed):
     guard = committed["guard"]
     t1 = scaling_cell(current, 8, 1)
@@ -125,6 +134,35 @@ def lsm_concurrent_checks(current, committed):
              min(guard["mixed_scaling_8t"], write_scaling_cap)),
             ("WAL-on/off put ratio (1s/1t)", wal["put_ratio_1s1t"],
              guard["wal_put_ratio"]),
+        ]
+    # Delete-path floors arrived with first-class tombstones; tolerate
+    # committed files that predate them.
+    if "delete_scaling_8t" in guard and "delete" in current:
+        wal = current["wal"]
+        max_shards = wal["max_shards"]
+        max_threads = wal["max_threads"]
+        d1 = delete_cell(current, max_shards, 1)
+        dt = delete_cell(current, max_shards, max_threads)
+        delete_scaling = (
+            dt["delete_mops"] / d1["delete_mops"] if d1["delete_mops"] else 0
+        )
+        pdg_scaling = (
+            dt["pdg_mops"] / d1["pdg_mops"] if d1["pdg_mops"] else 0
+        )
+        d11 = delete_cell(current, 1, 1)
+        w11 = write_cell(current, 1, 1)
+        delete_put_ratio = (
+            d11["delete_mops"] / w11["put_mops"] if w11["put_mops"] else 0
+        )
+        # Same oversubscription story as the put/mixed cells above.
+        write_scaling_cap = 0.3 if hw and hw < 8 else float("inf")
+        checks += [
+            ("delete 1->8-thread scaling", delete_scaling,
+             min(guard["delete_scaling_8t"], write_scaling_cap)),
+            ("25/25/50 p/d/g 1->8-thread scaling", pdg_scaling,
+             min(guard["pdg_scaling_8t"], write_scaling_cap)),
+            ("delete/put throughput ratio (1s/1t)", delete_put_ratio,
+             guard["delete_put_ratio"]),
         ]
     # Read-amplification floor arrived with leveled compaction; the
     # ratio (single-threaded Get, compaction on / off) is core-count

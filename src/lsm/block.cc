@@ -4,9 +4,11 @@
 
 namespace bloomrf {
 
-void BlockBuilder::Add(uint64_t key, std::string_view value) {
+void BlockBuilder::Add(uint64_t key, std::string_view value, bool tombstone) {
   PutFixed64(&buffer_, key);
-  PutFixed32(&buffer_, static_cast<uint32_t>(value.size()));
+  uint32_t meta = static_cast<uint32_t>(value.size());
+  if (tombstone) meta |= kTombstoneBit;
+  PutFixed32(&buffer_, meta);
   buffer_.append(value.data(), value.size());
   last_key_ = key;
   ++num_entries_;
@@ -20,16 +22,24 @@ std::string BlockBuilder::Finish() {
   return out;
 }
 
-bool ParseBlock(std::string_view data, std::vector<BlockEntry>* entries) {
+bool ParseBlock(std::string_view data, std::vector<BlockEntry>* entries,
+                bool tombstone_flags) {
   entries->clear();
   size_t pos = 0;
   while (pos < data.size()) {
     if (pos + 12 > data.size()) return false;
     uint64_t key = DecodeFixed64(data.data() + pos);
-    uint32_t len = DecodeFixed32(data.data() + pos + 8);
+    uint32_t meta = DecodeFixed32(data.data() + pos + 8);
+    bool tombstone = false;
+    uint32_t len = meta;
+    if (tombstone_flags) {
+      tombstone = (meta & BlockBuilder::kTombstoneBit) != 0;
+      len = meta & ~BlockBuilder::kTombstoneBit;
+    }
     pos += 12;
     if (pos + len > data.size()) return false;
-    entries->push_back({key, data.substr(pos, len)});
+    if (tombstone && len != 0) return false;  // tombstones carry no value
+    entries->push_back({key, data.substr(pos, len), tombstone});
     pos += len;
   }
   return true;

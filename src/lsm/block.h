@@ -1,7 +1,11 @@
 // Data-block format of the mini-LSM SST files.
 //
 // A block is a sorted run of (uint64 key, value) entries:
-//   entry := key:fixed64  value_len:fixed32  value_bytes
+//   entry := key:fixed64  meta:fixed32  value_bytes
+// In format v3 tables the meta word packs the value length in its low
+// 31 bits and a tombstone flag (deletion marker, empty value) in the
+// top bit; v1/v2 tables predate deletes, so their meta word is the
+// full 32-bit value length and parses byte-identically to before.
 // Blocks target Options::block_size bytes (RocksDB-style 4 KiB
 // default); the index block stores each data block's last key.
 
@@ -15,9 +19,31 @@
 
 namespace bloomrf {
 
+/// Tri-state point-lookup outcome shared by every read source
+/// (memtable, SST): a tombstone is a definite answer — the key was
+/// deleted by a write newer than anything in older sources — so
+/// lookups stop there instead of falling through and resurrecting an
+/// older value.
+enum class Lookup : uint8_t {
+  kMiss = 0,       // not in this source; keep looking in older ones
+  kHit = 1,        // live value found
+  kTombstone = 2,  // deleted here; the key is definitively absent
+};
+
+/// One merged-scan row: tombstones travel through range merges so they
+/// can shadow older live values, and are dropped only at the edge of
+/// the public API (or at compaction's bottom level).
+struct ScanEntry {
+  uint64_t key = 0;
+  std::string value;
+  bool tombstone = false;
+};
+
 class BlockBuilder {
  public:
-  void Add(uint64_t key, std::string_view value);
+  static constexpr uint32_t kTombstoneBit = 1u << 31;
+
+  void Add(uint64_t key, std::string_view value, bool tombstone = false);
 
   size_t SizeBytes() const { return buffer_.size(); }
   size_t NumEntries() const { return num_entries_; }
@@ -36,10 +62,15 @@ class BlockBuilder {
 struct BlockEntry {
   uint64_t key;
   std::string_view value;  // points into the block's backing buffer
+  bool tombstone = false;  // always false in pre-v3 tables
 };
 
 /// Parses a serialized block. Returns false on corruption.
-bool ParseBlock(std::string_view data, std::vector<BlockEntry>* entries);
+/// `tombstone_flags` selects the v3 meta-word decoding (top bit =
+/// tombstone); pre-v3 tables pass false and keep their original full
+/// 32-bit length decoding.
+bool ParseBlock(std::string_view data, std::vector<BlockEntry>* entries,
+                bool tombstone_flags = false);
 
 }  // namespace bloomrf
 

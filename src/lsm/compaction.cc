@@ -84,4 +84,51 @@ std::optional<CompactionJob> PickCompaction(const Version& v,
   return std::nullopt;
 }
 
+TombstoneShadow TombstoneShadow::FromVersion(const Version& v,
+                                             const CompactionJob& job) {
+  std::vector<std::pair<uint64_t, uint64_t>> bounds;
+  const auto& levels = v.levels();
+  for (size_t level = job.output_level + 1; level < levels.size(); ++level) {
+    for (const auto& table : levels[level]) {
+      bool is_input = false;
+      for (const auto& [in_level, in_number] : job.input_files) {
+        if (in_level == level && in_number == table->file_number()) {
+          is_input = true;
+          break;
+        }
+      }
+      if (!is_input) bounds.emplace_back(table->min_key(), table->max_key());
+    }
+  }
+  return FromBounds(std::move(bounds));
+}
+
+TombstoneShadow TombstoneShadow::FromBounds(
+    std::vector<std::pair<uint64_t, uint64_t>> bounds) {
+  TombstoneShadow shadow;
+  std::sort(bounds.begin(), bounds.end());
+  // Coalesce overlapping/adjacent ranges so Covers is one binary search
+  // over disjoint intervals.
+  for (const auto& [lo, hi] : bounds) {
+    if (!shadow.bounds_.empty() && lo <= shadow.bounds_.back().second) {
+      shadow.bounds_.back().second = std::max(shadow.bounds_.back().second, hi);
+    } else {
+      shadow.bounds_.emplace_back(lo, hi);
+    }
+  }
+  return shadow;
+}
+
+bool TombstoneShadow::Covers(uint64_t key) const {
+  // First interval with lo > key; the candidate is its predecessor.
+  auto it = std::upper_bound(
+      bounds_.begin(), bounds_.end(), key,
+      [](uint64_t k, const std::pair<uint64_t, uint64_t>& b) {
+        return k < b.first;
+      });
+  if (it == bounds_.begin()) return false;
+  --it;
+  return key <= it->second;
+}
+
 }  // namespace bloomrf

@@ -52,6 +52,46 @@ std::optional<CompactionJob> PickCompaction(const Version& v,
                                             const CompactionConfig& cfg,
                                             std::vector<uint64_t>* cursors);
 
+/// Decides whether a compaction may physically drop a tombstone.
+///
+/// A tombstone written to the job's output level is dead weight iff no
+/// level BELOW the output can still hold an older value of its key —
+/// then nothing remains for it to shadow. The shadow set is the key
+/// bounds of every file at levels deeper than the output level,
+/// EXCLUDING the job's own inputs (their content is being rewritten
+/// into the output, so they shadow nothing afterwards; a whole-tree
+/// merge like Db::CompactAll would otherwise see its own inputs as
+/// deeper data and never drop a single tombstone).
+///
+/// Key-range bounds are a conservative over-approximation: a covered
+/// key keeps its tombstone even if the deeper file happens not to
+/// contain that exact key — never the reverse, so a kept tombstone is
+/// at worst wasted bytes while a wrongly dropped one would resurrect
+/// deleted data. Snapshotting the bounds at merge start is safe: only
+/// the single compaction thread mutates levels >= 1, and concurrent
+/// flushes only add L0 files, which are never below a compaction
+/// output.
+class TombstoneShadow {
+ public:
+  /// Shadow of `job` on version `v`: bounds of all files at levels
+  /// strictly below job.output_level, minus job's inputs.
+  static TombstoneShadow FromVersion(const Version& v,
+                                     const CompactionJob& job);
+  /// Direct construction from [min,max] bounds (tests / custom jobs).
+  static TombstoneShadow FromBounds(
+      std::vector<std::pair<uint64_t, uint64_t>> bounds);
+
+  /// True when some deeper file's key range contains `key` — the
+  /// tombstone must be kept.
+  bool Covers(uint64_t key) const;
+
+  size_t num_ranges() const { return bounds_.size(); }
+
+ private:
+  /// Deeper-file key ranges, merged and sorted by lo for binary search.
+  std::vector<std::pair<uint64_t, uint64_t>> bounds_;
+};
+
 }  // namespace bloomrf
 
 #endif  // BLOOMRF_LSM_COMPACTION_H_

@@ -265,6 +265,7 @@ void Db::Recover() {
     std::lock_guard<std::mutex> lock(version_mu_);
     versions_.Publish(Version::FromLevels(std::move(levels)));
   }
+  UpdateTombstonesLive();
   next_file_number_.store(std::max(state.next_file_number, max_file + 1),
                           std::memory_order_relaxed);
   flushed_through_log_ = state.log_number;
@@ -300,9 +301,13 @@ void Db::Recover() {
       continue;
     }
     max_log = std::max(max_log, number);
-    WalReplayResult replay =
-        WalReplay(path, [active](uint64_t key, std::string_view value) {
-          active->Put(key, value);
+    WalReplayResult replay = WalReplay(
+        path, [active](uint64_t key, std::string_view value, bool is_delete) {
+          if (is_delete) {
+            active->Delete(key);
+          } else {
+            active->Put(key, value);
+          }
         });
     ++recovery_stats_.wal_files_replayed;
     recovery_stats_.wal_records_replayed += replay.records;
@@ -392,6 +397,57 @@ bool Db::Put(uint64_t key, std::string_view value) {
   return PutBatch({&kv, 1});
 }
 
+bool Db::Delete(uint64_t key) { return DeleteBatch({&key, 1}); }
+
+bool Db::DeleteBatch(std::span<const uint64_t> keys) {
+  if (keys.empty()) return true;
+  bool ok = true;
+  uint64_t bytes;
+  {
+    // Same discipline as PutBatch: log + apply under one shared hold
+    // of the seal lock so the delete record and its tombstones stay in
+    // the same memtable generation.
+    std::shared_lock<std::shared_mutex> seal_lock(seal_mu_);
+    if (wal_ != nullptr) {
+      thread_local std::string record;
+      WalEncodeDeletesTo(keys, &record);
+      ok = wal_->Append(record);
+    }
+    for (uint64_t key : keys) active_->Delete(key);
+    bytes = active_->ApproximateBytes();
+  }
+  if (bytes >= options_.memtable_bytes) {
+    if (!SealActive(/*force=*/false)) ok = false;
+  }
+  return ok;
+}
+
+bool Db::WriteBatch(std::span<const WriteOp> ops) {
+  if (ops.empty()) return true;
+  bool ok = true;
+  uint64_t bytes;
+  {
+    std::shared_lock<std::shared_mutex> seal_lock(seal_mu_);
+    if (wal_ != nullptr) {
+      thread_local std::string record;
+      WalEncodeOpsTo(ops, &record);
+      ok = wal_->Append(record);
+    }
+    for (const WriteOp& op : ops) {
+      if (op.is_delete) {
+        active_->Delete(op.key);
+      } else {
+        active_->Put(op.key, op.value);
+      }
+    }
+    bytes = active_->ApproximateBytes();
+  }
+  if (bytes >= options_.memtable_bytes) {
+    if (!SealActive(/*force=*/false)) ok = false;
+  }
+  return ok;
+}
+
 bool Db::PutBatch(std::span<const KV> kvs) {
   if (kvs.empty()) return true;
   bool ok = true;
@@ -472,7 +528,7 @@ std::shared_ptr<const TableReader> Db::WriteSst(const MemTable& mem,
     ctx.table_keys = entries.size();
     builder.SetFilterContext(ctx);
   }
-  for (const auto& [key, value] : entries) builder.Add(key, value);
+  for (const ScanEntry& e : entries) builder.Add(e.key, e.value, e.tombstone);
   const uint64_t file_number =
       next_file_number_.fetch_add(1, std::memory_order_relaxed);
   const std::string path = SstPath(file_number);
@@ -498,6 +554,7 @@ std::shared_ptr<const TableReader> Db::WriteSst(const MemTable& mem,
   meta->largest = reader->max_key();
   meta->entries = build_stats.num_entries;
   meta->file_bytes = build_stats.file_bytes;
+  stats_.tombstones_written += build_stats.num_tombstones;
   {
     std::lock_guard<std::mutex> lock(flush_stats_mu_);
     flush_stats_.filter_create_seconds += build_stats.filter_create_seconds;
@@ -536,6 +593,7 @@ bool Db::FlushSealed(const QueuedFlush& entry) {
     }
     versions_.Publish(std::move(next));
   }
+  UpdateTombstonesLive();
   // The memtable's data now lives in a manifest-committed SST: every
   // log up to its rotation point is obsolete (newer memtables only
   // touch newer logs, by the rotation-under-exclusive-seal invariant).
@@ -626,6 +684,15 @@ bool Db::RunCompaction(const CompactionJob& job) {
   // source — PickCompaction orders inputs newest first), and every
   // iterator holding the winning key advances, which is what drops the
   // shadowed duplicates.
+  //
+  // Tombstone lifecycle: a winning tombstone still shadows (the
+  // duplicate-dropping above is what buries the older values), and is
+  // itself dropped from the output iff no level below the output can
+  // hold its key. The shadow bounds are snapshotted up front, which is
+  // safe: only this thread mutates levels >= 1, and concurrent flushes
+  // only add L0 files — never below a compaction output.
+  const TombstoneShadow shadow =
+      TombstoneShadow::FromVersion(*versions_.Current(), job);
   std::vector<TableReader::Iterator> inputs;
   inputs.reserve(job.inputs.size());
   uint64_t bytes_read = 0;
@@ -674,6 +741,7 @@ bool Db::RunCompaction(const CompactionJob& job) {
     if (!builder->WriteTo(env_, path, &build_stats)) {
       return fail("compact: cannot write " + path);
     }
+    stats_.tombstones_written += build_stats.num_tombstones;
     output_paths.push_back(path);
     auto reader =
         TableReader::Open(path, options_.filter_policy.get(), &stats_,
@@ -705,16 +773,25 @@ bool Db::RunCompaction(const CompactionJob& job) {
       }
     }
     if (winner == inputs.size()) break;
-    if (builder == nullptr) {
-      builder = std::make_unique<TableBuilder>(options_.filter_policy.get(),
-                                               options_.block_size);
-      if (sampler_ != nullptr) builder->SetFilterContext(build_ctx);
+    const bool tombstone = inputs[winner].tombstone();
+    if (tombstone && !shadow.Covers(min_key)) {
+      // Bottom-most eligible level for this key: nothing below the
+      // output can hold an older value, so the deletion has finished
+      // its job and the key disappears physically.
+      ++stats_.tombstones_dropped;
+    } else {
+      if (builder == nullptr) {
+        builder = std::make_unique<TableBuilder>(options_.filter_policy.get(),
+                                                 options_.block_size);
+        if (sampler_ != nullptr) builder->SetFilterContext(build_ctx);
+      }
+      builder->Add(min_key, inputs[winner].value(), tombstone);
     }
-    builder->Add(min_key, inputs[winner].value());
     for (auto& input : inputs) {
       while (input.Valid() && input.key() == min_key) input.Next();
     }
-    if (builder->ApproximateBytes() >= target_file_bytes) {
+    if (builder != nullptr &&
+        builder->ApproximateBytes() >= target_file_bytes) {
       if (!finish_output()) return false;
     }
   }
@@ -746,6 +823,7 @@ bool Db::RunCompaction(const CompactionJob& job) {
     }
     versions_.Publish(std::move(next));
   }
+  UpdateTombstonesLive();
   ++stats_.compactions;
   stats_.compaction_bytes_read += bytes_read;
   stats_.compaction_bytes_written += bytes_written;
@@ -859,17 +937,32 @@ FilterFeedback Db::CollectFilterFeedback() const {
 bool Db::Get(uint64_t key, std::string* value) {
   if (sampler_ != nullptr) sampler_->RecordPoint(key);
   auto version = versions_.Current();
-  if (version->active()->Get(key, value)) return true;
+  // Newest-first walk; the FIRST entry found for the key decides. A
+  // tombstone is a definite "deleted" — falling through to an older
+  // source would resurrect the key.
+  switch (version->active()->Find(key, value)) {
+    case Lookup::kHit: return true;
+    case Lookup::kTombstone: return false;
+    case Lookup::kMiss: break;
+  }
   const auto& sealed = version->sealed();
   for (auto it = sealed.rbegin(); it != sealed.rend(); ++it) {
-    if ((*it)->Get(key, value)) return true;
+    switch ((*it)->Find(key, value)) {
+      case Lookup::kHit: return true;
+      case Lookup::kTombstone: return false;
+      case Lookup::kMiss: break;
+    }
   }
   for (const TableReader* table : TablesNewestFirst(*version)) {
     // Leveled compaction leaves L1+ files key-disjoint, so most tables
     // can't contain the key at all — skip them before the filter probe
     // or read amplification grows with file count instead of shrinking.
     if (key < table->min_key() || key > table->max_key()) continue;
-    if (table->Get(key, value, &stats_)) return true;
+    switch (table->Find(key, value, &stats_)) {
+      case Lookup::kHit: return true;
+      case Lookup::kTombstone: return false;
+      case Lookup::kMiss: break;
+    }
   }
   return false;
 }
@@ -882,34 +975,31 @@ std::vector<std::optional<std::string>> Db::MultiGet(
 
   auto version = versions_.Current();
 
-  // Memtables first (newest data); they already index by key. Hits
-  // land in `result` directly and mark the key found, so the table
-  // passes below skip it.
-  auto found = std::make_unique<bool[]>(keys.size());
+  // Memtables first (newest data); they already index by key. A hit
+  // lands in `result` directly; a tombstone marks the key resolved
+  // (absent) so no older source below can resurrect it.
+  std::vector<Lookup> states(keys.size(), Lookup::kMiss);
   size_t remaining = keys.size();
   std::string value;
   for (size_t i = 0; i < keys.size(); ++i) {
-    found[i] = version->active()->Get(keys[i], &value);
-    if (found[i]) {
-      result[i] = value;
-      --remaining;
-    }
+    states[i] = version->active()->Find(keys[i], &value);
+    if (states[i] == Lookup::kHit) result[i] = value;
+    if (states[i] != Lookup::kMiss) --remaining;
   }
   const auto& sealed = version->sealed();
   for (auto it = sealed.rbegin(); it != sealed.rend() && remaining > 0; ++it) {
     for (size_t i = 0; i < keys.size(); ++i) {
-      if (found[i]) continue;
-      if ((*it)->Get(keys[i], &value)) {
-        found[i] = true;
-        result[i] = value;
-        --remaining;
-      }
+      if (states[i] != Lookup::kMiss) continue;
+      states[i] = (*it)->Find(keys[i], &value);
+      if (states[i] == Lookup::kHit) result[i] = value;
+      if (states[i] != Lookup::kMiss) --remaining;
     }
   }
 
-  // Then the tables newest-first, chaining one found/values array pair
-  // so each table only probes keys no newer source resolved. Tables
-  // whose key range misses the whole batch are skipped outright.
+  // Then the tables newest-first, chaining one states/values array
+  // pair so each table only probes keys no newer source resolved (a
+  // tombstone resolves just like a hit). Tables whose key range misses
+  // the whole batch are skipped outright.
   const auto [lo_it, hi_it] = std::minmax_element(keys.begin(), keys.end());
   const uint64_t batch_lo = *lo_it;
   const uint64_t batch_hi = *hi_it;
@@ -917,12 +1007,75 @@ std::vector<std::optional<std::string>> Db::MultiGet(
   for (const TableReader* table : TablesNewestFirst(*version)) {
     if (remaining == 0) break;
     if (batch_hi < table->min_key() || batch_lo > table->max_key()) continue;
-    remaining -= table->MultiGet(keys, found.get(), values.data(), &stats_);
+    remaining -= table->MultiGet(keys, states.data(), values.data(), &stats_);
   }
   for (size_t i = 0; i < keys.size(); ++i) {
-    if (found[i] && !result[i].has_value()) result[i] = std::move(values[i]);
+    if (states[i] == Lookup::kHit && !result[i].has_value()) {
+      result[i] = std::move(values[i]);
+    }
   }
   return result;
+}
+
+std::vector<std::pair<uint64_t, std::string>> Db::ScanVersion(
+    const Version& version, uint64_t lo, uint64_t hi, size_t limit) {
+  // Newest-first merge over every source, tombstones included: the
+  // first writer of a key wins, and a winning tombstone (nullopt)
+  // erases the key from the result.
+  //
+  // Correctness under per-source limits: each source is asked for
+  // scan_limit + 1 entries. A source that fills that budget is
+  // TRUNCATED — beyond its last returned key it may hold entries we
+  // have not seen, so the merge is only trustworthy up to the minimum
+  // such key (`cover`). Tombstones make the naive "first `limit`
+  // merged rows" wrong: deletions consume a newer source's budget, so
+  // an older source's rows past the newer source's truncation point
+  // could win the merge unshadowed. If the covered prefix holds fewer
+  // than `limit` live rows while some source was truncated, the scan
+  // re-runs with a doubled budget until the prefix is proven complete.
+  std::vector<std::pair<uint64_t, std::string>> out;
+  if (limit == 0) return out;
+  size_t scan_limit = limit;
+  for (;;) {
+    std::map<uint64_t, std::optional<std::string>> merged;
+    uint64_t cover = hi;
+    bool truncated = false;
+    auto absorb = [&](std::vector<ScanEntry>& chunk) {
+      if (chunk.size() > scan_limit) {
+        truncated = true;
+        cover = std::min(cover, chunk.back().key);
+      }
+      for (ScanEntry& e : chunk) {
+        merged.emplace(e.key, e.tombstone
+                                  ? std::nullopt
+                                  : std::optional<std::string>(
+                                        std::move(e.value)));
+      }
+    };
+    std::vector<ScanEntry> chunk;
+    version.active()->ScanEntries(lo, hi, scan_limit + 1, &chunk);
+    absorb(chunk);
+    const auto& sealed = version.sealed();
+    for (auto it = sealed.rbegin(); it != sealed.rend(); ++it) {
+      chunk.clear();
+      (*it)->ScanEntries(lo, hi, scan_limit + 1, &chunk);
+      absorb(chunk);
+    }
+    for (const TableReader* table : TablesNewestFirst(version)) {
+      chunk.clear();
+      table->RangeScan(lo, hi, scan_limit + 1, &chunk, &stats_);
+      absorb(chunk);
+    }
+    for (auto& [k, v] : merged) {
+      if (k > cover) break;
+      if (!v.has_value()) continue;  // deleted: the tombstone won
+      out.emplace_back(k, std::move(*v));
+      if (out.size() >= limit) return out;
+    }
+    if (!truncated || cover >= hi) return out;  // prefix proven complete
+    out.clear();
+    scan_limit *= 2;
+  }
 }
 
 std::vector<std::pair<uint64_t, std::string>> Db::RangeScan(uint64_t lo,
@@ -930,29 +1083,7 @@ std::vector<std::pair<uint64_t, std::string>> Db::RangeScan(uint64_t lo,
                                                             size_t limit) {
   if (sampler_ != nullptr) sampler_->RecordRange(lo, hi);
   auto version = versions_.Current();
-
-  // Newest-first merge: the first writer of a key wins.
-  std::map<uint64_t, std::string> merged;
-  std::vector<std::pair<uint64_t, std::string>> chunk;
-  version->active()->RangeScan(lo, hi, limit, &chunk);
-  for (auto& [k, v] : chunk) merged.emplace(k, std::move(v));
-  const auto& sealed = version->sealed();
-  for (auto it = sealed.rbegin(); it != sealed.rend(); ++it) {
-    chunk.clear();
-    (*it)->RangeScan(lo, hi, limit, &chunk);
-    for (auto& [k, v] : chunk) merged.emplace(k, std::move(v));
-  }
-  for (const TableReader* table : TablesNewestFirst(*version)) {
-    chunk.clear();
-    table->RangeScan(lo, hi, limit, &chunk, &stats_);
-    for (auto& [k, v] : chunk) merged.emplace(k, std::move(v));
-  }
-  std::vector<std::pair<uint64_t, std::string>> out;
-  for (auto& [k, v] : merged) {
-    if (out.size() >= limit) break;
-    out.emplace_back(k, std::move(v));
-  }
-  return out;
+  return ScanVersion(*version, lo, hi, limit);
 }
 
 std::vector<std::vector<std::pair<uint64_t, std::string>>> Db::ScanRange(
@@ -965,22 +1096,39 @@ std::vector<std::vector<std::pair<uint64_t, std::string>>> Db::ScanRange(
   if (sampler_ != nullptr) sampler_->RecordRanges(los, his);
 
   auto version = versions_.Current();
+  if (limit == 0) return results;
 
-  // Newest-first merge per range, exactly like RangeScan: the first
-  // writer of a key wins.
-  std::vector<std::map<uint64_t, std::string>> merged(n);
-  std::vector<std::pair<uint64_t, std::string>> chunk;
+  // Newest-first tombstone-aware merge per range, exactly like
+  // ScanVersion: the first writer of a key wins, a winning tombstone
+  // erases the key, and each source's truncation bounds how far the
+  // merge can be trusted (see ScanVersion).
+  const size_t scan_limit = limit;
+  std::vector<std::map<uint64_t, std::optional<std::string>>> merged(n);
+  std::vector<uint64_t> cover(his.begin(), his.end());
+  std::vector<char> truncated(n, 0);
+  auto absorb = [&](size_t i, std::vector<ScanEntry>& chunk) {
+    if (chunk.size() > scan_limit) {
+      truncated[i] = 1;
+      cover[i] = std::min(cover[i], chunk.back().key);
+    }
+    for (ScanEntry& e : chunk) {
+      merged[i].emplace(e.key, e.tombstone ? std::nullopt
+                                           : std::optional<std::string>(
+                                                 std::move(e.value)));
+    }
+  };
+  std::vector<ScanEntry> chunk;
   for (size_t i = 0; i < n; ++i) {
     chunk.clear();
-    version->active()->RangeScan(los[i], his[i], limit, &chunk);
-    for (auto& [k, v] : chunk) merged[i].emplace(k, std::move(v));
+    version->active()->ScanEntries(los[i], his[i], scan_limit + 1, &chunk);
+    absorb(i, chunk);
   }
   const auto& sealed = version->sealed();
   for (auto it = sealed.rbegin(); it != sealed.rend(); ++it) {
     for (size_t i = 0; i < n; ++i) {
       chunk.clear();
-      (*it)->RangeScan(los[i], his[i], limit, &chunk);
-      for (auto& [k, v] : chunk) merged[i].emplace(k, std::move(v));
+      (*it)->ScanEntries(los[i], his[i], scan_limit + 1, &chunk);
+      absorb(i, chunk);
     }
   }
 
@@ -992,18 +1140,28 @@ std::vector<std::vector<std::pair<uint64_t, std::string>>> Db::ScanRange(
     for (size_t i = 0; i < n; ++i) {
       if (!may_match[i]) continue;
       chunk.clear();
-      table->ScanBlocks(los[i], his[i], limit, &chunk, &stats_);
+      table->ScanBlocks(los[i], his[i], scan_limit + 1, &chunk, &stats_);
       // Close the loop on the allowed probe: an empty block scan means
-      // the filter's "maybe" was a false positive.
+      // the filter's "maybe" was a false positive (a tombstone row
+      // still confirms it — the key is in the table).
       table->AccountRangeOutcome(!chunk.empty(), &stats_);
-      for (auto& [k, v] : chunk) merged[i].emplace(k, std::move(v));
+      absorb(i, chunk);
     }
   }
   for (size_t i = 0; i < n; ++i) {
     auto& out = results[i];
     for (auto& [k, v] : merged[i]) {
+      if (k > cover[i]) break;
+      if (!v.has_value()) continue;  // deleted: the tombstone won
+      out.emplace_back(k, std::move(*v));
       if (out.size() >= limit) break;
-      out.emplace_back(k, std::move(v));
+    }
+    if (out.size() < limit && truncated[i] && cover[i] < his[i]) {
+      // The covered prefix ran dry before `limit` live rows while some
+      // source was truncated: finish this range through the deepening
+      // scalar scan (rare — needs > limit entries per source with
+      // enough of them tombstoned).
+      out = ScanVersion(*version, los[i], his[i], limit);
     }
   }
   return results;
@@ -1023,12 +1181,24 @@ bool Db::RangeMayMatch(uint64_t lo, uint64_t hi) {
   bool any = false;
   for (const TableReader* table : TablesNewestFirst(*version)) {
     if (table->filter() != nullptr) {
-      if (table->RangeScan(lo, hi, 0, nullptr, &stats_)) any = true;
+      if (table->RangeScan(lo, hi, 0, static_cast<std::vector<ScanEntry>*>(nullptr),
+                           &stats_)) {
+        any = true;
+      }
     } else {
       if (lo <= table->max_key() && hi >= table->min_key()) any = true;
     }
   }
   return any;
+}
+
+void Db::UpdateTombstonesLive() {
+  uint64_t total = 0;
+  auto version = versions_.Current();
+  for (const TableReader* table : TablesNewestFirst(*version)) {
+    total += table->num_tombstones();
+  }
+  stats_.tombstones_live.store(total, std::memory_order_relaxed);
 }
 
 DbFlushStats Db::flush_stats() const {

@@ -35,6 +35,13 @@
 //    instant loses at most the records after the last group commit
 //    (none with wal_fsync) and never loses, duplicates or resurrects
 //    a flushed key.
+//  - Deletes are first-class tombstones: Delete/DeleteBatch log a
+//    delete record, write a tombstone through the memtable, and the
+//    tombstone rides flushes into v3 SSTs where it shadows every older
+//    value of its key on all read paths. Compaction physically drops a
+//    tombstone only when no level below its output can still hold the
+//    key (see lsm/compaction.h TombstoneShadow) — so a deleted key can
+//    never resurrect, not even across crashes or legacy-table imports.
 //
 //   DbOptions options;
 //   options.dir = "/tmp/db";
@@ -190,8 +197,27 @@ class Db {
   /// individually — concurrent readers may observe a prefix.
   bool PutBatch(std::span<const KV> kvs);
 
+  /// Deletes a key: a tombstone is logged (delete record) and written
+  /// through the memtable, shadowing every older value of the key on
+  /// all read paths until compaction proves nothing deeper can hold
+  /// the key and physically drops it. Deleting an absent key is legal
+  /// (the tombstone is kept until the same proof). Same concurrency
+  /// and error semantics as Put.
+  bool Delete(uint64_t key);
+
+  /// Batched delete: one WAL record (all-or-nothing on recovery), one
+  /// memtable pass. Mirrors PutBatch.
+  bool DeleteBatch(std::span<const uint64_t> keys);
+
+  /// Mixed put/delete batch in one WAL record — recovery applies all
+  /// of it or none. Ops apply in order (a later op on the same key
+  /// wins).
+  bool WriteBatch(std::span<const WriteOp> ops);
+
   /// Point read: active memtable, then the snapshot Version (sealed
   /// memtables newest-first, L0 newest-first, then each deeper level).
+  /// The walk stops at the newest entry for the key — a tombstone
+  /// there answers "absent" without consulting older sources.
   bool Get(uint64_t key, std::string* value);
 
   /// Batched point read: result[i] holds keys[i]'s value, or nullopt
@@ -324,6 +350,15 @@ class Db {
   /// fills *meta with its manifest metadata.
   std::shared_ptr<const TableReader> WriteSst(const MemTable& mem,
                                               FileMeta* meta);
+  /// Recomputes the tombstones_live gauge (sum of v3 footer counts
+  /// over the current Version's SSTs). Called after every publication
+  /// that changes the table set.
+  void UpdateTombstonesLive();
+  /// Shared scan core: newest-first tombstone-aware merge over one
+  /// Version snapshot, deepening its per-source budget until the
+  /// result provably holds the first `limit` live rows of [lo, hi].
+  std::vector<std::pair<uint64_t, std::string>> ScanVersion(
+      const Version& version, uint64_t lo, uint64_t hi, size_t limit);
   /// Synchronous-mode drain: flushes queued memtables front to back,
   /// stopping (and keeping the failed one at the front for the next
   /// call) on the first failure.

@@ -13,6 +13,13 @@
 // Byte accounting charges 8 + value bytes per live key and the size
 // delta on overwrite — exact when quiesced, approximate (but never
 // drifting) under concurrent overwrites of one key.
+//
+// Deletes are tombstones: Delete(key) publishes a value-state flag on
+// the same atomic value pointer (the low bit, free because the arena
+// returns 8-byte-aligned buffers) instead of a value. A tombstone is a
+// first-class entry — it shadows older values in every lookup and
+// scan, rides the flush into the SST, and is only physically dropped
+// by compaction at the bottom-most level that can hold the key.
 
 #ifndef BLOOMRF_LSM_MEMTABLE_H_
 #define BLOOMRF_LSM_MEMTABLE_H_
@@ -24,6 +31,7 @@
 #include <string_view>
 #include <vector>
 
+#include "lsm/block.h"  // Lookup, ScanEntry
 #include "lsm/skiplist.h"
 #include "util/arena.h"
 #include "util/coding.h"
@@ -49,27 +57,75 @@ class MemTable {
       rep->count.fetch_add(1, std::memory_order_relaxed);
     } else {
       int64_t delta = static_cast<int64_t>(value.size()) -
-                      static_cast<int64_t>(DecodeFixed32(old));
+                      static_cast<int64_t>(ValueLen(old));
       rep->bytes.fetch_add(static_cast<uint64_t>(delta),
                            std::memory_order_relaxed);
+      if (IsTombstone(old)) {
+        rep->tombstones.fetch_sub(1, std::memory_order_relaxed);
+      }
     }
   }
 
-  bool Get(uint64_t key, std::string* value) const {
-    const char* v = rep_->list.Get(key);
-    if (v == nullptr) return false;
-    if (value != nullptr) value->assign(v + 4, DecodeFixed32(v));
-    return true;
+  /// Writes a tombstone for `key`: the atomic value pointer is swapped
+  /// to the tagged sentinel, so readers racing the delete see either
+  /// the complete old value or the deletion, never a mix. Same
+  /// concurrency guarantees as Put.
+  void Delete(uint64_t key) {
+    Rep* rep = rep_.get();
+    const char* old = rep->list.Insert(key, TombstonePointer());
+    if (old == nullptr) {
+      rep->bytes.fetch_add(8, std::memory_order_relaxed);
+      rep->count.fetch_add(1, std::memory_order_relaxed);
+      rep->tombstones.fetch_add(1, std::memory_order_relaxed);
+    } else if (!IsTombstone(old)) {
+      rep->bytes.fetch_sub(ValueLen(old), std::memory_order_relaxed);
+      rep->tombstones.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
-  /// Appends entries in [lo, hi] (up to `limit` total in `out`).
+  /// Tri-state lookup: a tombstone is a definite "deleted here" that
+  /// callers must not fall through to older sources.
+  Lookup Find(uint64_t key, std::string* value) const {
+    const char* v = rep_->list.Get(key);
+    if (v == nullptr) return Lookup::kMiss;
+    if (IsTombstone(v)) return Lookup::kTombstone;
+    if (value != nullptr) value->assign(v + 4, DecodeFixed32(v));
+    return Lookup::kHit;
+  }
+
+  /// Live-value lookup; a deleted key reads as absent. (Engine-internal
+  /// walks use Find so tombstones can shadow older sources.)
+  bool Get(uint64_t key, std::string* value) const {
+    return Find(key, value) == Lookup::kHit;
+  }
+
+  /// Appends live entries in [lo, hi] (up to `limit` total in `out`),
+  /// skipping tombstones — the caller sees only what a Get would.
   void RangeScan(uint64_t lo, uint64_t hi, size_t limit,
                  std::vector<std::pair<uint64_t, std::string>>* out) const {
     SkipList::Iterator it(&rep_->list);
     for (it.Seek(lo); it.Valid() && it.key() <= hi && out->size() < limit;
          it.Next()) {
       const char* v = it.value();
+      if (IsTombstone(v)) continue;
       out->emplace_back(it.key(), std::string(v + 4, DecodeFixed32(v)));
+    }
+  }
+
+  /// Merge-scan variant: appends entries in [lo, hi] INCLUDING
+  /// tombstones (up to `limit` total), so a newest-first merge can let
+  /// deletions shadow older live values.
+  void ScanEntries(uint64_t lo, uint64_t hi, size_t limit,
+                   std::vector<ScanEntry>* out) const {
+    SkipList::Iterator it(&rep_->list);
+    for (it.Seek(lo); it.Valid() && it.key() <= hi && out->size() < limit;
+         it.Next()) {
+      const char* v = it.value();
+      if (IsTombstone(v)) {
+        out->push_back({it.key(), std::string(), true});
+      } else {
+        out->push_back({it.key(), std::string(v + 4, DecodeFixed32(v)), false});
+      }
     }
   }
 
@@ -78,20 +134,30 @@ class MemTable {
   }
   size_t size() const { return rep_->count.load(std::memory_order_relaxed); }
   bool empty() const { return size() == 0; }
+  /// Tombstone entries currently live in this memtable (exact when
+  /// quiesced, like the byte accounting).
+  size_t tombstone_count() const {
+    return rep_->tombstones.load(std::memory_order_relaxed);
+  }
   /// Arena bytes actually reserved (>= ApproximateBytes; for memory
   /// accounting, not the flush threshold).
   size_t MemoryUsage() const { return rep_->arena.MemoryUsage(); }
 
-  /// Copies all entries in sorted order (flush path). The sealed
-  /// memtable no longer takes writes when this runs, so the copy is a
-  /// consistent image.
-  std::vector<std::pair<uint64_t, std::string>> Snapshot() const {
-    std::vector<std::pair<uint64_t, std::string>> out;
+  /// Copies all entries (tombstones included) in sorted order — the
+  /// flush path, which writes deletions into the SST so they keep
+  /// shadowing older tables. The sealed memtable no longer takes
+  /// writes when this runs, so the copy is a consistent image.
+  std::vector<ScanEntry> Snapshot() const {
+    std::vector<ScanEntry> out;
     out.reserve(size());
     SkipList::Iterator it(&rep_->list);
     for (it.SeekToFirst(); it.Valid(); it.Next()) {
       const char* v = it.value();
-      out.emplace_back(it.key(), std::string(v + 4, DecodeFixed32(v)));
+      if (IsTombstone(v)) {
+        out.push_back({it.key(), std::string(), true});
+      } else {
+        out.push_back({it.key(), std::string(v + 4, DecodeFixed32(v)), false});
+      }
     }
     return out;
   }
@@ -107,7 +173,27 @@ class MemTable {
     SkipList list{&arena};
     std::atomic<uint64_t> bytes{0};
     std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> tombstones{0};
   };
+
+  /// The value-state flag lives in bit 0 of the published pointer:
+  /// arena buffers are 8-byte aligned, so the bit is always free, and
+  /// readers learn "value vs tombstone" from the same atomic load that
+  /// hands them the pointer. All tombstones share one static sentinel
+  /// (its zero length bytes make the accounting arithmetic uniform).
+  static const char* TombstonePointer() {
+    alignas(8) static const char kSentinel[4] = {0, 0, 0, 0};
+    return reinterpret_cast<const char*>(
+        reinterpret_cast<uintptr_t>(kSentinel) | 1);
+  }
+  static bool IsTombstone(const char* v) {
+    return (reinterpret_cast<uintptr_t>(v) & 1) != 0;
+  }
+  /// Stored value length; 0 for tombstones (the sentinel's bytes).
+  static uint32_t ValueLen(const char* v) {
+    return DecodeFixed32(reinterpret_cast<const char*>(
+        reinterpret_cast<uintptr_t>(v) & ~uintptr_t{1}));
+  }
 
   static void EncodeFixed32(char* dst, uint32_t v) {
     std::memcpy(dst, &v, 4);

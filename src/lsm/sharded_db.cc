@@ -65,6 +65,25 @@ bool ShardedDb::PutBatch(std::span<const KV> kvs) {
   return std::all_of(ok.begin(), ok.end(), [](char c) { return c != 0; });
 }
 
+bool ShardedDb::DeleteBatch(std::span<const uint64_t> keys) {
+  if (keys.empty()) return true;
+  if (shards_.size() == 1) return shards_[0]->DeleteBatch(keys);
+
+  std::vector<std::vector<uint64_t>> sub(shards_.size());
+  for (uint64_t key : keys) sub[shard_of(key)].push_back(key);
+
+  std::vector<char> ok(shards_.size(), 1);
+  TaskGroup group(pool_.get());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (sub[s].empty()) continue;
+    group.Submit([this, s, &sub, &ok] {
+      ok[s] = shards_[s]->DeleteBatch(sub[s]) ? 1 : 0;
+    });
+  }
+  group.Wait();
+  return std::all_of(ok.begin(), ok.end(), [](char c) { return c != 0; });
+}
+
 std::vector<std::optional<std::string>> ShardedDb::MultiGet(
     std::span<const uint64_t> keys) {
   std::vector<std::optional<std::string>> result(keys.size());

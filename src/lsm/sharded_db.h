@@ -92,12 +92,20 @@ class ShardedDb {
   bool Get(uint64_t key, std::string* value) {
     return shards_[shard_of(key)]->Get(key, value);
   }
+  /// Deletes a key on its shard (tombstone semantics, see Db::Delete).
+  bool Delete(uint64_t key) { return shards_[shard_of(key)]->Delete(key); }
 
   /// Batched write: entries are partitioned per shard and each shard's
   /// sub-batch runs Db::PutBatch (one WAL record + one memtable pass
   /// per shard) as one pool task, mirroring MultiGet's fan-out.
   /// Atomicity-of-logging holds per shard, not across shards.
   bool PutBatch(std::span<const KV> kvs);
+
+  /// Batched delete, fanned out per shard like PutBatch: one delete
+  /// WAL record + one memtable pass per shard, so recovery applies
+  /// each shard's sub-batch all-or-nothing (per shard, not across
+  /// shards).
+  bool DeleteBatch(std::span<const uint64_t> keys);
 
   /// Batched point read, result[i] answering keys[i]. Keys are
   /// partitioned per shard, each shard's sub-batch runs Db::MultiGet

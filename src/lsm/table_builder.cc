@@ -17,9 +17,13 @@ std::string DirName(const std::string& path) {
 
 }  // namespace
 
-void TableBuilder::Add(uint64_t key, std::string_view value) {
-  current_.Add(key, value);
+void TableBuilder::Add(uint64_t key, std::string_view value, bool tombstone) {
+  current_.Add(key, tombstone ? std::string_view() : value, tombstone);
+  // Tombstoned keys go into the filter too: while the tombstone is
+  // live, a lookup must reach it (and stop) instead of being filtered
+  // straight through to a stale value in an older table.
   keys_.push_back(key);
+  if (tombstone) ++num_tombstones_;
   if (current_.SizeBytes() >= block_size_) FlushBlock();
 }
 
@@ -59,15 +63,17 @@ bool TableBuilder::WriteTo(Env* env, const std::string& path,
   PutFixed64(&file_data_, index_size);
   PutFixed64(&file_data_, filter_off);
   PutFixed64(&file_data_, filter_size);
+  PutFixed64(&file_data_, num_tombstones_);
   PutFixed32(&file_data_, Crc32c(index_));
   PutFixed32(&file_data_, Crc32c(filter_block));
-  PutFixed64(&file_data_, kMagicV2);
+  PutFixed64(&file_data_, kMagicV3);
 
   if (stats != nullptr) {
     stats->filter_create_seconds = filter_seconds;
     stats->filter_block_bytes = filter_size;
     stats->data_bytes = index_off;
     stats->num_entries = keys_.size();
+    stats->num_tombstones = num_tombstones_;
     stats->file_bytes = file_data_.size();
   }
 

@@ -1,19 +1,27 @@
 // SST (sorted string table) writer of the mini-LSM store.
 //
-// File layout, format v2 (all offsets little-endian):
+// File layout, format v3 (all offsets little-endian):
 //   [data block  block_crc:fixed32]*  [index block]  [filter block]
 //   [footer]
 //   index entry  := last_key:fixed64 offset:fixed64 size:fixed64
 //                   (size = block payload bytes, CRC excluded)
 //   filter block := name:len-prefixed data:len-prefixed
 //   footer       := index_off index_size filter_off filter_size
-//                   index_crc:fixed32 filter_crc:fixed32 magic_v2
-// Every data block carries a trailing CRC-32C; the index and filter
-// blocks are covered by footer CRCs, so TableReader::Open validates
-// all metadata before serving a byte, and a flipped bit in a data
-// block is detected at read time instead of returning garbage.
+//                   num_tombstones:fixed64
+//                   index_crc:fixed32 filter_crc:fixed32 magic_v3
+// v3 (56-byte footer) adds deletes: a data-block entry's meta word
+// packs a tombstone flag in its top bit (see lsm/block.h) and the
+// footer counts the file's tombstones so the engine can report live
+// tombstones without scanning. Every data block carries a trailing
+// CRC-32C; the index and filter blocks are covered by footer CRCs, so
+// TableReader::Open validates all metadata before serving a byte, and
+// a flipped bit in a data block is detected at read time instead of
+// returning garbage.
 //
-// Format v1 (magic kMagicV1, 40-byte footer, no CRCs) is still read.
+// Older formats are still read: v2 (magic kMagicV2, 48-byte footer,
+// CRCs, no tombstones) and v1 (magic kMagicV1, 40-byte footer, no
+// CRCs). Their meta word is a plain 32-bit value length, so pre-delete
+// tables parse byte-identically to before the bump.
 //
 // Durability: WriteTo stages the file as `path.tmp`, fsyncs it,
 // renames it into place and fsyncs the parent directory — a crash at
@@ -42,13 +50,15 @@ struct TableBuildStats {
   uint64_t filter_block_bytes = 0;
   uint64_t data_bytes = 0;
   uint64_t num_entries = 0;
-  uint64_t file_bytes = 0;  // total bytes written
+  uint64_t num_tombstones = 0;  // of num_entries, how many are deletes
+  uint64_t file_bytes = 0;      // total bytes written
 };
 
 class TableBuilder {
  public:
   static constexpr uint64_t kMagicV1 = 0xb100f54b1e5ULL;
   static constexpr uint64_t kMagicV2 = 0xb100f54b1e52ULL;
+  static constexpr uint64_t kMagicV3 = 0xb100f54b1e53ULL;
   /// Legacy alias; new code should name the version explicitly.
   static constexpr uint64_t kMagic = kMagicV1;
 
@@ -57,7 +67,11 @@ class TableBuilder {
       : policy_(policy), block_size_(block_size) {}
 
   /// Adds an entry; keys must arrive in strictly increasing order.
-  void Add(uint64_t key, std::string_view value);
+  /// A tombstone entry records a deletion (value ignored): it shadows
+  /// the key in every older table and keeps the key in this table's
+  /// filter — a reader must find the tombstone (and stop) rather than
+  /// fall through to a stale value below.
+  void Add(uint64_t key, std::string_view value, bool tombstone = false);
 
   /// Workload/feedback context handed to the policy at filter-build
   /// time. Optional; the default context makes context-aware policies
@@ -93,6 +107,7 @@ class TableBuilder {
   std::string file_data_;
   std::string index_;
   std::vector<uint64_t> keys_;
+  uint64_t num_tombstones_ = 0;
 };
 
 }  // namespace bloomrf

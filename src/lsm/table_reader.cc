@@ -81,20 +81,41 @@ std::unique_ptr<TableReader> TableReader::Open(
   if (file_size < 40) return nullptr;
   reader->file_size_ = static_cast<uint64_t>(file_size);
 
-  // Footer dispatch on the trailing magic: v2 (48 bytes, index/filter
-  // CRCs, per-block CRCs) first, legacy v1 (40 bytes, no checksums)
-  // still readable.
+  // Footer dispatch on the trailing magic: v3 (56 bytes, tombstone
+  // count + CRCs) first, then v2 (48 bytes, index/filter CRCs,
+  // per-block CRCs), then legacy v1 (40 bytes, no checksums) — old
+  // pre-delete tables stay readable and answer identically.
   uint64_t index_off, index_size, filter_off, filter_size;
   uint32_t index_crc = 0, filter_crc = 0;
-  bool v2 = false;
+  int version = 1;
   std::string footer;
-  if (file_size >= 48) {
+  if (file_size >= 56) {
+    if (!reader->ReadFileAt(reader->file_size_ - 56, 56, &footer)) {
+      return nullptr;
+    }
+    if (DecodeFixed64(footer.data() + 48) == TableBuilder::kMagicV3) {
+      version = 3;
+    }
+  }
+  if (version == 1 && file_size >= 48) {
     if (!reader->ReadFileAt(reader->file_size_ - 48, 48, &footer)) {
       return nullptr;
     }
-    v2 = DecodeFixed64(footer.data() + 40) == TableBuilder::kMagicV2;
+    if (DecodeFixed64(footer.data() + 40) == TableBuilder::kMagicV2) {
+      version = 2;
+    }
   }
-  if (v2) {
+  if (version == 3) {
+    index_off = DecodeFixed64(footer.data());
+    index_size = DecodeFixed64(footer.data() + 8);
+    filter_off = DecodeFixed64(footer.data() + 16);
+    filter_size = DecodeFixed64(footer.data() + 24);
+    reader->num_tombstones_ = DecodeFixed64(footer.data() + 32);
+    index_crc = DecodeFixed32(footer.data() + 40);
+    filter_crc = DecodeFixed32(footer.data() + 44);
+    reader->has_block_crc_ = true;
+    reader->has_tombstone_flags_ = true;
+  } else if (version == 2) {
     index_off = DecodeFixed64(footer.data());
     index_size = DecodeFixed64(footer.data() + 8);
     filter_off = DecodeFixed64(footer.data() + 16);
@@ -114,6 +135,7 @@ std::unique_ptr<TableReader> TableReader::Open(
     filter_off = DecodeFixed64(footer.data() + 16);
     filter_size = DecodeFixed64(footer.data() + 24);
   }
+  const bool has_crc = version >= 2;
 
   // Metadata bounds before any dependent read: a corrupt footer must
   // not direct reads past the file or allocate absurd buffers.
@@ -127,8 +149,8 @@ std::unique_ptr<TableReader> TableReader::Open(
 
   std::string index_data;
   if (!reader->ReadFileAt(index_off, index_size, &index_data)) return nullptr;
-  if (v2 && Crc32c(index_data) != index_crc) return nullptr;
-  const uint64_t block_overhead = v2 ? 4 : 0;  // trailing per-block CRC
+  if (has_crc && Crc32c(index_data) != index_crc) return nullptr;
+  const uint64_t block_overhead = has_crc ? 4 : 0;  // trailing per-block CRC
   uint64_t expected_offset = 0;
   for (size_t pos = 0; pos < index_data.size(); pos += 24) {
     IndexEntry entry{DecodeFixed64(index_data.data() + pos),
@@ -154,7 +176,7 @@ std::unique_ptr<TableReader> TableReader::Open(
     if (!reader->ReadFileAt(filter_off, filter_size, &filter_data)) {
       return nullptr;
     }
-    if (v2 && Crc32c(filter_data) != filter_crc) return nullptr;
+    if (has_crc && Crc32c(filter_data) != filter_crc) return nullptr;
     // The block is registry-framed; a corrupt or unknown block loads as
     // null and the table falls back to scanning.
     if (stats != nullptr) {
@@ -227,7 +249,9 @@ std::shared_ptr<const CachedBlock> TableReader::GetBlock(
   }
   auto block = std::make_shared<CachedBlock>();
   if (!ReadBlockAt(index_pos, &block->raw, stats)) return nullptr;
-  if (!ParseBlock(block->raw, &block->entries)) return nullptr;
+  if (!ParseBlock(block->raw, &block->entries, has_tombstone_flags_)) {
+    return nullptr;
+  }
   if (cache_ != nullptr) cache_->Insert(table_id_, index_pos, block);
   return block;
 }
@@ -240,8 +264,8 @@ int64_t TableReader::FindBlock(uint64_t key) const {
   return static_cast<int64_t>(it - index_.begin());
 }
 
-bool TableReader::Get(uint64_t key, std::string* value,
-                      LsmStats* stats) const {
+Lookup TableReader::Find(uint64_t key, std::string* value,
+                         LsmStats* stats) const {
   const bool filtered = filter_ != nullptr;
   if (filtered) {
     bool may_match;
@@ -261,13 +285,15 @@ bool TableReader::Get(uint64_t key, std::string* value,
       if (stats != nullptr) {
         ++stats->filter_true_negatives[LsmStats::StatsLevel(level_)];
       }
-      return false;
+      return Lookup::kMiss;
     }
     pt_allowed_.fetch_add(1, std::memory_order_relaxed);
   }
   // The filter said "maybe"; if the data blocks now say "no", that
   // probe was a false positive. I/O errors (block == nullptr) get no
-  // attribution — the outcome is unknown, not a model miss.
+  // attribution — the outcome is unknown, not a model miss. A
+  // tombstone hit is a CONFIRMED answer (the key is in the table),
+  // never a false positive.
   auto false_positive = [&] {
     if (!filtered) return;
     pt_false_.fetch_add(1, std::memory_order_relaxed);
@@ -278,29 +304,31 @@ bool TableReader::Get(uint64_t key, std::string* value,
   int64_t block_idx = FindBlock(key);
   if (block_idx < 0) {
     false_positive();
-    return false;
+    return Lookup::kMiss;
   }
   auto block = GetBlock(static_cast<size_t>(block_idx), stats);
-  if (block == nullptr) return false;
+  if (block == nullptr) return Lookup::kMiss;
   auto it = std::lower_bound(
       block->entries.begin(), block->entries.end(), key,
       [](const BlockEntry& e, uint64_t k) { return e.key < k; });
   if (it == block->entries.end() || it->key != key) {
     false_positive();
-    return false;
+    return Lookup::kMiss;
   }
+  if (it->tombstone) return Lookup::kTombstone;
   if (value != nullptr) value->assign(it->value);
-  return true;
+  return Lookup::kHit;
 }
 
-size_t TableReader::MultiGet(std::span<const uint64_t> keys, bool* found,
+size_t TableReader::MultiGet(std::span<const uint64_t> keys, Lookup* states,
                              std::string* values, LsmStats* stats) const {
   // Unresolved positions only: a DB chains the same arrays through its
-  // tables newest-first, so keys found in a newer table are skipped.
+  // tables newest-first, so keys resolved in a newer table (a hit OR a
+  // tombstone — deletions shadow) are skipped.
   std::vector<uint32_t> pending;
   pending.reserve(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
-    if (!found[i]) pending.push_back(static_cast<uint32_t>(i));
+    if (states[i] == Lookup::kMiss) pending.push_back(static_cast<uint32_t>(i));
   }
   if (pending.empty()) return 0;
 
@@ -348,7 +376,7 @@ size_t TableReader::MultiGet(std::span<const uint64_t> keys, bool* found,
   // Visit each surviving block once for all of its keys.
   std::stable_sort(by_block.begin(), by_block.end(),
                    [](const auto& a, const auto& b) { return a.first < b.first; });
-  size_t hits = 0;
+  size_t resolved = 0;
   std::shared_ptr<const CachedBlock> block;
   int64_t current = -1;
   for (const auto& [block_idx, i] : by_block) {
@@ -361,24 +389,46 @@ size_t TableReader::MultiGet(std::span<const uint64_t> keys, bool* found,
         block->entries.begin(), block->entries.end(), keys[i],
         [](const BlockEntry& e, uint64_t k) { return e.key < k; });
     if (it == block->entries.end() || it->key != keys[i]) continue;
-    found[i] = true;
-    if (values != nullptr) values[i].assign(it->value);
-    ++hits;
+    if (it->tombstone) {
+      states[i] = Lookup::kTombstone;
+    } else {
+      states[i] = Lookup::kHit;
+      if (values != nullptr) values[i].assign(it->value);
+    }
+    ++resolved;
   }
-  if (filtered && allowed > hits) {
+  if (filtered && allowed > resolved) {
     // Every allowed probe the data blocks did not confirm was a false
     // positive (conservatively including the rare unreadable block).
-    const uint64_t fp = allowed - hits;
+    // Tombstone hits confirm the filter — the key IS in the table.
+    const uint64_t fp = allowed - resolved;
     pt_false_.fetch_add(fp, std::memory_order_relaxed);
     if (stats != nullptr) {
       stats->filter_false_positives[LsmStats::StatsLevel(level_)] += fp;
+    }
+  }
+  return resolved;
+}
+
+size_t TableReader::MultiGet(std::span<const uint64_t> keys, bool* found,
+                             std::string* values, LsmStats* stats) const {
+  std::vector<Lookup> states(keys.size(), Lookup::kMiss);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (found[i]) states[i] = Lookup::kHit;
+  }
+  MultiGet(keys, states.data(), values, stats);
+  size_t hits = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (!found[i] && states[i] == Lookup::kHit) {
+      found[i] = true;
+      ++hits;
     }
   }
   return hits;
 }
 
 bool TableReader::RangeScan(uint64_t lo, uint64_t hi, size_t limit,
-                            std::vector<std::pair<uint64_t, std::string>>* out,
+                            std::vector<ScanEntry>* out,
                             LsmStats* stats) const {
   const bool filtered = filter_ != nullptr;
   if (filtered) {
@@ -404,8 +454,9 @@ bool TableReader::RangeScan(uint64_t lo, uint64_t hi, size_t limit,
   const size_t before = out != nullptr ? out->size() : 0;
   ScanBlocks(lo, hi, limit, out, stats);
   // Zero appended rows with headroom below `limit` means the blocks
-  // definitively rejected a range the filter allowed. Probes without
-  // an output vector (existence pre-checks) carry no outcome.
+  // definitively rejected a range the filter allowed (a tombstone row
+  // still confirms the filter — the key is in the table). Probes
+  // without an output vector (existence pre-checks) carry no outcome.
   if (filtered && out != nullptr && out->size() == before &&
       before < limit) {
     rg_false_.fetch_add(1, std::memory_order_relaxed);
@@ -414,6 +465,21 @@ bool TableReader::RangeScan(uint64_t lo, uint64_t hi, size_t limit,
     }
   }
   return true;
+}
+
+bool TableReader::RangeScan(uint64_t lo, uint64_t hi, size_t limit,
+                            std::vector<std::pair<uint64_t, std::string>>* out,
+                            LsmStats* stats) const {
+  if (out == nullptr) {
+    return RangeScan(lo, hi, limit,
+                     static_cast<std::vector<ScanEntry>*>(nullptr), stats);
+  }
+  std::vector<ScanEntry> entries;
+  bool allowed = RangeScan(lo, hi, limit, &entries, stats);
+  for (ScanEntry& e : entries) {
+    if (!e.tombstone) out->emplace_back(e.key, std::move(e.value));
+  }
+  return allowed;
 }
 
 void TableReader::RangeMultiProbe(std::span<const uint64_t> los,
@@ -466,7 +532,7 @@ void TableReader::Iterator::LoadBlock(size_t block_idx) {
   // wash the shared cache's hot read-path blocks out.
   auto block = std::make_shared<CachedBlock>();
   if (!table_.ReadBlockAt(block_idx, &block->raw, stats_) ||
-      !ParseBlock(block->raw, &block->entries)) {
+      !ParseBlock(block->raw, &block->entries, table_.has_tombstone_flags_)) {
     ok_ = false;
     return;
   }
@@ -479,7 +545,7 @@ void TableReader::Iterator::Next() {
 }
 
 void TableReader::ScanBlocks(uint64_t lo, uint64_t hi, size_t limit,
-                             std::vector<std::pair<uint64_t, std::string>>* out,
+                             std::vector<ScanEntry>* out,
                              LsmStats* stats) const {
   int64_t block_idx = FindBlock(lo);
   for (size_t b = block_idx < 0 ? index_.size() : static_cast<size_t>(block_idx);
@@ -491,7 +557,8 @@ void TableReader::ScanBlocks(uint64_t lo, uint64_t hi, size_t limit,
       if (entry.key > hi) return;
       if (out != nullptr) {
         if (out->size() >= limit) return;
-        out->emplace_back(entry.key, std::string(entry.value));
+        out->push_back(
+            {entry.key, std::string(entry.value), entry.tombstone});
       }
     }
   }

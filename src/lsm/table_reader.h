@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "lsm/block.h"  // Lookup, ScanEntry
 #include "lsm/block_cache.h"
 #include "lsm/filter_policy.h"
 
@@ -73,6 +74,14 @@ struct LsmStats {
   std::atomic<uint64_t> manifest_rewrites{0};
   std::atomic<uint64_t> tables_quarantined{0};
   std::atomic<uint64_t> block_crc_errors{0};
+  // Delete path: tombstones written into SSTs (flush + compaction
+  // outputs, cumulative), tombstones physically dropped by compaction
+  // at the bottom-most eligible level (cumulative), and tombstones
+  // currently live across the published version's SSTs (a gauge,
+  // recomputed whenever the version changes).
+  std::atomic<uint64_t> tombstones_written{0};
+  std::atomic<uint64_t> tombstones_dropped{0};
+  std::atomic<uint64_t> tombstones_live{0};
 
   LsmStats() = default;
   LsmStats(const LsmStats& o) { *this = o; }
@@ -108,6 +117,9 @@ struct LsmStats {
     manifest_rewrites = o.manifest_rewrites.load(std::memory_order_relaxed);
     tables_quarantined = o.tables_quarantined.load(std::memory_order_relaxed);
     block_crc_errors = o.block_crc_errors.load(std::memory_order_relaxed);
+    tombstones_written = o.tombstones_written.load(std::memory_order_relaxed);
+    tombstones_dropped = o.tombstones_dropped.load(std::memory_order_relaxed);
+    tombstones_live = o.tombstones_live.load(std::memory_order_relaxed);
     SetLastError(o.last_error());
     return *this;
   }
@@ -145,6 +157,9 @@ struct LsmStats {
     tables_quarantined +=
         o.tables_quarantined.load(std::memory_order_relaxed);
     block_crc_errors += o.block_crc_errors.load(std::memory_order_relaxed);
+    tombstones_written += o.tombstones_written.load(std::memory_order_relaxed);
+    tombstones_dropped += o.tombstones_dropped.load(std::memory_order_relaxed);
+    tombstones_live += o.tombstones_live.load(std::memory_order_relaxed);
     if (last_error().empty()) SetLastError(o.last_error());
   }
 
@@ -198,10 +213,11 @@ struct LsmStats {
 class TableReader {
  public:
   /// Opens `path` and validates its metadata before serving a byte:
-  /// footer magic (v2 48-byte footer with index/filter CRCs, or the
-  /// legacy v1 40-byte footer), index/filter bounds against the file
-  /// size, index CRC and shape (strictly increasing last keys,
-  /// contiguous block extents), filter CRC. Deserializes the filter
+  /// footer magic (v3 56-byte footer with tombstone count, v2 48-byte
+  /// footer with index/filter CRCs, or the legacy v1 40-byte footer),
+  /// index/filter bounds against the file size, index CRC and shape
+  /// (strictly increasing last keys, contiguous block extents), filter
+  /// CRC. Deserializes the filter
   /// block via `policy` (may be null). Returns null on any corruption
   /// — the Db quarantines such files. `cache`, when non-null, serves
   /// repeated block reads across all read paths of this table.
@@ -212,21 +228,48 @@ class TableReader {
 
   ~TableReader();
 
-  /// Point lookup. `value` may be null (existence check only).
-  bool Get(uint64_t key, std::string* value, LsmStats* stats) const;
+  /// Tri-state point lookup: kHit fills `value` (when non-null),
+  /// kTombstone means this table holds a deletion of the key — the
+  /// caller must stop the newest-first walk and report "absent", never
+  /// fall through to an older table. A tombstone hit confirms the
+  /// filter's answer (the key IS in the table), so it is not counted
+  /// as a false positive.
+  Lookup Find(uint64_t key, std::string* value, LsmStats* stats) const;
 
-  /// Batched point lookup. For each i with found[i] == false, probes
-  /// keys[i]; on a hit sets found[i] = true and (if `values` is
-  /// non-null) values[i]. Keys already marked found are skipped, so a
-  /// DB can chain the same arrays through tables newest-first. The
-  /// filter is consulted once per batch via MayContainBatch, and each
-  /// surviving data block is fetched and parsed once for all keys
-  /// mapping to it. Returns the number of newly found keys.
+  /// Live-value lookup: Find == kHit. `value` may be null (existence
+  /// check only). A tombstoned key reads as absent — single-table
+  /// callers only; engine walks use Find so deletions shadow.
+  bool Get(uint64_t key, std::string* value, LsmStats* stats) const {
+    return Find(key, value, stats) == Lookup::kHit;
+  }
+
+  /// Batched point lookup. For each i with states[i] == kMiss, probes
+  /// keys[i]; on a hit sets states[i] = kHit and (if `values` is
+  /// non-null) values[i]; on a tombstone sets states[i] = kTombstone
+  /// (resolved: older tables must not override it). Keys already
+  /// resolved are skipped, so a DB can chain the same arrays through
+  /// tables newest-first. The filter is consulted once per batch via
+  /// MayContainBatch, and each surviving data block is fetched and
+  /// parsed once for all keys mapping to it. Returns the number of
+  /// newly resolved keys (hits + tombstones).
+  size_t MultiGet(std::span<const uint64_t> keys, Lookup* states,
+                  std::string* values, LsmStats* stats) const;
+
+  /// Live-value batched lookup over found flags; a tombstone resolves
+  /// the key internally but leaves found[i] == false. Returns newly
+  /// found (live) keys. Single-table callers only.
   size_t MultiGet(std::span<const uint64_t> keys, bool* found,
                   std::string* values, LsmStats* stats) const;
 
-  /// Appends up to `limit` entries with keys in [lo, hi] to `out`.
-  /// Returns true if the filter allowed the probe (for FPR counting).
+  /// Appends up to `limit` entries with keys in [lo, hi] to `out`,
+  /// tombstones included (entry.tombstone == true) so a newest-first
+  /// merge can let deletions shadow older tables. Returns true if the
+  /// filter allowed the probe (for FPR counting).
+  bool RangeScan(uint64_t lo, uint64_t hi, size_t limit,
+                 std::vector<ScanEntry>* out, LsmStats* stats) const;
+
+  /// Live-row variant: tombstoned keys are skipped (they consume no
+  /// `limit` budget). Single-table callers only.
   bool RangeScan(uint64_t lo, uint64_t hi, size_t limit,
                  std::vector<std::pair<uint64_t, std::string>>* out,
                  LsmStats* stats) const;
@@ -240,14 +283,17 @@ class TableReader {
                        LsmStats* stats) const;
 
   /// The block-side half of RangeScan: scans data blocks for entries
-  /// in [lo, hi] without consulting the filter (callers already probed
-  /// via RangeMultiProbe). Reads go through the shared block cache.
+  /// in [lo, hi] (tombstones included) without consulting the filter
+  /// (callers already probed via RangeMultiProbe). Reads go through
+  /// the shared block cache.
   void ScanBlocks(uint64_t lo, uint64_t hi, size_t limit,
-                  std::vector<std::pair<uint64_t, std::string>>* out,
-                  LsmStats* stats) const;
+                  std::vector<ScanEntry>* out, LsmStats* stats) const;
 
   uint64_t min_key() const { return min_key_; }
   uint64_t max_key() const { return max_key_; }
+  /// Tombstone entries in this table, from the v3 footer (0 for v1/v2
+  /// tables, which predate deletes).
+  uint64_t num_tombstones() const { return num_tombstones_; }
   uint64_t filter_memory_bits() const {
     return filter_ ? filter_->MemoryBits() : 0;
   }
@@ -304,6 +350,7 @@ class TableReader {
     }
     uint64_t key() const { return block_->entries[pos_].key; }
     std::string_view value() const { return block_->entries[pos_].value; }
+    bool tombstone() const { return block_->entries[pos_].tombstone; }
     void Next();
     bool ok() const { return ok_; }
 
@@ -352,7 +399,9 @@ class TableReader {
   uint64_t max_key_ = 0;
   uint64_t file_number_ = 0;  // manifest identity (0 = unknown/legacy)
   uint64_t file_size_ = 0;
-  bool has_block_crc_ = false;  // v2: data blocks carry trailing CRCs
+  uint64_t num_tombstones_ = 0;     // v3 footer count (0 for v1/v2)
+  bool has_block_crc_ = false;      // v2+: data blocks carry trailing CRCs
+  bool has_tombstone_flags_ = false;  // v3: entry meta packs tombstone bit
   uint32_t level_ = 0;          // LSM level (set before sharing)
   std::string filter_backend_;  // registry name from the framed block
   // Per-table probe outcomes (relaxed; read via filter_outcomes()).

@@ -18,6 +18,11 @@ namespace bloomrf {
 
 namespace {
 constexpr char kBatchRecord = 1;
+// Mixed put/delete batches. (Type 2 is the MANIFEST's edit record —
+// different file, but keeping the type space disjoint means a log
+// byte-stream can never be mistaken for the other kind.)
+constexpr char kOpsBatchRecord = 3;
+constexpr uint8_t kOpDeleteFlag = 1;
 constexpr size_t kHeaderSize = 4 + 4 + 1;  // crc, length, type
 // A length beyond any plausible memtable keeps a garbage header from
 // directing replay to allocate gigabytes.
@@ -124,19 +129,67 @@ std::string WalEncodeRecord(std::span<const KV> kvs) {
   return record;
 }
 
+void WalEncodeOpsTo(std::span<const WriteOp> ops, std::string* record) {
+  record->clear();
+  size_t bytes = kHeaderSize + 4;
+  for (const WriteOp& op : ops) {
+    bytes += 9 + (op.is_delete ? 0 : 4 + op.value.size());
+  }
+  record->reserve(bytes);
+  record->append(8, '\0');
+  record->push_back(kOpsBatchRecord);
+  PutFixed32(record, static_cast<uint32_t>(ops.size()));
+  for (const WriteOp& op : ops) {
+    PutFixed64(record, op.key);
+    record->push_back(
+        static_cast<char>(op.is_delete ? kOpDeleteFlag : 0));
+    if (!op.is_delete) PutLengthPrefixed(record, op.value);
+  }
+  uint32_t crc = Crc32c(record->data() + 8, record->size() - 8);
+  uint32_t length = static_cast<uint32_t>(record->size() - kHeaderSize);
+  char* header = record->data();
+  std::memcpy(header, &crc, 4);
+  std::memcpy(header + 4, &length, 4);
+}
+
+void WalEncodeDeletesTo(std::span<const uint64_t> keys, std::string* record) {
+  record->clear();
+  record->reserve(kHeaderSize + 4 + keys.size() * 9);
+  record->append(8, '\0');
+  record->push_back(kOpsBatchRecord);
+  PutFixed32(record, static_cast<uint32_t>(keys.size()));
+  for (uint64_t key : keys) {
+    PutFixed64(record, key);
+    record->push_back(static_cast<char>(kOpDeleteFlag));
+  }
+  uint32_t crc = Crc32c(record->data() + 8, record->size() - 8);
+  uint32_t length = static_cast<uint32_t>(record->size() - kHeaderSize);
+  char* header = record->data();
+  std::memcpy(header, &crc, 4);
+  std::memcpy(header + 4, &length, 4);
+}
+
 WalReplayResult WalReplay(
     const std::string& path,
-    const std::function<void(uint64_t, std::string_view)>& apply) {
+    const std::function<void(uint64_t, std::string_view, bool)>& apply) {
   WalReplayResult result;
   FramedReplayResult framed = ReplayFramedFile(
       path, [&](char type, std::string_view payload) {
-        if (type != kBatchRecord) return false;  // unknown type: garbage
+        if (type != kBatchRecord && type != kOpsBatchRecord) {
+          return false;  // unknown type: garbage
+        }
         // Validate the whole record before applying any of it: a
         // random tail can collide with the CRC, and half-applied
-        // records would silently diverge from history.
+        // records would silently diverge from history (batch
+        // all-or-nothing holds for mixed put/delete records too).
         if (payload.size() < 4) return false;
         uint32_t count = DecodeFixed32(payload.data());
-        std::vector<std::pair<uint64_t, std::string_view>> batch;
+        struct Entry {
+          uint64_t key;
+          std::string_view value;
+          bool is_delete;
+        };
+        std::vector<Entry> batch;
         batch.reserve(count);
         size_t at = 4;
         for (uint32_t i = 0; i < count; ++i) {
@@ -144,11 +197,21 @@ WalReplayResult WalReplay(
           uint64_t key = DecodeFixed64(payload.data() + at);
           at += 8;
           std::string_view value;
-          if (!GetLengthPrefixed(payload, &at, &value)) return false;
-          batch.emplace_back(key, value);
+          bool is_delete = false;
+          if (type == kOpsBatchRecord) {
+            if (at + 1 > payload.size()) return false;
+            uint8_t flags = static_cast<uint8_t>(payload[at]);
+            if ((flags & ~kOpDeleteFlag) != 0) return false;  // garbage
+            ++at;
+            is_delete = (flags & kOpDeleteFlag) != 0;
+          }
+          if (!is_delete && !GetLengthPrefixed(payload, &at, &value)) {
+            return false;
+          }
+          batch.push_back({key, value, is_delete});
         }
         if (at != payload.size()) return false;
-        for (const auto& [key, value] : batch) apply(key, value);
+        for (const Entry& e : batch) apply(e.key, e.value, e.is_delete);
         result.entries += batch.size();
         return true;
       });

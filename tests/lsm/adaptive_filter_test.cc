@@ -155,6 +155,78 @@ TEST_F(AdaptiveFilterTest, CompactionMergesEveryBackendPair) {
   }
 }
 
+TEST_F(AdaptiveFilterTest, MixedBackendTreeHonoursTombstones) {
+  // Tombstones must shadow across SSTs whose filters use DIFFERENT
+  // backends: the tombstone-carrying table's filter (whatever backend
+  // it rotated onto) has to admit the deleted key so the lookup stops
+  // at the tombstone instead of reaching the older table.
+  std::vector<std::string> names = FilterRegistry::Instance().Names();
+  ASSERT_GE(names.size(), 4u);
+  auto policy = std::make_shared<RotatingPolicy>(names);
+  {
+    Db db(BaseOptions(policy));
+    // SST 1 (backend names[0]): keys 0..599.
+    for (uint64_t k = 0; k < 600; ++k) {
+      ASSERT_TRUE(db.Put(k, MakeValue(k)));
+    }
+    ASSERT_TRUE(db.Flush());
+    // SST 2 (backend names[1]): tombstones for every 4th key, plus a
+    // few re-puts layered on top within the same table.
+    for (uint64_t k = 0; k < 600; k += 4) ASSERT_TRUE(db.Delete(k));
+    for (uint64_t k = 0; k < 600; k += 16) {
+      ASSERT_TRUE(db.Put(k, "reborn"));
+    }
+    ASSERT_TRUE(db.Flush());
+    // SST 3 (backend names[2]): delete some of the reborn keys again.
+    for (uint64_t k = 0; k < 600; k += 32) ASSERT_TRUE(db.Delete(k));
+    ASSERT_TRUE(db.Flush());
+    ASSERT_EQ(db.num_tables(), 3u);
+    EXPECT_GT(db.stats().tombstones_live.load(), 0u);
+  }
+  auto expect_state = [](Db& db) {
+    std::string value;
+    std::vector<uint64_t> keys;
+    for (uint64_t k = 0; k < 600; ++k) keys.push_back(k);
+    auto answers = db.MultiGet(keys);
+    for (uint64_t k = 0; k < 600; ++k) {
+      bool alive;
+      std::string expected_value;
+      if (k % 32 == 0) {
+        alive = false;  // deleted, reborn, deleted again
+      } else if (k % 16 == 0) {
+        alive = true;  // deleted then reborn
+        expected_value = "reborn";
+      } else if (k % 4 == 0) {
+        alive = false;  // deleted
+      } else {
+        alive = true;
+        expected_value = MakeValue(k);
+      }
+      ASSERT_EQ(db.Get(k, &value), alive) << "key " << k;
+      ASSERT_EQ(answers[k].has_value(), alive) << "MultiGet key " << k;
+      if (alive) {
+        ASSERT_EQ(value, expected_value) << "key " << k;
+        ASSERT_EQ(*answers[k], expected_value) << "MultiGet key " << k;
+      }
+    }
+    auto rows = db.RangeScan(0, 599, 1000);
+    size_t expected_rows = 0;
+    for (uint64_t k = 0; k < 600; ++k) {
+      expected_rows += (k % 32 != 0 && (k % 16 == 0 || k % 4 != 0)) ? 1 : 0;
+    }
+    ASSERT_EQ(rows.size(), expected_rows);
+  };
+  // The mixed tree answers correctly, survives a reopen, and a full
+  // merge (filters rebuilt once more, under yet another backend) drops
+  // every tombstone without resurrecting anything.
+  Db db(BaseOptions(policy));
+  ASSERT_EQ(db.num_tables(), 3u);
+  expect_state(db);
+  ASSERT_TRUE(db.CompactAll());
+  EXPECT_EQ(db.stats().tombstones_live.load(), 0u);
+  expect_state(db);
+}
+
 TEST_F(AdaptiveFilterTest, AdaptivePolicySwitchesBackendOnWorkloadShift) {
   auto policy = NewAdaptiveFilterPolicy(
       {.bits_per_key = 16.0, .min_samples = 64});

@@ -227,6 +227,163 @@ TEST_F(CompactionTest, LegacyDirectoryImportsOnce) {
   ExpectExactly(db, expected);
 }
 
+TEST_F(CompactionTest, FullMergeDropsTombstonesAcrossEveryBackend) {
+  // Bottom-level drop, per registered filter backend: a full manual
+  // merge has no deeper level left that could hold the key, so every
+  // tombstone must be dropped — and the deleted keys must STAY deleted
+  // through the merge, the rebuilt filters, and a reopen.
+  std::vector<std::shared_ptr<FilterPolicy>> policies;
+  for (const std::string& name : FilterRegistry::Instance().Names()) {
+    policies.push_back(NewRegistryPolicy(name));
+  }
+  policies.push_back(nullptr);  // no filter: pure merge correctness
+  int idx = 0;
+  for (auto& policy : policies) {
+    SCOPED_TRACE("policy " + std::to_string(idx));
+    std::string subdir = dir_ + "/p" + std::to_string(idx++);
+    DbOptions options = CompactingOptions(policy, subdir);
+    options.compaction = false;  // manual lever owns the tree
+    std::map<uint64_t, std::string> expected;
+    {
+      Db db(options);
+      for (uint64_t k = 0; k < 600; ++k) {
+        ASSERT_TRUE(db.Put(k, "v" + std::to_string(k)));
+        expected[k] = "v" + std::to_string(k);
+      }
+      ASSERT_TRUE(db.Flush());
+      std::vector<uint64_t> doomed;
+      for (uint64_t k = 0; k < 600; k += 3) doomed.push_back(k);
+      ASSERT_TRUE(db.DeleteBatch(doomed));
+      for (uint64_t k : doomed) expected.erase(k);
+      ASSERT_TRUE(db.Flush());
+      // The tombstones are now live in an L0 SST (and counted).
+      EXPECT_EQ(db.stats().tombstones_written.load(), 200u);
+      EXPECT_EQ(db.stats().tombstones_live.load(), 200u);
+
+      ASSERT_TRUE(db.CompactAll());
+      // Nothing deeper than the merge output exists: every tombstone
+      // must be gone from the tree, not carried forever.
+      EXPECT_EQ(db.stats().tombstones_dropped.load(), 200u);
+      EXPECT_EQ(db.stats().tombstones_live.load(), 0u);
+      ExpectExactly(db, expected);
+      std::string value;
+      for (uint64_t k = 0; k < 600; k += 3) {
+        ASSERT_FALSE(db.Get(k, &value)) << "resurrected after merge: " << k;
+      }
+    }
+    // The dropped tombstones stay dropped (and the keys stay deleted)
+    // across a MANIFEST recovery.
+    Db db(options);
+    EXPECT_EQ(db.stats().tombstones_live.load(), 0u);
+    ExpectExactly(db, expected);
+  }
+}
+
+TEST_F(CompactionTest, TombstoneIsKeptWhileDeeperLevelsHoldTheKey) {
+  // Must-keep side of the drop rule, under real background leveled
+  // compaction: keys written early sink to deeper levels; deleting
+  // them later puts tombstones in L0 whose first few compactions
+  // CANNOT drop them (the deep live versions are not inputs). The
+  // invariant at every step: a deleted key never comes back, and
+  // while deeper levels still hold it, the tombstone stays live.
+  DbOptions options = CompactingOptions(NewBloomPolicy(10.0));
+  Db db(options);
+  std::map<uint64_t, std::string> expected;
+  // Sink several flushed generations so the tree has populated depth
+  // (values sized so the data set outgrows the first level budgets).
+  for (int round = 0; round < 4; ++round) {
+    for (uint64_t k = 0; k < 1500; ++k) {
+      std::string v = "r" + std::to_string(round) + "." + std::to_string(k) +
+                      std::string(40, 'x');
+      ASSERT_TRUE(db.Put(k, v));
+      expected[k] = v;
+    }
+    ASSERT_TRUE(db.Flush());
+    ASSERT_TRUE(db.WaitForCompaction());
+  }
+  auto per_level = db.level_table_counts();
+  size_t populated = 0;
+  for (size_t n : per_level) populated += n > 0 ? 1 : 0;
+  ASSERT_GE(populated, 2u) << "tree never grew depth; test is vacuous";
+
+  // Delete a slice of keys that live in the deep levels.
+  std::vector<uint64_t> doomed;
+  for (uint64_t k = 0; k < 1500; k += 4) doomed.push_back(k);
+  ASSERT_TRUE(db.DeleteBatch(doomed));
+  for (uint64_t k : doomed) expected.erase(k);
+  ASSERT_TRUE(db.Flush());
+  // Freshly flushed: the tombstones are live on disk.
+  EXPECT_GE(db.stats().tombstones_live.load(), doomed.size());
+
+  // Churn more writes (disjoint keys) through the tree so compaction
+  // repeatedly rewrites the tombstone-carrying files.
+  std::string value;
+  for (int round = 0; round < 4; ++round) {
+    for (uint64_t k = 10000; k < 10300; ++k) {
+      std::string v = "f" + std::to_string(round) + "." + std::to_string(k);
+      ASSERT_TRUE(db.Put(k, v));
+      expected[k] = v;
+    }
+    ASSERT_TRUE(db.Flush());
+    ASSERT_TRUE(db.WaitForCompaction());
+    for (uint64_t k : doomed) {
+      ASSERT_FALSE(db.Get(k, &value))
+          << "round " << round << ": deleted key " << k
+          << " resurrected mid-compaction";
+    }
+  }
+  ExpectExactly(db, expected);
+}
+
+TEST_F(CompactionTest, CompactAllOverLegacyImportDoesNotResurrect) {
+  // Small-fix satellite: a legacy-imported tree (no MANIFEST) holds
+  // pre-delete values in older SSTs; the tombstone SST imports as
+  // newer and must keep shadowing them through a full manual merge.
+  std::map<uint64_t, std::string> expected;
+  DbOptions options;
+  options.dir = dir_;
+  options.filter_policy = NewBloomPolicy(10.0);
+  options.memtable_bytes = 1 << 20;
+  {
+    Db db(options);
+    for (uint64_t k = 0; k < 500; ++k) {
+      db.Put(k, "legacy-" + std::to_string(k));
+      expected[k] = "legacy-" + std::to_string(k);
+    }
+    ASSERT_TRUE(db.Flush());
+    std::vector<uint64_t> doomed;
+    for (uint64_t k = 0; k < 500; k += 5) doomed.push_back(k);
+    ASSERT_TRUE(db.DeleteBatch(doomed));
+    for (uint64_t k : doomed) expected.erase(k);
+    ASSERT_TRUE(db.Flush());
+  }
+  // Strip the MANIFEST: next open must import raw *.sst files — value
+  // SST and tombstone SST both — preserving newest-wins.
+  std::filesystem::remove(CurrentFileName(dir_));
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().filename().string().rfind("MANIFEST-", 0) == 0) {
+      std::filesystem::remove(entry.path());
+    }
+  }
+  {
+    Db db(options);
+    ASSERT_TRUE(db.recovery_stats().legacy_import);
+    EXPECT_GE(db.stats().tombstones_live.load(), 100u);
+    ExpectExactly(db, expected);
+    std::string value;
+    for (uint64_t k = 0; k < 500; k += 5) {
+      ASSERT_FALSE(db.Get(k, &value)) << "import resurrected " << k;
+    }
+    // Full merge over the imported tree: tombstones meet their legacy
+    // values and both disappear — but the keys must NOT come back.
+    ASSERT_TRUE(db.CompactAll());
+    EXPECT_EQ(db.stats().tombstones_live.load(), 0u);
+    ExpectExactly(db, expected);
+  }
+  Db db(options);
+  ExpectExactly(db, expected);
+}
+
 TEST_F(CompactionTest, ShardedDbCompactsEveryShard) {
   ShardedDbOptions options;
   options.dir = dir_;

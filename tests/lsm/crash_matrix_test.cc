@@ -5,9 +5,18 @@
 // write), reopen the store, and require it to equal the
 // single-threaded reference map row for row.
 //
+// The workload interleaves Put, Delete, and re-Put of the same keys
+// (singly, batched, and mixed in one WriteBatch), so every kill point
+// also proves the anti-resurrection invariant: a deleted key must not
+// come back via Get, MultiGet, or a full scan no matter where the
+// crash landed — not from a replayed WAL, not from an SST whose
+// shadowing tombstone was mid-compaction, not from a half-installed
+// MANIFEST edit. Each kill point additionally survives a SECOND crash
+// during the recovery itself before the healthy verify.
+//
 // Why exact equality is the right bar: the crash model is kill -9 —
 // the process dies but the page cache survives — so every acknowledged
-// Put is in the WAL (WAL sites are crash-exempt, see lsm/env.h) and
+// write is in the WAL (WAL sites are crash-exempt, see lsm/env.h) and
 // recovery must reconstruct ALL of it from the manifest prefix plus
 // surviving logs. Anything less is lost data; anything more is
 // resurrected data.
@@ -18,6 +27,7 @@
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,6 +36,12 @@
 
 namespace bloomrf {
 namespace {
+
+/// Every key the workload ever touches lives in [0, kKeySpace): the
+/// verifier can sweep the whole space and demand Get/MultiGet misses
+/// for every key the reference map does not hold — which is exactly
+/// the set of deleted (or never-written) keys.
+constexpr uint64_t kKeySpace = 97;
 
 /// Every successive filter build uses the next backend in the cycle, so
 /// a crashed-and-recovered tree mixes filter block formats — recovery
@@ -90,21 +106,70 @@ class CrashMatrixTest : public ::testing::Test {
     return options;
   }
 
-  /// The fixed workload: four rounds of overlapping puts, each sealed
-  /// into an SST, with compaction churning the tree between rounds.
-  /// Failure returns are deliberately ignored — after the kill point
-  /// everything fails, but every Put still reached the WAL+memtable.
+  /// The fixed workload: four rounds over one overlapping keyspace,
+  /// each round putting, deleting (singly, as a DeleteBatch, and mixed
+  /// into a WriteBatch), and re-putting some of what it just deleted,
+  /// then sealing into an SST with compaction churning the tree
+  /// between rounds. Because rounds overlap, a key deleted in round r
+  /// usually has live versions in older SSTs — the exact data a buggy
+  /// recovery or compaction would resurrect. Failure returns are
+  /// deliberately ignored — after the kill point everything fails, but
+  /// every acknowledged write still reached the WAL+memtable.
   static void RunWorkload(const std::string& dir, Env* env,
                           std::map<uint64_t, std::string>* expected,
                           PolicyFactory policy = BloomFactory) {
     Db db(WorkloadOptions(dir, env, policy));
-    for (int round = 0; round < 4; ++round) {
-      for (int i = 0; i < 40; ++i) {
-        uint64_t key = static_cast<uint64_t>((i * 13 + round * 5) % 97);
-        std::string value =
-            "r" + std::to_string(round) + "i" + std::to_string(i);
-        db.Put(key, value);
-        (*expected)[key] = value;
+    auto put = [&](uint64_t key, std::string value) {
+      db.Put(key, value);
+      (*expected)[key] = std::move(value);
+    };
+    auto del = [&](uint64_t key) {
+      db.Delete(key);
+      expected->erase(key);
+    };
+    for (uint64_t round = 0; round < 4; ++round) {
+      for (uint64_t i = 0; i < 40; ++i) {
+        uint64_t key = (i * 13 + round * 5) % kKeySpace;
+        put(key, "r" + std::to_string(round) + "i" + std::to_string(i));
+      }
+      // Single deletes over keys the earlier rounds likely still hold.
+      for (uint64_t i = 0; i < 10; ++i) del((i * 11 + round * 7) % kKeySpace);
+      // A batched delete: one WAL record, all-or-nothing in recovery.
+      std::vector<uint64_t> batch;
+      for (uint64_t i = 0; i < 6; ++i) {
+        batch.push_back((i * 17 + round * 13) % kKeySpace);
+      }
+      db.DeleteBatch(batch);
+      for (uint64_t key : batch) expected->erase(key);
+      // A mixed batch: puts and deletes framed as ONE record.
+      std::vector<std::string> held;  // keeps WriteOp views alive
+      held.reserve(6);
+      std::vector<WriteOp> ops;
+      for (uint64_t i = 0; i < 6; ++i) {
+        if (i % 2 == 0) {
+          uint64_t key = (i * 19 + round) % kKeySpace;
+          held.push_back("wb" + std::to_string(round) + "i" +
+                         std::to_string(i));
+          ops.push_back({key, held.back(), false});
+        } else {
+          ops.push_back({(i * 23 + round * 3) % kKeySpace,
+                         std::string_view(), true});
+        }
+      }
+      db.WriteBatch(ops);
+      for (const WriteOp& op : ops) {
+        if (op.is_delete) {
+          expected->erase(op.key);
+        } else {
+          (*expected)[op.key] = std::string(op.value);
+        }
+      }
+      // Re-put half of the singly-deleted keys: the tombstone is now
+      // shadowed by a NEWER live value — recovery must keep the re-put
+      // and compaction must not let the stale tombstone eat it.
+      for (uint64_t i = 0; i < 5; ++i) {
+        uint64_t key = (i * 11 + round * 7) % kKeySpace;
+        put(key, "rp" + std::to_string(round) + "i" + std::to_string(i));
       }
       db.Flush();
       db.WaitForCompaction();
@@ -112,8 +177,10 @@ class CrashMatrixTest : public ::testing::Test {
   }
 
   /// Reopens `dir` with a healthy filesystem and requires the store to
-  /// hold exactly `expected`: every key by Get, and the full keyspace
-  /// by RangeScan with no missing, extra, or stale rows.
+  /// hold exactly `expected` over the whole keyspace: every key by Get
+  /// (deleted keys MUST miss), the full space in one MultiGet (deleted
+  /// keys MUST be nullopt), and the full keyspace by RangeScan with no
+  /// missing, extra, or resurrected rows.
   static void VerifyExactly(const std::string& dir,
                             const std::map<uint64_t, std::string>& expected,
                             PolicyFactory policy = BloomFactory) {
@@ -122,9 +189,28 @@ class CrashMatrixTest : public ::testing::Test {
     options.filter_policy = policy();
     Db db(options);
     std::string value;
-    for (const auto& [k, v] : expected) {
-      ASSERT_TRUE(db.Get(k, &value)) << "lost key " << k;
-      ASSERT_EQ(value, v) << "stale value for key " << k;
+    std::vector<uint64_t> all_keys;
+    for (uint64_t k = 0; k < kKeySpace; ++k) {
+      all_keys.push_back(k);
+      auto it = expected.find(k);
+      if (it != expected.end()) {
+        ASSERT_TRUE(db.Get(k, &value)) << "lost key " << k;
+        ASSERT_EQ(value, it->second) << "stale value for key " << k;
+      } else {
+        ASSERT_FALSE(db.Get(k, &value)) << "key " << k << " resurrected";
+      }
+    }
+    auto answers = db.MultiGet(all_keys);
+    ASSERT_EQ(answers.size(), kKeySpace);
+    for (uint64_t k = 0; k < kKeySpace; ++k) {
+      auto it = expected.find(k);
+      if (it != expected.end()) {
+        ASSERT_TRUE(answers[k].has_value()) << "MultiGet lost key " << k;
+        ASSERT_EQ(*answers[k], it->second) << "MultiGet stale key " << k;
+      } else {
+        ASSERT_FALSE(answers[k].has_value())
+            << "key " << k << " resurrected via MultiGet";
+      }
     }
     auto rows = db.RangeScan(0, ~0ull, expected.size() + 16);
     ASSERT_EQ(rows.size(), expected.size()) << "row count diverged";
@@ -138,7 +224,7 @@ class CrashMatrixTest : public ::testing::Test {
   std::string dir_;
 };
 
-TEST_F(CrashMatrixTest, EveryKillPointRecoversExactly) {
+TEST_F(CrashMatrixTest, EveryKillPointRecoversExactlyWithNoResurrection) {
   // Counting run: the same workload against an un-armed injection env
   // measures how many durable ops the engine performs end to end.
   std::map<uint64_t, std::string> reference;
@@ -147,13 +233,18 @@ TEST_F(CrashMatrixTest, EveryKillPointRecoversExactly) {
   RunWorkload(count_dir, &counter, &reference);
   const uint64_t total_ops = counter.op_count();
   ASSERT_GT(total_ops, 20u) << "workload too small to exercise crashes";
-  ASSERT_GT(reference.size(), 50u);
+  ASSERT_GT(reference.size(), 30u);
+  ASSERT_LT(reference.size(), kKeySpace) << "workload deleted nothing";
   VerifyExactly(count_dir, reference);  // baseline: no crash, no loss
   std::filesystem::remove_all(count_dir);
 
   // The matrix: crash at every op index; torn final writes on every
   // other index (a torn variant only differs when the dying op is an
   // append, and halving the runs keeps the matrix fast under ASan).
+  // Every run is then crashed a SECOND time during its own recovery
+  // (at a kill point that varies with the op index, so different
+  // recovery stages — manifest snapshot, CURRENT swap, log cleanup —
+  // get hit across the sweep) before the final healthy verify.
   uint64_t fired = 0;
   for (uint64_t op = 0; op < total_ops; ++op) {
     for (bool torn : {false, true}) {
@@ -171,6 +262,13 @@ TEST_F(CrashMatrixTest, EveryKillPointRecoversExactly) {
       // finishes under the kill point it still must verify.
       if (fenv.crashed()) ++fired;
       ASSERT_EQ(expected.size(), reference.size());
+      {
+        // Double fault: recovery itself writes (snapshot manifest,
+        // CURRENT swap, tmp cleanup) — kill it partway through.
+        FaultInjectionEnv fenv2;
+        fenv2.CrashAtOp(op % 5 + 1, /*torn=*/op % 4 == 2);
+        Db db(WorkloadOptions(run_dir, &fenv2));
+      }
       VerifyExactly(run_dir, expected);
       std::filesystem::remove_all(run_dir);
     }
@@ -179,11 +277,11 @@ TEST_F(CrashMatrixTest, EveryKillPointRecoversExactly) {
 }
 
 TEST_F(CrashMatrixTest, MixedBackendTreeRecoversAtEveryThirdKillPoint) {
-  // Same recovery bar, but the tree under the crash carries a
-  // different filter backend per SST (the adaptive policy's steady
-  // state). A sparser sweep — every third op, torn every sixth —
-  // keeps the variant cheap; the dense sweep above already covers the
-  // op-ordering space with a single backend.
+  // Same recovery bar (deletes included), but the tree under the crash
+  // carries a different filter backend per SST (the adaptive policy's
+  // steady state). A sparser sweep — every third op, torn every sixth
+  // — keeps the variant cheap; the dense sweep above already covers
+  // the op-ordering space with a single backend.
   std::map<uint64_t, std::string> reference;
   FaultInjectionEnv counter;
   const std::string count_dir = dir_ + "/count";
@@ -218,8 +316,11 @@ TEST_F(CrashMatrixTest, MixedBackendTreeRecoversAtEveryThirdKillPoint) {
 }
 
 TEST_F(CrashMatrixTest, CrashedStoreSurvivesASecondCrashDuringRecovery) {
-  // Double fault: crash mid-workload, then crash again during the
-  // recovery that follows — the third open must still see everything.
+  // Double fault at a fixed, deep kill point (the dense matrix above
+  // varies the recovery kill per op; this pins one reproducible case):
+  // crash mid-workload with a torn write, crash again during the
+  // recovery that follows — the third open must still see everything,
+  // with every tombstone still in force.
   std::map<uint64_t, std::string> expected;
   {
     FaultInjectionEnv fenv;

@@ -137,6 +137,91 @@ TEST_P(RecoveryTest, BatchIsAllOrNothingInRecovery) {
   }
 }
 
+TEST_P(RecoveryTest, DeletedKeyStaysDeletedAcrossReplay) {
+  { // Put, flush (key reaches an SST), delete, then "crash": the
+    // tombstone survives only in the WAL and must shadow the SST.
+    Db db(Options());
+    for (uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(db.Put(k, "flushed"));
+    ASSERT_TRUE(db.Flush());
+    ASSERT_TRUE(db.Delete(42));
+    ASSERT_TRUE(db.Delete(7));
+    ASSERT_TRUE(db.Put(7, "reborn"));  // re-put AFTER the delete wins
+  }
+  Db db(Options());
+  std::string value;
+  EXPECT_FALSE(db.Get(42, &value)) << "deleted key resurrected by replay";
+  ASSERT_TRUE(db.Get(7, &value));
+  EXPECT_EQ(value, "reborn");
+  for (uint64_t k = 0; k < 100; ++k) {
+    if (k == 42) continue;
+    ASSERT_TRUE(db.Get(k, &value)) << k;
+  }
+  // The tombstone must also hold against MultiGet and scans.
+  std::vector<uint64_t> keys = {41, 42, 43};
+  auto answers = db.MultiGet(keys);
+  EXPECT_TRUE(answers[0].has_value());
+  EXPECT_FALSE(answers[1].has_value());
+  EXPECT_TRUE(answers[2].has_value());
+  auto rows = db.RangeScan(40, 44, 16);
+  ASSERT_EQ(rows.size(), 4u);  // 40 41 43 44
+  for (const auto& [k, v] : rows) EXPECT_NE(k, 42u);
+}
+
+TEST_P(RecoveryTest, MixedPutDeleteBatchIsAllOrNothingInRecovery) {
+  {
+    Db db(Options());
+    for (uint64_t k = 100; k < 110; ++k) ASSERT_TRUE(db.Put(k, "old"));
+    ASSERT_TRUE(db.Put(1, "single"));
+    // One mixed batch: five puts, five deletes, framed as ONE record.
+    std::vector<std::string> held;
+    held.reserve(5);
+    std::vector<WriteOp> ops;
+    for (uint64_t k = 200; k < 205; ++k) {
+      held.push_back("new" + std::to_string(k));
+      ops.push_back({k, held.back(), false});
+    }
+    for (uint64_t k = 100; k < 105; ++k) {
+      ops.push_back({k, std::string_view(), true});
+    }
+    ASSERT_TRUE(db.WriteBatch(ops));
+  }
+  auto files = WalFiles();
+  ASSERT_EQ(files.size(), 1u);
+  // Cut into the middle of the batch record: recovery must drop the
+  // WHOLE batch — five new puts AND five deletes — not a prefix.
+  std::filesystem::resize_file(files[0],
+                               std::filesystem::file_size(files[0]) - 30);
+  Db db(Options());
+  EXPECT_FALSE(db.recovery_stats().wal_clean);
+  std::string value;
+  ASSERT_TRUE(db.Get(1, &value));
+  for (uint64_t k = 200; k < 205; ++k) {
+    EXPECT_FALSE(db.Get(k, &value)) << "half-applied batch put " << k;
+  }
+  for (uint64_t k = 100; k < 110; ++k) {
+    EXPECT_TRUE(db.Get(k, &value)) << "half-applied batch delete " << k;
+  }
+}
+
+TEST_P(RecoveryTest, DeleteBatchSurvivesKillReopenIntact) {
+  {
+    Db db(Options());
+    for (uint64_t k = 0; k < 64; ++k) ASSERT_TRUE(db.Put(k, "v"));
+    std::vector<uint64_t> doomed;
+    for (uint64_t k = 0; k < 64; k += 4) doomed.push_back(k);
+    ASSERT_TRUE(db.DeleteBatch(doomed));
+  }
+  Db db(Options());
+  std::string value;
+  for (uint64_t k = 0; k < 64; ++k) {
+    if (k % 4 == 0) {
+      EXPECT_FALSE(db.Get(k, &value)) << "resurrected " << k;
+    } else {
+      ASSERT_TRUE(db.Get(k, &value)) << k;
+    }
+  }
+}
+
 TEST_P(RecoveryTest, FlushedDataComesBackFromSstsAndLogsGetDeleted) {
   {
     Db db(Options());

@@ -30,12 +30,27 @@ class WalTest : public ::testing::Test {
   std::vector<std::pair<uint64_t, std::string>> Replay(
       WalReplayResult* result = nullptr) {
     std::vector<std::pair<uint64_t, std::string>> entries;
-    WalReplayResult r =
-        WalReplay(path_, [&](uint64_t key, std::string_view value) {
-          entries.emplace_back(key, std::string(value));
+    WalReplayResult r = WalReplay(
+        path_, [&](uint64_t key, std::string_view value, bool is_delete) {
+          entries.emplace_back(key, is_delete ? "<del>" : std::string(value));
         });
     if (result != nullptr) *result = r;
     return entries;
+  }
+
+  struct Op {
+    uint64_t key;
+    std::string value;
+    bool is_delete;
+  };
+  std::vector<Op> ReplayOps(WalReplayResult* result = nullptr) {
+    std::vector<Op> ops;
+    WalReplayResult r = WalReplay(
+        path_, [&](uint64_t key, std::string_view value, bool is_delete) {
+          ops.push_back({key, std::string(value), is_delete});
+        });
+    if (result != nullptr) *result = r;
+    return ops;
   }
 
   void Truncate(uint64_t size) {
@@ -88,6 +103,106 @@ TEST_F(WalTest, RoundTripBatchRecordIncludingEmptyValues) {
   ASSERT_EQ(entries.size(), 3u);
   EXPECT_EQ(entries[1].second, "");
   EXPECT_EQ(entries[2].second, std::string("\0\xff\0", 3));
+}
+
+TEST_F(WalTest, RoundTripOpsBatchMixedPutsAndDeletes) {
+  std::vector<WriteOp> ops = {{1, "one", false},
+                              {2, std::string_view(), true},
+                              {3, "", false},
+                              {4, std::string_view(), true}};
+  {
+    WalWriter writer(path_, false, nullptr);
+    std::string record;
+    WalEncodeOpsTo(ops, &record);
+    ASSERT_TRUE(writer.Append(record));
+  }
+  WalReplayResult result;
+  auto replayed = ReplayOps(&result);
+  EXPECT_TRUE(result.clean);
+  EXPECT_EQ(result.records, 1u);
+  EXPECT_EQ(result.entries, 4u);
+  ASSERT_EQ(replayed.size(), 4u);
+  EXPECT_FALSE(replayed[0].is_delete);
+  EXPECT_EQ(replayed[0].value, "one");
+  EXPECT_TRUE(replayed[1].is_delete);
+  EXPECT_TRUE(replayed[1].value.empty());
+  EXPECT_FALSE(replayed[2].is_delete);  // empty put is not a delete
+  EXPECT_TRUE(replayed[3].is_delete);
+}
+
+TEST_F(WalTest, RoundTripPureDeleteRecord) {
+  std::vector<uint64_t> keys = {10, 20, 30};
+  {
+    WalWriter writer(path_, false, nullptr);
+    std::string record;
+    WalEncodeDeletesTo(keys, &record);
+    ASSERT_TRUE(writer.Append(record));
+  }
+  WalReplayResult result;
+  auto replayed = ReplayOps(&result);
+  EXPECT_TRUE(result.clean);
+  ASSERT_EQ(replayed.size(), 3u);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(replayed[i].key, keys[i]);
+    EXPECT_TRUE(replayed[i].is_delete);
+  }
+}
+
+TEST_F(WalTest, EveryTruncationPointIsSafeOverDeleteRecords) {
+  // Same boundary fuzz as the put-record variant, over records that
+  // interleave puts and deletes: any cut must replay an intact prefix
+  // of WHOLE records (ops batches are all-or-nothing) and never
+  // misparse a delete as a put or vice versa.
+  const int kRecords = 4;
+  const std::string put_value(7, 'p');  // outlives the WriteOp views
+  {
+    WalWriter writer(path_, false, nullptr);
+    for (uint64_t k = 0; k < kRecords; ++k) {
+      std::vector<WriteOp> ops = {{2 * k, put_value, false},
+                                  {2 * k + 1, std::string_view(), true}};
+      std::string record;
+      WalEncodeOpsTo(ops, &record);
+      ASSERT_TRUE(writer.Append(record));
+    }
+  }
+  const uint64_t full = std::filesystem::file_size(path_);
+  const uint64_t record = full / kRecords;
+  std::string original;
+  {
+    std::ifstream f(path_, std::ios::binary);
+    original.assign(std::istreambuf_iterator<char>(f),
+                    std::istreambuf_iterator<char>());
+  }
+  for (uint64_t cut = 0; cut <= full; ++cut) {
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+    f.write(original.data(), static_cast<std::streamsize>(cut));
+    f.close();
+    WalReplayResult result;
+    auto ops = ReplayOps(&result);
+    ASSERT_EQ(ops.size(), 2 * (cut / record)) << "cut at " << cut;
+    EXPECT_EQ(result.clean, cut % record == 0) << "cut at " << cut;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      EXPECT_EQ(ops[i].key, i);
+      EXPECT_EQ(ops[i].is_delete, i % 2 == 1);
+      if (!ops[i].is_delete) EXPECT_EQ(ops[i].value, std::string(7, 'p'));
+    }
+  }
+}
+
+TEST_F(WalTest, UnknownOpFlagBitsStopReplay) {
+  // A structurally valid ops record whose flags byte uses an undefined
+  // bit must stop replay (future format, not silently misread).
+  std::string payload;
+  payload.append("\x01\x00\x00\x00", 4);                  // count = 1
+  payload.append("\x2a\x00\x00\x00\x00\x00\x00\x00", 8);  // key = 42
+  payload.push_back(0x02);                                // unknown flag bit
+  std::string record;
+  AppendFramedRecord(/*type=*/3, payload, &record);
+  AppendRaw(record);
+  WalReplayResult result;
+  auto replayed = ReplayOps(&result);
+  EXPECT_FALSE(result.clean);
+  EXPECT_TRUE(replayed.empty());
 }
 
 TEST_F(WalTest, MissingFileRepliesCleanEmpty) {
