@@ -609,6 +609,58 @@ int main(int argc, char** argv) {
                 ra_off_mops > 0 ? ra_on_mops / ra_off_mops : 0);
   }
   double read_amp_ratio = ra_off_mops > 0 ? ra_on_mops / ra_off_mops : 0;
+
+  // ---- Sustained ingest vs compaction debt: scheduler width sweep ----
+  // The same single-threaded ingest (WAL off, background compaction
+  // on, tiny levels so compaction work dominates) with 1, 2 and 4
+  // scheduler workers and matching subcompaction fan-out; the timed
+  // region includes WaitForCompaction, so the Mops is the SUSTAINED
+  // rate — ingest plus paying off the full compaction debt it created.
+  // On a multicore host the extra workers drain L0 concurrently with
+  // deeper jobs and each job's merge spreads over subcompactions; on a
+  // small runner the guard only demands parallel does not collapse
+  // below serial (see perf_guard.py's compaction cap).
+  const size_t ingest_widths[3] = {1, 2, 4};
+  double ingest_mops[3] = {0, 0, 0};
+  {
+    const uint64_t ingest_keys = smoke ? 150'000 : 600'000;
+    for (int cfg = 0; cfg < 3; ++cfg) {
+      for (int run = 0; run < 2; ++run) {
+        const std::string dir = base_dir + "/ingest";
+        std::filesystem::remove_all(dir);
+        DbOptions options = db_options;
+        options.dir = dir;
+        options.wal = false;
+        options.memtable_bytes = 256 << 10;
+        options.compaction = true;
+        options.compaction_threads = ingest_widths[cfg];
+        options.max_subcompactions = ingest_widths[cfg];
+        options.subcompaction_min_bytes = 0;
+        options.l0_compaction_trigger = 4;
+        options.level_base_bytes = 1 << 20;
+        options.level_size_multiplier = 4;
+        Db db(options);
+        Timer timer;
+        Rng rng(0x1695 + run);
+        for (uint64_t i = 0; i < ingest_keys; ++i) {
+          db.Put(rng.Next(), kPutValue);
+        }
+        db.Flush();
+        db.WaitForCompaction();
+        ingest_mops[cfg] = std::max(
+            ingest_mops[cfg], Mops(ingest_keys, timer.ElapsedSeconds()));
+      }
+      std::printf("sustained ingest, compaction_threads=%zu: %7.2f Mops\n",
+                  ingest_widths[cfg], ingest_mops[cfg]);
+    }
+  }
+  double ingest_ratio_2t =
+      ingest_mops[0] > 0 ? ingest_mops[1] / ingest_mops[0] : 0;
+  double ingest_ratio_4t =
+      ingest_mops[0] > 0 ? ingest_mops[2] / ingest_mops[0] : 0;
+  std::printf("parallel-compaction ingest ratio: 2 workers %.2fx  "
+              "4 workers %.2fx vs serial\n",
+              ingest_ratio_2t, ingest_ratio_4t);
   std::filesystem::remove_all(base_dir);
 
   auto cell_at = [&](size_t shards, size_t threads) -> const CellResult* {
@@ -696,6 +748,12 @@ int main(int argc, char** argv) {
                "\"get_ratio\": %.3f},\n",
                ra_tables_off, ra_tables_on, ra_off_mops, ra_on_mops,
                read_amp_ratio);
+  std::fprintf(json,
+               "  \"compaction\": {\"ingest_mops_1t\": %.3f, "
+               "\"ingest_mops_2t\": %.3f, \"ingest_mops_4t\": %.3f, "
+               "\"ingest_ratio_2t\": %.3f, \"ingest_ratio_4t\": %.3f},\n",
+               ingest_mops[0], ingest_mops[1], ingest_mops[2], ingest_ratio_2t,
+               ingest_ratio_4t);
   // Conservative floors (0.8x of this run) for scripts/perf_guard.py.
   // Host mismatch (a multicore bench host gating a small CI runner, or
   // vice versa) is handled by the guard itself: runners with fewer
@@ -717,13 +775,19 @@ int main(int argc, char** argv) {
                "\"put_scaling_8t\": %.3f, \"mixed_scaling_8t\": %.3f, "
                "\"delete_scaling_8t\": %.3f, \"pdg_scaling_8t\": %.3f, "
                "\"delete_put_ratio\": %.3f, "
-               "\"wal_put_ratio\": %.3f, \"read_amp_get_ratio\": %.3f}\n}\n",
+               "\"wal_put_ratio\": %.3f, \"read_amp_get_ratio\": %.3f, "
+               "\"compaction_ingest_ratio_4t\": %.3f}\n}\n",
                multiget_scaling * 0.8, scanrange_scaling * 0.8,
                single_shard_ratio * 0.8, capped(put_scaling) * 0.8,
                capped(mixed_scaling) * 0.8, capped(delete_scaling) * 0.8,
                capped(pdg_scaling) * 0.8, capped(delete_put_ratio) * 0.8,
                capped(wal_ratio_1s1t) * 0.8,
-               std::min(read_amp_ratio, 1.2) * 0.8);
+               std::min(read_amp_ratio, 1.2) * 0.8,
+               // Clamped at 1.3 before the 0.8x: on a big host the
+               // committed floor demands a real parallel win (>= ~1.04x
+               // after the CI 0.9 ratio); small runners are re-capped by
+               // the guard to "no collapse below serial".
+               std::min(ingest_ratio_4t, 1.3) * 0.8);
   std::fclose(json);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

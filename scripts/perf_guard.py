@@ -10,9 +10,10 @@ dispatched on the committed file's "bench" field:
                   speedup over the scalar loop.
   lsm_concurrent  bench_lsm_throughput --smoke ShardedDb MultiGet/
                   ScanRange/Put/mixed 1->8-thread scaling (8 shards),
-                  the 1-shard/plain-Db MultiGet throughput ratio, and
-                  the WAL-on/WAL-off put-throughput ratio (group-commit
-                  overhead, wal_fsync=false).
+                  the 1-shard/plain-Db MultiGet throughput ratio, the
+                  WAL-on/WAL-off put-throughput ratio (group-commit
+                  overhead, wal_fsync=false), and the 4-worker/serial
+                  parallel-compaction sustained-ingest ratio.
   adaptive        bench_adaptive_filters --smoke  adaptive-vs-static
                   throughput ratios per workload phase (the tuning
                   loop keeps up with the best static policy and beats
@@ -172,6 +173,20 @@ def lsm_concurrent_checks(current, committed):
             ("compaction read-amp Get ratio (on/off)",
              current["read_amp"]["get_ratio"],
              guard["read_amp_get_ratio"])
+        )
+    # Parallel-compaction floor arrived with the multi-job scheduler:
+    # sustained ingest (ingest + full compaction drain) with 4 workers
+    # vs serial. The parallel win needs spare cores — on a runner with
+    # fewer than 8, only require that the parallel scheduler does not
+    # collapse below serial speed (scheduler overhead, claim-mask
+    # contention, or a subcompaction convoy would show up here even on
+    # one core). Tolerate committed files that predate it.
+    if "compaction_ingest_ratio_4t" in guard and "compaction" in current:
+        compaction_cap = 1.0 if hw and hw < 8 else float("inf")
+        checks.append(
+            ("parallel-compaction sustained-ingest ratio (4w/serial)",
+             current["compaction"]["ingest_ratio_4t"],
+             min(guard["compaction_ingest_ratio_4t"], compaction_cap))
         )
     return checks
 

@@ -10,8 +10,12 @@
 // the overlapping slice of level i+1.
 //
 // Picking is pure — it inspects an immutable Version and returns a
-// job description; the Db's compaction thread executes the merge and
-// commits it through the MANIFEST + Version publication.
+// job description; the Db's compaction scheduler executes the merge
+// and commits it through the MANIFEST + Version publication. With
+// several scheduler workers, each in-flight job claims its input and
+// output levels (CompactionClaimBits) and picking skips claimed levels
+// (`busy_levels`), so concurrent jobs always work disjoint level pairs
+// and can never see each other's inputs.
 
 #ifndef BLOOMRF_LSM_COMPACTION_H_
 #define BLOOMRF_LSM_COMPACTION_H_
@@ -45,12 +49,30 @@ struct CompactionJob {
   std::vector<std::pair<uint32_t, uint64_t>> input_files;
 };
 
-/// Picks the most pressing job on `v`, or nullopt when the tree is in
-/// shape. `cursors` must hold cfg.max_levels entries and persists
+/// Picks the most pressing job on `v` whose input AND output levels
+/// are all free in the `busy_levels` bitmask (bit i = level i claimed
+/// by an in-flight job), or nullopt when nothing eligible is over
+/// budget. `cursors` must hold cfg.max_levels entries and persists
 /// across calls (round-robin position per level).
 std::optional<CompactionJob> PickCompaction(const Version& v,
                                             const CompactionConfig& cfg,
-                                            std::vector<uint64_t>* cursors);
+                                            std::vector<uint64_t>* cursors,
+                                            uint64_t busy_levels = 0);
+
+/// The level-claim bitmask of `job`: every input level plus the output
+/// level. Two jobs may run concurrently iff their claims are disjoint
+/// — then neither can touch (or re-pick) the other's files, and
+/// neither can move data below the other's output level, which keeps
+/// each job's TombstoneShadow snapshot conservative for its whole run.
+uint64_t CompactionClaimBits(const CompactionJob& job);
+
+/// Splits `job`'s key space into at most `max_subcompactions` disjoint
+/// inclusive ranges covering [0, UINT64_MAX], cutting at input-table
+/// boundary keys weighted by file bytes so each range holds a roughly
+/// equal share of the merge work. Always returns at least one range;
+/// returns exactly one when the job is too small to split.
+std::vector<std::pair<uint64_t, uint64_t>> PickSubcompactionRanges(
+    const CompactionJob& job, size_t max_subcompactions);
 
 /// Decides whether a compaction may physically drop a tombstone.
 ///
@@ -67,10 +89,13 @@ std::optional<CompactionJob> PickCompaction(const Version& v,
 /// key keeps its tombstone even if the deeper file happens not to
 /// contain that exact key — never the reverse, so a kept tombstone is
 /// at worst wasted bytes while a wrongly dropped one would resurrect
-/// deleted data. Snapshotting the bounds at merge start is safe: only
-/// the single compaction thread mutates levels >= 1, and concurrent
-/// flushes only add L0 files, which are never below a compaction
-/// output.
+/// deleted data. Snapshotting the bounds at merge start stays safe
+/// with concurrent jobs because jobs claim disjoint level sets: data
+/// can only appear BELOW this job's output level by a job whose claim
+/// includes a level on each side of the output — which would intersect
+/// this job's claim — and a concurrent deeper job only rewrites keys
+/// within its inputs' bounds, which the snapshot already covers.
+/// Concurrent flushes only add L0 files, never below an output.
 class TombstoneShadow {
  public:
   /// Shadow of `job` on version `v`: bounds of all files at levels

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
@@ -99,6 +100,13 @@ Db::Db(DbOptions options) : options_(std::move(options)) {
   compact_cfg_.max_levels =
       std::min<size_t>(64, std::max<size_t>(2, options_.max_levels));
   compact_cursors_.assign(compact_cfg_.max_levels, 0);
+  subcompact_pool_ = options_.compaction_pool;
+  if (subcompact_pool_ == nullptr) {
+    // The merging thread itself works one range (TaskGroup::Wait
+    // steals), so a fan-out of N needs N-1 pool workers.
+    const size_t subs = EffectiveSubcompactions();
+    subcompact_pool_ = std::make_shared<ThreadPool>(subs > 1 ? subs - 1 : 0);
+  }
   Recover();
   active_ = versions_.Current()->active();
   if (options_.wal) RotateWal();
@@ -106,7 +114,11 @@ Db::Db(DbOptions options) : options_(std::move(options)) {
     flush_thread_ = std::thread([this] { FlushWorker(); });
   }
   if (options_.compaction) {
-    compact_thread_ = std::thread([this] { CompactionWorker(); });
+    const size_t workers = std::max<size_t>(1, options_.compaction_threads);
+    compact_threads_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i) {
+      compact_threads_.emplace_back([this] { CompactionWorker(); });
+    }
   }
 }
 
@@ -119,13 +131,17 @@ Db::~Db() {
     flush_work_cv_.notify_all();
     flush_thread_.join();  // worker drains the queue before exiting
   }
-  if (compact_thread_.joinable()) {
+  if (!compact_threads_.empty()) {
     {
       std::lock_guard<std::mutex> lock(compact_mu_);
       compact_stop_ = true;
     }
     compact_work_cv_.notify_all();
-    compact_thread_.join();
+    // Every worker finishes its in-flight job (subcompactions
+    // included — the job blocks on its TaskGroup) before exiting, so
+    // nothing leaks and no half-committed state survives.
+    for (std::thread& worker : compact_threads_) worker.join();
+    compact_threads_.clear();
   }
   if (wal_ != nullptr) {
     if (active_->empty()) {
@@ -670,67 +686,41 @@ bool Db::WaitForFlush() {
 }
 
 void Db::MaybeScheduleCompaction() {
-  if (!compact_thread_.joinable()) return;
+  if (compact_threads_.empty()) return;
   {
     std::lock_guard<std::mutex> lock(compact_mu_);
     compact_requested_ = true;
   }
-  compact_work_cv_.notify_one();
+  compact_work_cv_.notify_all();
 }
 
-bool Db::RunCompaction(const CompactionJob& job) {
-  // Stream the inputs through a k-way merge: the smallest pending key
-  // wins each step, ties resolved to the lowest input index (newest
-  // source — PickCompaction orders inputs newest first), and every
-  // iterator holding the winning key advances, which is what drops the
-  // shadowed duplicates.
-  //
-  // Tombstone lifecycle: a winning tombstone still shadows (the
-  // duplicate-dropping above is what buries the older values), and is
-  // itself dropped from the output iff no level below the output can
-  // hold its key. The shadow bounds are snapshotted up front, which is
-  // safe: only this thread mutates levels >= 1, and concurrent flushes
-  // only add L0 files — never below a compaction output.
-  const TombstoneShadow shadow =
-      TombstoneShadow::FromVersion(*versions_.Current(), job);
+size_t Db::EffectiveSubcompactions() const {
+  if (options_.max_subcompactions > 0) return options_.max_subcompactions;
+  return std::max<size_t>(1, options_.compaction_threads);
+}
+
+void Db::MergeRange(const CompactionJob& job, const TombstoneShadow& shadow,
+                    const FilterBuildContext* build_ctx, uint64_t lo,
+                    uint64_t hi, SubcompactionResult* result) {
+  // k-way merge over the inputs restricted to [lo, hi]: the smallest
+  // pending key wins each step, ties resolved to the lowest input
+  // index (newest source — the job orders inputs newest first), and
+  // every iterator holding the winning key advances, which is what
+  // drops the shadowed duplicates. The ranges partition the key space,
+  // so every version of a key is merged by exactly one subcompaction
+  // and per-key semantics are identical to the serial merge.
   std::vector<TableReader::Iterator> inputs;
   inputs.reserve(job.inputs.size());
-  uint64_t bytes_read = 0;
   for (const auto& table : job.inputs) {
-    inputs.emplace_back(*table, &stats_);
-    bytes_read += table->file_size();
+    inputs.emplace_back(*table, &stats_, lo);
   }
-
-  // Re-tuning seam of the adaptive loop: every compaction output is
-  // rebuilt through the policy with the workload sketch and measured
-  // FPRs as they stand now, so the tree's filters follow the workload
-  // as compaction naturally rewrites tables.
-  FilterFeedback feedback;
-  FilterBuildContext build_ctx;
-  if (sampler_ != nullptr) {
-    feedback = CollectFilterFeedback();
-    build_ctx.sampler = sampler_;
-    build_ctx.feedback = &feedback;
-    build_ctx.level = static_cast<uint32_t>(job.output_level);
-  }
-
-  std::vector<std::string> output_paths;
-  auto fail = [&](const std::string& msg) {
-    stats_.SetLastError(msg);
-    ++stats_.compaction_failures;
-    for (const auto& path : output_paths) env_->DeleteFile(path);
-    return false;
-  };
 
   // Split outputs near half the level's base budget so deeper levels
   // hold several disjoint files and later compactions can pick them
   // one at a time.
   const uint64_t target_file_bytes =
       std::max<uint64_t>(1, compact_cfg_.level_base_bytes / 2);
-  Version::TableList outputs;
-  std::vector<FileMeta> output_meta;
   std::unique_ptr<TableBuilder> builder;
-  uint64_t bytes_written = 0;
 
   auto finish_output = [&]() -> bool {
     const uint64_t file_number =
@@ -739,14 +729,18 @@ bool Db::RunCompaction(const CompactionJob& job) {
     const uint64_t entries = builder->num_entries();
     TableBuildStats build_stats;
     if (!builder->WriteTo(env_, path, &build_stats)) {
-      return fail("compact: cannot write " + path);
+      result->error = "compact: cannot write " + path;
+      return false;
     }
-    stats_.tombstones_written += build_stats.num_tombstones;
-    output_paths.push_back(path);
+    result->tombstones_written += build_stats.num_tombstones;
+    result->paths.push_back(path);
     auto reader =
         TableReader::Open(path, options_.filter_policy.get(), &stats_,
                           options_.block_cache, file_number);
-    if (reader == nullptr) return fail("compact: cannot reopen " + path);
+    if (reader == nullptr) {
+      result->error = "compact: cannot reopen " + path;
+      return false;
+    }
     reader->set_level(static_cast<uint32_t>(job.output_level));
     FileMeta meta;
     meta.file_number = file_number;
@@ -754,9 +748,9 @@ bool Db::RunCompaction(const CompactionJob& job) {
     meta.largest = reader->max_key();
     meta.entries = entries;
     meta.file_bytes = build_stats.file_bytes;
-    output_meta.push_back(meta);
-    outputs.push_back(std::move(reader));
-    bytes_written += build_stats.file_bytes;
+    result->metas.push_back(meta);
+    result->outputs.push_back(std::move(reader));
+    result->bytes_written += build_stats.file_bytes;
     builder.reset();
     return true;
   };
@@ -765,25 +759,28 @@ bool Db::RunCompaction(const CompactionJob& job) {
     size_t winner = inputs.size();
     uint64_t min_key = 0;
     for (size_t i = 0; i < inputs.size(); ++i) {
-      if (!inputs[i].ok()) return fail("compact: input read error");
+      if (!inputs[i].ok()) {
+        result->error = "compact: input read error";
+        return;
+      }
       if (!inputs[i].Valid()) continue;
       if (winner == inputs.size() || inputs[i].key() < min_key) {
         winner = i;
         min_key = inputs[i].key();
       }
     }
-    if (winner == inputs.size()) break;
+    if (winner == inputs.size() || min_key > hi) break;
     const bool tombstone = inputs[winner].tombstone();
     if (tombstone && !shadow.Covers(min_key)) {
       // Bottom-most eligible level for this key: nothing below the
       // output can hold an older value, so the deletion has finished
       // its job and the key disappears physically.
-      ++stats_.tombstones_dropped;
+      ++result->tombstones_dropped;
     } else {
       if (builder == nullptr) {
         builder = std::make_unique<TableBuilder>(options_.filter_policy.get(),
                                                  options_.block_size);
-        if (sampler_ != nullptr) builder->SetFilterContext(build_ctx);
+        if (build_ctx != nullptr) builder->SetFilterContext(*build_ctx);
       }
       builder->Add(min_key, inputs[winner].value(), tombstone);
     }
@@ -792,11 +789,100 @@ bool Db::RunCompaction(const CompactionJob& job) {
     }
     if (builder != nullptr &&
         builder->ApproximateBytes() >= target_file_bytes) {
-      if (!finish_output()) return false;
+      if (!finish_output()) return;
     }
   }
   if (builder != nullptr && builder->num_entries() > 0) {
-    if (!finish_output()) return false;
+    if (!finish_output()) return;
+  }
+  result->ok = true;
+}
+
+bool Db::RunCompaction(const CompactionJob& job) {
+  const auto start_time = std::chrono::steady_clock::now();
+  ++stats_.compactions_inflight;
+  struct InflightGauge {
+    std::atomic<uint64_t>& gauge;
+    ~InflightGauge() { --gauge; }
+  } inflight_gauge{stats_.compactions_inflight};
+
+  // Tombstone lifecycle: a winning tombstone still shadows (the
+  // merge's duplicate-dropping buries the older values), and is itself
+  // dropped from the output iff no level below the output can hold its
+  // key. One snapshot of the shadow bounds serves every subcompaction
+  // of the job — see TombstoneShadow for why the snapshot stays
+  // conservative under concurrent disjoint-level jobs.
+  const TombstoneShadow shadow =
+      TombstoneShadow::FromVersion(*versions_.Current(), job);
+  uint64_t bytes_read = 0;
+  for (const auto& table : job.inputs) bytes_read += table->file_size();
+
+  // Re-tuning seam of the adaptive loop: every compaction output is
+  // rebuilt through the policy with the workload sketch and measured
+  // FPRs as they stand now, so the tree's filters follow the workload
+  // as compaction naturally rewrites tables. One feedback snapshot is
+  // shared read-only across the subcompactions.
+  FilterFeedback feedback;
+  FilterBuildContext build_ctx;
+  if (sampler_ != nullptr) {
+    feedback = CollectFilterFeedback();
+    build_ctx.sampler = sampler_;
+    build_ctx.feedback = &feedback;
+    build_ctx.level = static_cast<uint32_t>(job.output_level);
+  }
+  const FilterBuildContext* ctx = sampler_ != nullptr ? &build_ctx : nullptr;
+
+  // Range-partition the job: each range merges on its own worker
+  // (the calling thread steals one), writes its own outputs, and all
+  // outputs commit below in ONE manifest edit. Small jobs stay serial.
+  size_t fan_out = EffectiveSubcompactions();
+  if (bytes_read < options_.subcompaction_min_bytes) fan_out = 1;
+  const auto ranges = PickSubcompactionRanges(job, fan_out);
+  std::vector<SubcompactionResult> results(ranges.size());
+  if (ranges.size() == 1) {
+    MergeRange(job, shadow, ctx, 0, UINT64_MAX, &results[0]);
+  } else {
+    TaskGroup group(subcompact_pool_.get());
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      group.Submit([this, &job, &shadow, ctx, &ranges, &results, i] {
+        MergeRange(job, shadow, ctx, ranges[i].first, ranges[i].second,
+                   &results[i]);
+      });
+    }
+    group.Wait();
+    stats_.subcompactions_run += ranges.size();
+  }
+
+  auto fail = [&](const std::string& msg) {
+    stats_.SetLastError(msg);
+    ++stats_.compaction_failures;
+    for (const auto& result : results) {
+      for (const auto& path : result.paths) env_->DeleteFile(path);
+    }
+    return false;
+  };
+  for (const auto& result : results) {
+    if (!result.ok) {
+      return fail(result.error.empty() ? "compact: subcompaction failed"
+                                       : result.error);
+    }
+  }
+
+  // Fold in range order: the ranges are ascending and disjoint, so the
+  // concatenated outputs are key-sorted — which the manifest edit must
+  // preserve (recovery rebuilds each level in edit order).
+  Version::TableList outputs;
+  std::vector<FileMeta> output_meta;
+  uint64_t bytes_written = 0;
+  uint64_t tombstones_written = 0;
+  uint64_t tombstones_dropped = 0;
+  for (auto& result : results) {
+    for (auto& table : result.outputs) outputs.push_back(std::move(table));
+    output_meta.insert(output_meta.end(), result.metas.begin(),
+                       result.metas.end());
+    bytes_written += result.bytes_written;
+    tombstones_written += result.tombstones_written;
+    tombstones_dropped += result.tombstones_dropped;
   }
 
   // Commit: one manifest edit (deletes + adds) made durable before the
@@ -825,95 +911,202 @@ bool Db::RunCompaction(const CompactionJob& job) {
   }
   UpdateTombstonesLive();
   ++stats_.compactions;
+  stats_.tombstones_written += tombstones_written;
+  stats_.tombstones_dropped += tombstones_dropped;
   stats_.compaction_bytes_read += bytes_read;
   stats_.compaction_bytes_written += bytes_written;
+  const size_t bucket =
+      LsmStats::StatsLevel(static_cast<uint32_t>(job.output_level));
+  stats_.compaction_bytes_read_level[bucket] += bytes_read;
+  stats_.compaction_bytes_written_level[bucket] += bytes_written;
+  stats_.compaction_micros_level[bucket] += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_time)
+          .count());
   for (const auto& table : job.inputs) env_->DeleteFile(table->path());
   return true;
 }
 
 void Db::CompactionWorker() {
+  // One of N identical scheduler workers: pick a job whose level pair
+  // is unclaimed, claim it, run it unlocked, release. Workers with
+  // nothing pickable park on the epoch counter, which every completion
+  // (and the manual-compaction handover) bumps — so a claim release
+  // that frees a pickable level pair wakes them without busy-spinning.
   std::unique_lock<std::mutex> lock(compact_mu_);
   while (!compact_stop_) {
-    if (!compact_requested_) {
-      compact_work_cv_.wait(lock, [this] {
-        return compact_stop_ || compact_requested_;
+    if (!compact_requested_ || compact_error_ || manual_compact_active_) {
+      const uint64_t seen = compact_epoch_;
+      compact_work_cv_.wait(lock, [this, seen] {
+        return compact_stop_ || compact_epoch_ != seen ||
+               (compact_requested_ && !compact_error_ &&
+                !manual_compact_active_);
       });
       continue;
     }
-    compact_requested_ = false;
-    compact_idle_ = false;
-    bool failed = false;
-    lock.unlock();
-    // Drain: re-pick from the freshest Version after every job, so a
-    // flush landing mid-compaction is folded into the next pick.
-    for (;;) {
-      auto job =
-          PickCompaction(*versions_.Current(), compact_cfg_, &compact_cursors_);
-      if (!job.has_value()) break;
-      if (!RunCompaction(*job)) {
-        failed = true;
-        break;
+    auto job = PickCompaction(*versions_.Current(), compact_cfg_,
+                              &compact_cursors_, compact_busy_levels_);
+    if (!job.has_value()) {
+      if (compact_inflight_ == 0) {
+        // Nothing pickable and nothing running: the tree is drained.
+        compact_requested_ = false;
+        compact_done_cv_.notify_all();
+        continue;
       }
-      std::lock_guard<std::mutex> check(compact_mu_);
-      if (compact_stop_) break;
-    }
-    lock.lock();
-    if (failed && !compact_stop_) {
-      compact_error_ = true;
-      compact_idle_ = true;
-      compact_done_cv_.notify_all();
-      // Exponential-backoff retry: park for the delay (or until a
-      // waiter/shutdown pokes us), then re-pick.
-      compact_work_cv_.wait_for(lock, compact_backoff_.Next(), [this] {
-        return compact_stop_ || compact_requested_;
+      // In-flight jobs may uncover new work (or new free levels) when
+      // they finish; park until one does.
+      const uint64_t seen = compact_epoch_;
+      compact_work_cv_.wait(lock, [this, seen] {
+        return compact_stop_ || compact_epoch_ != seen;
       });
-      if (!compact_stop_) compact_requested_ = true;
-    } else {
+      continue;
+    }
+    const uint64_t claim = CompactionClaimBits(*job);
+    compact_busy_levels_ |= claim;
+    ++compact_inflight_;
+    lock.unlock();
+    const bool ok = RunCompaction(*job);
+    lock.lock();
+    compact_busy_levels_ &= ~claim;
+    --compact_inflight_;
+    ++compact_epoch_;
+    if (ok) {
       compact_backoff_.Reset();
-      compact_idle_ = true;
+      // Re-pick from the freshest Version: this job's output may have
+      // pushed the next level over budget, and a flush that landed
+      // mid-job is folded into the next pick.
+      compact_requested_ = true;
+      compact_work_cv_.notify_all();
       compact_done_cv_.notify_all();
+      continue;
+    }
+    if (compact_stop_) break;
+    // Sticky error: waiters see it, other workers park. This worker
+    // owns the backoff retry timer; expiry clears the error and
+    // re-requests work.
+    compact_error_ = true;
+    compact_work_cv_.notify_all();
+    compact_done_cv_.notify_all();
+    compact_work_cv_.wait_for(lock, compact_backoff_.Next(), [this] {
+      return compact_stop_ || !compact_error_;
+    });
+    if (!compact_stop_ && compact_error_) {
+      compact_error_ = false;
+      compact_requested_ = true;
+      compact_work_cv_.notify_all();
     }
   }
 }
 
 bool Db::WaitForCompaction() {
-  if (!compact_thread_.joinable()) return true;
+  if (compact_threads_.empty()) return true;
   std::unique_lock<std::mutex> lock(compact_mu_);
   compact_error_ = false;  // this call doubles as the retry trigger
   compact_requested_ = true;
   compact_work_cv_.notify_all();
+  // Drained means: no pending request, no job in flight on any worker
+  // (subcompaction workers finish inside their job's RunCompaction),
+  // and no manual CompactRange holding the tree.
   compact_done_cv_.wait(lock, [this] {
-    return (compact_idle_ && !compact_requested_) || compact_error_;
+    return compact_error_ ||
+           (!compact_requested_ && compact_inflight_ == 0 &&
+            !manual_compact_active_);
   });
   return !compact_error_;
 }
 
-bool Db::CompactAll() {
-  // The background picker owns the tree when its thread runs; this
-  // manual lever is for the compaction-off configuration (the paper's
-  // measurement setup, and the adaptive-filter benches).
-  if (compact_thread_.joinable()) return false;
+bool Db::CompactRange(uint64_t begin, uint64_t end) {
+  if (begin > end) return true;
   if (!Flush()) return false;
-  auto version = versions_.Current();
-  CompactionJob job;
-  job.output_level = 1;
-  // Inputs in read precedence order (L0 newest-first, then L1+): the
-  // merge resolves duplicate keys to the lowest input index.
-  const auto& levels = version->levels();
-  for (auto it = levels[0].rbegin(); it != levels[0].rend(); ++it) {
-    job.inputs.push_back(*it);
-    job.input_files.emplace_back(0, (*it)->file_number());
+
+  // Take the manual slot: concurrent CompactRange calls serialize on
+  // it, background workers stop picking while it is held, and we wait
+  // out their in-flight jobs so the Version we snapshot is the one the
+  // merge runs against.
+  {
+    std::unique_lock<std::mutex> lock(compact_mu_);
+    compact_done_cv_.wait(lock, [this] { return !manual_compact_active_; });
+    manual_compact_active_ = true;
+    ++compact_epoch_;
+    compact_work_cv_.notify_all();
+    compact_done_cv_.wait(lock, [this] { return compact_inflight_ == 0; });
   }
-  for (size_t level = 1; level < levels.size(); ++level) {
-    for (const auto& table : levels[level]) {
-      job.inputs.push_back(table);
-      job.input_files.emplace_back(static_cast<uint32_t>(level),
-                                   table->file_number());
+
+  auto version = versions_.Current();
+  const auto& levels = version->levels();
+
+  // Fixpoint expansion to whole-file boundaries: a file overlapping
+  // [lo, hi] pulls its own bounds into the range, which may overlap
+  // further files, and so on. Without it the output (clamped at the
+  // deepest level) could overlap non-input files there, or bury newer
+  // un-compacted values under older ones.
+  uint64_t lo = begin, hi = end;
+  std::vector<std::vector<char>> take(levels.size());
+  for (size_t level = 0; level < levels.size(); ++level) {
+    take[level].assign(levels[level].size(), 0);
+  }
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (size_t level = 0; level < levels.size(); ++level) {
+      for (size_t i = 0; i < levels[level].size(); ++i) {
+        if (take[level][i]) continue;
+        const auto& table = levels[level][i];
+        if (table->max_key() < lo || table->min_key() > hi) continue;
+        take[level][i] = 1;
+        if (table->min_key() < lo) {
+          lo = table->min_key();
+          grew = true;
+        }
+        if (table->max_key() > hi) {
+          hi = table->max_key();
+          grew = true;
+        }
+      }
     }
   }
-  if (job.inputs.empty()) return true;
-  return RunCompaction(job);
+
+  // Inputs in read precedence order (L0 newest-first, then L1+ in key
+  // order): the merge resolves duplicate keys to the lowest index.
+  CompactionJob job;
+  size_t deepest = 0;
+  for (size_t i = levels[0].size(); i-- > 0;) {
+    if (!take[0][i]) continue;
+    job.inputs.push_back(levels[0][i]);
+    job.input_files.emplace_back(0, levels[0][i]->file_number());
+  }
+  for (size_t level = 1; level < levels.size(); ++level) {
+    for (size_t i = 0; i < levels[level].size(); ++i) {
+      if (!take[level][i]) continue;
+      job.inputs.push_back(levels[level][i]);
+      job.input_files.emplace_back(static_cast<uint32_t>(level),
+                                   levels[level][i]->file_number());
+      deepest = level;
+    }
+  }
+  // Everything lands at the deepest input level (floor L1 — L0 files
+  // overlap), capped at the tree depth, so a full-range call digs the
+  // data all the way down and maximizes tombstone drops.
+  job.output_level =
+      std::min(std::max<size_t>(1, deepest), compact_cfg_.max_levels - 1);
+
+  bool ok = true;
+  if (!job.inputs.empty()) ok = RunCompaction(job);
+
+  // Hand the tree back: bump the epoch so parked workers re-check, and
+  // re-request a background pass over the reshaped tree.
+  {
+    std::lock_guard<std::mutex> lock(compact_mu_);
+    manual_compact_active_ = false;
+    ++compact_epoch_;
+    if (!compact_threads_.empty()) compact_requested_ = true;
+  }
+  compact_work_cv_.notify_all();
+  compact_done_cv_.notify_all();
+  return ok;
 }
+
+bool Db::CompactAll() { return CompactRange(0, UINT64_MAX); }
 
 FilterFeedback Db::CollectFilterFeedback() const {
   FilterFeedback feedback;

@@ -79,6 +79,7 @@
 #include "lsm/version.h"
 #include "lsm/wal.h"
 #include "util/backoff.h"
+#include "util/thread_pool.h"
 
 namespace bloomrf {
 
@@ -117,17 +118,40 @@ struct DbOptions {
   /// fail or "crash" any individual call site (see lsm/env.h).
   Env* env = nullptr;
   /// Background leveled compaction. Off (the paper's measurement
-  /// setup) leaves every flushed SST at L0. On, a dedicated thread
-  /// merges L0 into L1 whenever L0 reaches l0_compaction_trigger
-  /// files, and level i (>= 1) into level i+1 whenever it exceeds
-  /// level_base_bytes * level_size_multiplier^(i-1). Failed
-  /// compactions retry with exponential backoff and never unpublish
-  /// readable state (see stats().last_error()).
+  /// setup) leaves every flushed SST at L0. On, a scheduler of
+  /// compaction_threads workers merges L0 into L1 whenever L0 reaches
+  /// l0_compaction_trigger files, and level i (>= 1) into level i+1
+  /// whenever it exceeds level_base_bytes *
+  /// level_size_multiplier^(i-1). Failed compactions retry with
+  /// exponential backoff and never unpublish readable state (see
+  /// stats().last_error()).
   bool compaction = false;
   size_t l0_compaction_trigger = 4;
   uint64_t level_base_bytes = 8ull << 20;
   size_t level_size_multiplier = 8;
   size_t max_levels = 6;
+  /// Scheduler workers for background compaction: that many jobs on
+  /// disjoint level pairs run concurrently (an L0->L1 merge while
+  /// L2->L3 proceeds), each claiming its input + output levels so two
+  /// jobs can never pick overlapping inputs. 1 = the serial behaviour.
+  /// Also the default subcompaction fan-out.
+  size_t compaction_threads = 1;
+  /// Range-partitioned subcompactions: one large job's key space is
+  /// split into up to this many disjoint ranges (cut at input-table
+  /// boundary keys weighted by bytes), each merged on its own worker
+  /// writing its own outputs, all committed in ONE manifest edit. 0 =
+  /// match compaction_threads.
+  size_t max_subcompactions = 0;
+  /// Jobs with fewer total input bytes than this merge serially — the
+  /// split bookkeeping would cost more than it buys. Tests lower it to
+  /// force subcompactions on tiny trees.
+  uint64_t subcompaction_min_bytes = 8ull << 20;
+  /// Worker pool the subcompactions fan out on; pass one instance to
+  /// share it across Dbs (ShardedDb hands every shard the same pool).
+  /// Null creates a private pool sized to the subcompaction fan-out.
+  /// The merging thread steals queued tasks while it waits, so even a
+  /// 0-thread pool makes full progress.
+  std::shared_ptr<ThreadPool> compaction_pool;
   /// The live MANIFEST is rewritten as a one-record snapshot once it
   /// grows past this many bytes (and on any append failure).
   uint64_t manifest_rewrite_bytes = 1ull << 20;
@@ -263,18 +287,31 @@ class Db {
   /// while the queue cannot drain.
   bool WaitForFlush();
 
-  /// Kicks the compaction thread and waits until the tree satisfies
-  /// every trigger (or a compaction fails — returns false then, after
-  /// clearing the error so the call acts as a retry). No-op true when
-  /// compaction is off. Never blocks indefinitely on a broken disk.
+  /// Kicks the compaction scheduler and waits until the whole pipeline
+  /// drains — every trigger satisfied, no queued pick, no in-flight
+  /// job or subcompaction worker, no manual compaction — or a
+  /// compaction fails (returns false then, after clearing the error so
+  /// the call acts as a retry). No-op true when compaction is off.
+  /// Never blocks indefinitely on a broken disk.
   bool WaitForCompaction();
 
-  /// Merges every L0/L1+ table into one fresh run at L1 — the manual
-  /// "re-tune now" lever for the adaptive filter loop (each output is
-  /// rebuilt through the policy with the current workload snapshot).
-  /// Requires background compaction off (returns false otherwise; the
-  /// background picker owns the tree then). True when there was
-  /// nothing to do.
+  /// Manually compacts every table overlapping [begin, end] into one
+  /// fresh run at the deepest level those tables populate. The input
+  /// range grows to whole-file boundaries (a file straddling the edge
+  /// is compacted entirely, and the growth iterates to a fixpoint), so
+  /// level disjointness and newest-wins precedence survive. Runs on
+  /// the caller's thread through the same subcompaction machinery as
+  /// background jobs, after waiting out in-flight jobs (workers pause
+  /// picking while a manual compaction holds the tree); safe with
+  /// background compaction on or off. Each output is rebuilt through
+  /// the filter policy with the current workload snapshot. True when
+  /// there was nothing to do; false when a flush or the merge failed.
+  bool CompactRange(uint64_t begin, uint64_t end);
+
+  /// CompactRange over the whole key space — the "re-tune every table
+  /// now" lever for the adaptive filter loop, and the full-merge used
+  /// by the tombstone-purge tests (nothing ends below the output, so
+  /// every tombstone drops).
   bool CompactAll();
 
   /// The sampler observing this Db's queries; null unless sampling is
@@ -376,12 +413,35 @@ class Db {
   bool WriteManifestSnapshotLocked(const Version& v);
 
   void MaybeScheduleCompaction();
-  /// Merges one picked job: streams the inputs through a k-way merge
-  /// (newest input wins duplicates), splits outputs near the level's
-  /// file-size target, commits via one manifest edit + Version
+  /// One subcompaction's private output state; folded into the job's
+  /// single manifest edit only when every range succeeded.
+  struct SubcompactionResult {
+    Version::TableList outputs;        // in key order within the range
+    std::vector<FileMeta> metas;
+    std::vector<std::string> paths;    // for cleanup on job failure
+    uint64_t bytes_written = 0;
+    uint64_t tombstones_written = 0;
+    uint64_t tombstones_dropped = 0;
+    bool ok = false;
+    std::string error;
+  };
+  /// DbOptions::max_subcompactions with its 0 = compaction_threads
+  /// default resolved.
+  size_t EffectiveSubcompactions() const;
+  /// Merges `job`'s inputs restricted to keys in [lo, hi]: k-way merge
+  /// (newest input wins duplicates), tombstones dropped per `shadow`,
+  /// outputs split near the level's file-size target. Runs on a
+  /// subcompaction worker; touches only atomics, the shared read-only
+  /// job state, and its own `result`.
+  void MergeRange(const CompactionJob& job, const TombstoneShadow& shadow,
+                  const FilterBuildContext* build_ctx, uint64_t lo,
+                  uint64_t hi, SubcompactionResult* result);
+  /// Executes one job: splits it into range-partitioned subcompactions
+  /// (PickSubcompactionRanges), merges them in parallel on the shared
+  /// pool, and commits every output in ONE manifest edit + Version
   /// publication, then deletes the input files. False on any I/O
-  /// failure — outputs are removed, inputs stay published, the store
-  /// remains fully readable.
+  /// failure — all outputs are removed, inputs stay published, the
+  /// store remains fully readable.
   bool RunCompaction(const CompactionJob& job);
   void CompactionWorker();
 
@@ -437,21 +497,34 @@ class Db {
   std::mutex inline_drain_mu_;  // serializes sync-mode DrainQueueInline
   std::thread flush_thread_;
 
-  // Compaction pipeline, guarded by compact_mu_. The worker re-picks
-  // from the freshest Version after every job; a failed job sets
-  // compact_error_ (visible through WaitForCompaction) and retries on
-  // an exponential-backoff timer.
+  // Compaction scheduler, guarded by compact_mu_. compaction_threads
+  // workers each loop pick -> claim levels -> run -> release: a worker
+  // re-picks from the freshest Version with the busy-level mask, so
+  // concurrent jobs always work disjoint level pairs. compact_epoch_
+  // increments on every job completion / manual handover — a worker
+  // that found nothing pickable (levels busy) parks on it instead of
+  // spinning. compact_requested_ clears only when nothing is pickable
+  // AND nothing is in flight. A failed job sets compact_error_
+  // (visible through WaitForCompaction) and its worker owns the
+  // exponential-backoff retry while the others park.
   std::mutex compact_mu_;
-  std::condition_variable compact_work_cv_;  // wakes the worker
+  std::condition_variable compact_work_cv_;  // wakes the workers
   std::condition_variable compact_done_cv_;  // wakes WaitForCompaction
   bool compact_requested_ = false;
-  bool compact_idle_ = true;
   bool compact_error_ = false;
   bool compact_stop_ = false;
-  std::thread compact_thread_;
+  bool manual_compact_active_ = false;  // CompactRange holds the tree
+  uint64_t compact_busy_levels_ = 0;    // claim bitmask of in-flight jobs
+  size_t compact_inflight_ = 0;         // background jobs running
+  uint64_t compact_epoch_ = 0;          // bumped on scheduler state change
+  std::vector<std::thread> compact_threads_;
   CompactionConfig compact_cfg_;
-  std::vector<uint64_t> compact_cursors_;  // compaction thread only
-  Backoff compact_backoff_;                // compaction thread only
+  std::vector<uint64_t> compact_cursors_;  // guarded by compact_mu_
+  Backoff compact_backoff_;                // guarded by compact_mu_
+  /// Subcompaction fan-out pool (options_.compaction_pool or private);
+  /// shared across every job of this Db, and across shards when the
+  /// ShardedDb passes one pool in.
+  std::shared_ptr<ThreadPool> subcompact_pool_;
 
   std::atomic<uint64_t> next_file_number_{1};
   LsmStats stats_;

@@ -11,6 +11,15 @@ ShardedDb::ShardedDb(ShardedDbOptions options) : options_(std::move(options)) {
     options_.block_cache =
         std::make_shared<BlockCache>(options_.block_cache_bytes);
   }
+  // One subcompaction pool shared by every shard, sized for a single
+  // shard's fan-out: shard compactions already run in parallel with
+  // each other, so per-shard private pools would oversubscribe the
+  // host num_shards-fold.
+  std::shared_ptr<ThreadPool> compaction_pool;
+  const size_t subs = options_.max_subcompactions > 0
+                          ? options_.max_subcompactions
+                          : std::max<size_t>(1, options_.compaction_threads);
+  if (subs > 1) compaction_pool = std::make_shared<ThreadPool>(subs - 1);
   shards_.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
     DbOptions shard_options;
@@ -33,6 +42,10 @@ ShardedDb::ShardedDb(ShardedDbOptions options) : options_(std::move(options)) {
     shard_options.level_size_multiplier = options_.level_size_multiplier;
     shard_options.max_levels = options_.max_levels;
     shard_options.manifest_rewrite_bytes = options_.manifest_rewrite_bytes;
+    shard_options.compaction_threads = options_.compaction_threads;
+    shard_options.max_subcompactions = options_.max_subcompactions;
+    shard_options.subcompaction_min_bytes = options_.subcompaction_min_bytes;
+    shard_options.compaction_pool = compaction_pool;
     // One sampler per shard (each shard Db creates its own): the
     // adaptive loop tunes shard-local filters from shard-local traffic.
     shard_options.sample_queries = options_.sample_queries;
@@ -194,6 +207,21 @@ bool ShardedDb::CompactAll() {
   TaskGroup group(pool_.get());
   for (size_t s = 0; s < shards_.size(); ++s) {
     group.Submit([this, s, &ok] { ok[s] = shards_[s]->CompactAll() ? 1 : 0; });
+  }
+  group.Wait();
+  return std::all_of(ok.begin(), ok.end(), [](char c) { return c != 0; });
+}
+
+bool ShardedDb::CompactRange(uint64_t begin, uint64_t end) {
+  // Hash routing scatters every key range over all shards, so the
+  // range compacts everywhere — each shard trims it to its own files
+  // via the whole-file expansion in Db::CompactRange.
+  std::vector<char> ok(shards_.size(), 1);
+  TaskGroup group(pool_.get());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    group.Submit([this, s, begin, end, &ok] {
+      ok[s] = shards_[s]->CompactRange(begin, end) ? 1 : 0;
+    });
   }
   group.Wait();
   return std::all_of(ok.begin(), ok.end(), [](char c) { return c != 0; });

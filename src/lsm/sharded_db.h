@@ -62,6 +62,18 @@ struct ShardedDbOptions {
   size_t level_size_multiplier = 8;
   size_t max_levels = 6;
   uint64_t manifest_rewrite_bytes = 1ull << 20;
+  /// Per-shard compaction scheduler width (see
+  /// DbOptions::compaction_threads). Each shard gets its own worker
+  /// set; shards already parallelize across each other, so > 1 mainly
+  /// helps skewed shards with deep trees.
+  size_t compaction_threads = 1;
+  /// Range-partitioned subcompactions per job (see
+  /// DbOptions::max_subcompactions). All shards share ONE
+  /// subcompaction pool sized for a single shard's fan-out, so
+  /// concurrent shard compactions queue their ranges rather than
+  /// oversubscribing the host.
+  size_t max_subcompactions = 0;
+  uint64_t subcompaction_min_bytes = 8ull << 20;
   /// Per-shard workload sampling for the adaptive filter loop (see
   /// DbOptions::sample_queries): each shard Db observes its own query
   /// stream with its own sampler, so shard-local flushes and
@@ -136,10 +148,14 @@ class ShardedDb {
   /// Waits until every shard's compaction triggers are satisfied (see
   /// Db::WaitForCompaction). False if any shard's compaction failed.
   bool WaitForCompaction();
-  /// Manual full compaction of every shard (see Db::CompactAll);
-  /// requires background compaction off. The adaptive filter loop's
+  /// Manual full compaction of every shard (see Db::CompactAll). Works
+  /// with background compaction on or off. The adaptive filter loop's
   /// "re-tune the whole tree now" lever.
   bool CompactAll();
+  /// Manual compaction of [begin, end] on every shard (keys are
+  /// hash-scattered, so the range touches all shards). See
+  /// Db::CompactRange for the per-shard semantics.
+  bool CompactRange(uint64_t begin, uint64_t end);
 
   size_t num_shards() const { return shards_.size(); }
   Db& shard(size_t i) { return *shards_[i]; }

@@ -523,6 +523,23 @@ TableReader::Iterator::Iterator(const TableReader& table, LsmStats* stats)
   LoadBlock(0);
 }
 
+TableReader::Iterator::Iterator(const TableReader& table, LsmStats* stats,
+                                uint64_t start_key)
+    : table_(table), stats_(stats) {
+  const int64_t block = table.FindBlock(start_key);
+  if (block < 0) {
+    LoadBlock(table.index_.size());  // every key < start_key: end state
+    return;
+  }
+  LoadBlock(static_cast<size_t>(block));
+  // FindBlock guarantees this block's last key >= start_key, so the
+  // target position is inside it (when the block loaded at all).
+  while (block_ != nullptr && pos_ < block_->entries.size() &&
+         block_->entries[pos_].key < start_key) {
+    ++pos_;
+  }
+}
+
 void TableReader::Iterator::LoadBlock(size_t block_idx) {
   block_.reset();
   block_idx_ = block_idx;

@@ -82,6 +82,17 @@ struct LsmStats {
   std::atomic<uint64_t> tombstones_written{0};
   std::atomic<uint64_t> tombstones_dropped{0};
   std::atomic<uint64_t> tombstones_live{0};
+  // Parallel-compaction observability, attributed to the job's OUTPUT
+  // level (folded into the same buckets as the FPR counters): bytes in
+  // and out of each level's merges and the wall time they took, plus
+  // the number of range-partitioned subcompaction workers run and the
+  // jobs executing right now (a gauge — background jobs and manual
+  // CompactRange both count).
+  std::atomic<uint64_t> compaction_bytes_read_level[kStatsLevels]{};
+  std::atomic<uint64_t> compaction_bytes_written_level[kStatsLevels]{};
+  std::atomic<uint64_t> compaction_micros_level[kStatsLevels]{};
+  std::atomic<uint64_t> subcompactions_run{0};
+  std::atomic<uint64_t> compactions_inflight{0};
 
   LsmStats() = default;
   LsmStats(const LsmStats& o) { *this = o; }
@@ -120,6 +131,17 @@ struct LsmStats {
     tombstones_written = o.tombstones_written.load(std::memory_order_relaxed);
     tombstones_dropped = o.tombstones_dropped.load(std::memory_order_relaxed);
     tombstones_live = o.tombstones_live.load(std::memory_order_relaxed);
+    for (size_t l = 0; l < kStatsLevels; ++l) {
+      compaction_bytes_read_level[l] =
+          o.compaction_bytes_read_level[l].load(std::memory_order_relaxed);
+      compaction_bytes_written_level[l] =
+          o.compaction_bytes_written_level[l].load(std::memory_order_relaxed);
+      compaction_micros_level[l] =
+          o.compaction_micros_level[l].load(std::memory_order_relaxed);
+    }
+    subcompactions_run = o.subcompactions_run.load(std::memory_order_relaxed);
+    compactions_inflight =
+        o.compactions_inflight.load(std::memory_order_relaxed);
     SetLastError(o.last_error());
     return *this;
   }
@@ -160,6 +182,17 @@ struct LsmStats {
     tombstones_written += o.tombstones_written.load(std::memory_order_relaxed);
     tombstones_dropped += o.tombstones_dropped.load(std::memory_order_relaxed);
     tombstones_live += o.tombstones_live.load(std::memory_order_relaxed);
+    for (size_t l = 0; l < kStatsLevels; ++l) {
+      compaction_bytes_read_level[l] +=
+          o.compaction_bytes_read_level[l].load(std::memory_order_relaxed);
+      compaction_bytes_written_level[l] +=
+          o.compaction_bytes_written_level[l].load(std::memory_order_relaxed);
+      compaction_micros_level[l] +=
+          o.compaction_micros_level[l].load(std::memory_order_relaxed);
+    }
+    subcompactions_run += o.subcompactions_run.load(std::memory_order_relaxed);
+    compactions_inflight +=
+        o.compactions_inflight.load(std::memory_order_relaxed);
     if (last_error().empty()) SetLastError(o.last_error());
   }
 
@@ -345,6 +378,11 @@ class TableReader {
   class Iterator {
    public:
     Iterator(const TableReader& table, LsmStats* stats);
+    /// Bounded variant: positions the cursor on the first entry with
+    /// key >= `start_key` (past the end when the table has none), so a
+    /// range-partitioned subcompaction reads only the blocks its key
+    /// range touches.
+    Iterator(const TableReader& table, LsmStats* stats, uint64_t start_key);
     bool Valid() const {
       return block_ != nullptr && pos_ < block_->entries.size();
     }

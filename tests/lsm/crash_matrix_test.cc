@@ -91,7 +91,8 @@ class CrashMatrixTest : public ::testing::Test {
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
   static DbOptions WorkloadOptions(const std::string& dir, Env* env,
-                                   PolicyFactory policy = BloomFactory) {
+                                   PolicyFactory policy = BloomFactory,
+                                   bool parallel = false) {
     DbOptions options;
     options.dir = dir;
     options.filter_policy = policy();
@@ -103,6 +104,14 @@ class CrashMatrixTest : public ::testing::Test {
     options.level_base_bytes = 4 << 10;
     options.level_size_multiplier = 2;
     options.max_levels = 4;
+    if (parallel) {
+      // Two scheduler workers on disjoint level pairs, every job split
+      // into range-partitioned subcompactions: the crash now lands
+      // while TWO manifest-edit producers race for the commit lock.
+      options.compaction_threads = 2;
+      options.max_subcompactions = 2;
+      options.subcompaction_min_bytes = 0;
+    }
     return options;
   }
 
@@ -117,8 +126,9 @@ class CrashMatrixTest : public ::testing::Test {
   /// every acknowledged write still reached the WAL+memtable.
   static void RunWorkload(const std::string& dir, Env* env,
                           std::map<uint64_t, std::string>* expected,
-                          PolicyFactory policy = BloomFactory) {
-    Db db(WorkloadOptions(dir, env, policy));
+                          PolicyFactory policy = BloomFactory,
+                          bool parallel = false) {
+    Db db(WorkloadOptions(dir, env, policy, parallel));
     auto put = [&](uint64_t key, std::string value) {
       db.Put(key, value);
       (*expected)[key] = std::move(value);
@@ -313,6 +323,56 @@ TEST_F(CrashMatrixTest, MixedBackendTreeRecoversAtEveryThirdKillPoint) {
     }
   }
   EXPECT_GT(fired, total_ops / 6) << "matrix barely exercised any crash";
+}
+
+TEST_F(CrashMatrixTest, ConcurrentJobsRecoverAtEveryOtherKillPoint) {
+  // The parallel-scheduler matrix: the workload runs with two
+  // compaction workers and forced subcompactions, so the crash can
+  // land between one job's committed manifest edit and a concurrent
+  // job's in-flight one, or mid-way through a job whose outputs came
+  // from several subcompaction workers. The recovery bar is unchanged:
+  // the manifest prefix plus surviving WAL must equal the reference
+  // map exactly — a job whose edit never committed leaves only
+  // orphaned SSTs, never visible state. Every other op (torn every
+  // fourth) keeps the sweep affordable; the dense single-worker matrix
+  // above covers the op-ordering space.
+  std::map<uint64_t, std::string> reference;
+  FaultInjectionEnv counter;
+  const std::string count_dir = dir_ + "/count";
+  RunWorkload(count_dir, &counter, &reference, BloomFactory,
+              /*parallel=*/true);
+  const uint64_t total_ops = counter.op_count();
+  ASSERT_GT(total_ops, 20u);
+  VerifyExactly(count_dir, reference);
+  std::filesystem::remove_all(count_dir);
+
+  uint64_t fired = 0;
+  for (uint64_t op = 0; op < total_ops; op += 2) {
+    for (bool torn : {false, true}) {
+      if (torn && op % 4 != 0) continue;
+      SCOPED_TRACE("kill at op " + std::to_string(op) +
+                   (torn ? " (torn write)" : " (clean cut)"));
+      const std::string run_dir = dir_ + "/op" + std::to_string(op) +
+                                  (torn ? "t" : "c");
+      std::map<uint64_t, std::string> expected;
+      FaultInjectionEnv fenv;
+      fenv.CrashAtOp(op, torn);
+      RunWorkload(run_dir, &fenv, &expected, BloomFactory,
+                  /*parallel=*/true);
+      if (fenv.crashed()) ++fired;
+      ASSERT_EQ(expected.size(), reference.size());
+      {
+        // Double fault: kill the recovery too, like the dense matrix.
+        FaultInjectionEnv fenv2;
+        fenv2.CrashAtOp(op % 5 + 1, /*torn=*/op % 4 == 2);
+        Db db(WorkloadOptions(run_dir, &fenv2, BloomFactory,
+                              /*parallel=*/true));
+      }
+      VerifyExactly(run_dir, expected);
+      std::filesystem::remove_all(run_dir);
+    }
+  }
+  EXPECT_GT(fired, total_ops / 4) << "matrix barely exercised any crash";
 }
 
 TEST_F(CrashMatrixTest, CrashedStoreSurvivesASecondCrashDuringRecovery) {
